@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the optimizer's hot paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.constraints import partition_constraints
+from repro.core.partitioning import admissible_join_results
+from repro.core.serial import optimize_serial
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.costmodel import CostModel
+from repro.cost.pruning import MinCostPruning, ParetoPruning
+from repro.plans.plan import ScanPlan
+from repro.util.bitset import iter_subsets
+
+
+def test_admissible_generation_linear(benchmark):
+    constraints = partition_constraints(16, 5, 64, PlanSpace.LINEAR)
+
+    def run():
+        return len(admissible_join_results(16, constraints, PlanSpace.LINEAR))
+
+    count = benchmark(run)
+    assert count == 3**6 * 4**2
+
+
+def test_admissible_generation_bushy(benchmark):
+    constraints = partition_constraints(15, 3, 32, PlanSpace.BUSHY)
+
+    def run():
+        return len(admissible_join_results(15, constraints, PlanSpace.BUSHY))
+
+    count = benchmark(run)
+    assert count == 7**5
+
+
+def test_cardinality_estimation(benchmark):
+    query = star_query(14)
+    estimator = CardinalityEstimator(query)
+    masks = list(range(1, 1 << 14, 37))
+
+    def run():
+        total = 0.0
+        for mask in masks:
+            total += estimator.rows(mask)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_join_candidate_generation(benchmark):
+    query = star_query(10)
+    model = CostModel(query, OptimizerSettings())
+    scans = [model.scan_plans(i)[0] for i in range(10)]
+
+    def run():
+        count = 0
+        for left in scans:
+            for right in scans:
+                if left.mask != right.mask:
+                    count += len(model.join_candidates(left, right))
+        return count
+
+    assert benchmark(run) > 0
+
+
+def test_min_cost_pruning_insert(benchmark):
+    policy = MinCostPruning()
+
+    def run():
+        table = {}
+        for i in range(2000):
+            cost = (float(i % 50),)
+            plan = ScanPlan(mask=1, rows=1.0, cost=cost, order=None, table=0)
+            policy.consider(table, 1, cost, None, lambda p=plan: p)
+        return len(table)
+
+    assert benchmark(run) == 1
+
+
+def test_pareto_pruning_insert(benchmark):
+    policy = ParetoPruning(alpha=1.0)
+
+    def run():
+        table = {}
+        for i in range(500):
+            cost = (float(i % 40), float(40 - i % 40))
+            plan = ScanPlan(mask=1, rows=1.0, cost=cost, order=None, table=0)
+            policy.consider(table, 1, cost, None, lambda p=plan: p)
+        return len(table[1])
+
+    assert benchmark(run) > 1
+
+
+def test_subset_enumeration(benchmark):
+    mask = (1 << 18) - 1
+
+    def run():
+        count = 0
+        for _ in iter_subsets(mask):
+            count += 1
+        return count
+
+    assert benchmark(run) == 1 << 18
+
+
+def test_serial_dp_linear12(benchmark, linear_settings):
+    query = star_query(12)
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, linear_settings), rounds=2, iterations=1
+    )
+    assert result.plans
+
+
+def test_serial_dp_bushy9(benchmark, bushy_settings):
+    query = star_query(9)
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, bushy_settings), rounds=2, iterations=1
+    )
+    assert result.plans

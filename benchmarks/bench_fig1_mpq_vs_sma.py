@@ -1,0 +1,72 @@
+"""Figure 1 — MPQ vs SMA, single objective (time and network vs workers).
+
+pytest-benchmark rows time individual optimizer runs at representative
+worker counts; ``test_fig1_series_report`` regenerates and prints the full
+figure series at CI scale (run with ``-s`` to see it inline; the series also
+lands in the bench log).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.algorithms.mpq import optimize_mpq
+from repro.algorithms.sma import optimize_sma
+from repro.bench.experiments import fig1
+
+
+@pytest.mark.parametrize("workers", [1, 8, 32])
+def test_mpq_linear8(benchmark, linear_settings, workers):
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, workers, linear_settings), rounds=3, iterations=1
+    )
+    assert report.best.cost[0] > 0
+
+
+@pytest.mark.parametrize("workers", [1, 8, 32])
+def test_sma_linear8(benchmark, linear_settings, workers):
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_sma, args=(query, workers, linear_settings), rounds=3, iterations=1
+    )
+    assert report.best.cost[0] > 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_mpq_bushy8(benchmark, bushy_settings, workers):
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, workers, bushy_settings), rounds=3, iterations=1
+    )
+    assert report.best.cost[0] > 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_sma_bushy8(benchmark, bushy_settings, workers):
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_sma, args=(query, workers, bushy_settings), rounds=3, iterations=1
+    )
+    assert report.best.cost[0] > 0
+
+
+def test_fig1_series_report(benchmark):
+    """Regenerate the Figure 1 series (CI scale) and check its shape."""
+    result = benchmark.pedantic(fig1, args=("ci",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    by_label = {series.label: series for series in result.series}
+    for label, series in by_label.items():
+        if not label.startswith("MPQ"):
+            continue
+        sma = by_label[label.replace("MPQ", "SMA")]
+        shared = set(series.network_by_workers()) & set(sma.network_by_workers())
+        shared = {w for w in shared if w >= 4}
+        # SMA moves more bytes than MPQ at every shared worker count >= 4.
+        for workers in shared:
+            assert (
+                sma.network_by_workers()[workers]
+                > series.network_by_workers()[workers]
+            )

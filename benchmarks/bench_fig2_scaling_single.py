@@ -1,0 +1,56 @@
+"""Figure 2 — MPQ scaling with one cost metric on larger search spaces.
+
+Benchmarks the full MPQ run (all partitions executed in-process) at growing
+worker counts: wall-clock grows ~(3/2)^l in the partition count while the
+*simulated* per-worker time shrinks by 3/4 (linear) / 21/27 (bushy) per
+doubling — the series report asserts the simulated shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.algorithms.mpq import optimize_mpq
+from repro.bench.experiments import fig2
+from repro.config import PlanSpace
+from repro.core.counting import memory_reduction_factor, work_reduction_factor
+
+
+@pytest.mark.parametrize("workers", [1, 4, 16])
+def test_mpq_linear10_scaling(benchmark, linear_settings, workers):
+    query = star_query(10)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, workers, linear_settings), rounds=3, iterations=1
+    )
+    assert report.n_partitions == workers
+
+
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_mpq_bushy9_scaling(benchmark, bushy_settings, workers):
+    query = star_query(9)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, workers, bushy_settings), rounds=3, iterations=1
+    )
+    assert report.n_partitions == workers
+
+
+def test_fig2_series_report(benchmark):
+    """Regenerate Figure 2 (CI scale) and assert the theoretical factors."""
+    result = benchmark.pedantic(fig2, args=("ci",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    for series in result.series:
+        space = PlanSpace.LINEAR if "linear" in series.label else PlanSpace.BUSHY
+        memory_factor = memory_reduction_factor(space)
+        work_factor = work_reduction_factor(space)
+        points = series.points
+        for previous, current in zip(points, points[1:]):
+            if current.workers != previous.workers * 2:
+                continue
+            # Memory (relations) shrinks by ~the theoretical factor.
+            observed = current.memory_relations / previous.memory_relations
+            assert observed == pytest.approx(memory_factor, rel=0.12)
+            # Worker time shrinks at least as fast as predicted - 15% slack.
+            speed = current.worker_time_ms / previous.worker_time_ms
+            assert speed < work_factor * 1.15

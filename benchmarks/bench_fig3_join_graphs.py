@@ -1,0 +1,57 @@
+"""Figure 3 — join-graph structure has negligible impact on DP time.
+
+Because cross products are allowed, the DP examines the same table sets for
+any topology; only operator applicability differs slightly.  Benchmarks time
+serial DP per topology; the series report checks the spread is small.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.bench.experiments import fig3
+from repro.core.serial import optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
+
+KINDS = [JoinGraphKind.CHAIN, JoinGraphKind.STAR, JoinGraphKind.CYCLE]
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=[k.value for k in KINDS])
+def test_serial_dp_by_topology(benchmark, linear_settings, kind):
+    query = SteinbrunnGenerator(43).query(9, kind)
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, linear_settings), rounds=3, iterations=1
+    )
+    assert result.plans
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=[k.value for k in KINDS])
+def test_bushy_dp_by_topology(benchmark, bushy_settings, kind):
+    query = SteinbrunnGenerator(43).query(7, kind)
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, bushy_settings), rounds=3, iterations=1
+    )
+    assert result.plans
+
+
+def test_fig3_series_report(benchmark):
+    """Regenerate Figure 3 (CI scale): topology changes time only slightly."""
+    result = benchmark.pedantic(fig3, args=("ci",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    # Group series by algorithm+size prefix; compare topologies pointwise.
+    groups: dict[str, list] = {}
+    for series in result.series:
+        prefix = series.label.split("/")[0].strip()
+        groups.setdefault(prefix, []).append(series)
+    for prefix, family in groups.items():
+        workers = set(family[0].time_by_workers())
+        for at in workers:
+            times = [series.time_by_workers()[at] for series in family]
+            spread = max(times) / min(times)
+            # The paper reports "negligible impact"; operator applicability
+            # differences keep our spread well under 2x.
+            assert spread < 2.0, (prefix, at, times)

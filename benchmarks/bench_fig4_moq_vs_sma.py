@@ -1,0 +1,62 @@
+"""Figure 4 — multi-objective MPQ vs SMA (two metrics, alpha = 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.algorithms.mpq import optimize_mpq
+from repro.algorithms.sma import optimize_sma
+from repro.bench.experiments import fig4
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+
+
+@pytest.mark.parametrize("workers", [1, 8])
+def test_moq_mpq_linear8(benchmark, moq_settings, workers):
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, workers, moq_settings), rounds=3, iterations=1
+    )
+    assert all(len(plan.cost) == 2 for plan in report.plans)
+
+
+@pytest.mark.parametrize("workers", [1, 8])
+def test_moq_sma_linear8(benchmark, moq_settings, workers):
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_sma, args=(query, workers, moq_settings), rounds=3, iterations=1
+    )
+    assert report.plans
+
+
+def test_moq_bushy6(benchmark):
+    settings = OptimizerSettings(
+        plan_space=PlanSpace.BUSHY, objectives=MULTI_OBJECTIVE, alpha=10.0
+    )
+    query = star_query(6)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, 4, settings), rounds=3, iterations=1
+    )
+    assert report.plans
+
+
+def test_fig4_series_report(benchmark):
+    """Regenerate Figure 4 (CI scale): MPQ beats SMA on traffic and time."""
+    result = benchmark.pedantic(fig4, args=("ci",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    by_label = {series.label: series for series in result.series}
+    for label, series in by_label.items():
+        if not label.startswith("MPQ"):
+            continue
+        sma = by_label[label.replace("MPQ", "SMA")]
+        shared = {
+            w
+            for w in set(series.network_by_workers()) & set(sma.network_by_workers())
+            if w >= 4
+        }
+        for workers in shared:
+            assert (
+                sma.network_by_workers()[workers]
+                > series.network_by_workers()[workers]
+            )

@@ -1,0 +1,34 @@
+"""Figure 5 — multi-objective MPQ scaling (linear plans, alpha = 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.algorithms.mpq import optimize_mpq
+from repro.bench.experiments import fig5
+
+
+@pytest.mark.parametrize("workers", [1, 4, 16])
+def test_moq_scaling_linear10(benchmark, moq_settings, workers):
+    query = star_query(10)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, workers, moq_settings), rounds=3, iterations=1
+    )
+    assert report.n_partitions == workers
+
+
+def test_fig5_series_report(benchmark):
+    """Regenerate Figure 5 (CI scale) and assert steady scaling."""
+    result = benchmark.pedantic(fig5, args=("ci",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    for series in result.series:
+        points = series.points
+        # Worker time must decrease monotonically with the worker count.
+        worker_times = [point.worker_time_ms for point in points]
+        assert worker_times == sorted(worker_times, reverse=True)
+        # Network bytes grow with the worker count (more result messages,
+        # each carrying a partition's Pareto frontier).
+        networks = [point.network_bytes for point in points]
+        assert networks == sorted(networks)

@@ -1,0 +1,99 @@
+"""Heuristic baselines vs DP: speed and plan quality.
+
+The paper's motivation for parallelizing DP rather than randomized search:
+heuristics are fast and easy to parallelize but sacrifice the optimality
+guarantee.  Benchmarks the classical heuristics (GOO, iterated improvement,
+simulated annealing) against serial DP and reports the quality gap.
+
+Also ablates interesting orders: the extra DP work (more stored plans per
+set) against the cost reduction it can unlock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.algorithms.randomized import (
+    greedy_operator_ordering,
+    iterated_improvement,
+    simulated_annealing,
+)
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+
+
+def test_dp_baseline(benchmark, linear_settings):
+    query = star_query(10)
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, linear_settings), rounds=3, iterations=1
+    )
+    assert result.plans
+
+
+def test_goo(benchmark, bushy_settings):
+    query = star_query(10)
+    plan = benchmark.pedantic(
+        greedy_operator_ordering, args=(query, bushy_settings), rounds=3, iterations=1
+    )
+    assert plan.mask == query.all_tables_mask
+
+
+def test_iterated_improvement(benchmark):
+    query = star_query(10)
+    plan = benchmark.pedantic(
+        lambda: iterated_improvement(query, n_restarts=3, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert plan.mask == query.all_tables_mask
+
+
+def test_simulated_annealing(benchmark):
+    query = star_query(10)
+    plan = benchmark.pedantic(
+        lambda: simulated_annealing(query, seed=1), rounds=3, iterations=1
+    )
+    assert plan.mask == query.all_tables_mask
+
+
+def test_quality_report():
+    """Print the quality gap across a small workload (run with -s)."""
+    print()
+    print(f"{'seed':>5} {'DP':>14} {'GOO':>8} {'II':>8} {'SA':>8}  (ratio to DP)")
+    worst = {"goo": 1.0, "ii": 1.0, "sa": 1.0}
+    for seed in range(5):
+        query = SteinbrunnGenerator(400 + seed).query(9)
+        bushy = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        linear = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        dp = best_plan(optimize_serial(query, bushy)).cost[0]
+        goo = greedy_operator_ordering(query, bushy).cost[0] / dp
+        ii = iterated_improvement(query, n_restarts=3, seed=seed).cost[0] / dp
+        sa = simulated_annealing(query, seed=seed).cost[0] / dp
+        worst["goo"] = max(worst["goo"], goo)
+        worst["ii"] = max(worst["ii"], ii)
+        worst["sa"] = max(worst["sa"], sa)
+        print(f"{seed:>5} {dp:>14.4g} {goo:>8.2f} {ii:>8.2f} {sa:>8.2f}")
+    # Heuristics stay within sane factors but DP is the reference.
+    assert all(ratio >= 1.0 - 1e-9 for ratio in worst.values())
+
+
+@pytest.mark.parametrize("orders", [False, True], ids=["orders-off", "orders-on"])
+def test_interesting_orders_ablation(benchmark, orders):
+    generator = SteinbrunnGenerator(55, clustered_tables=True)
+    query = generator.query(9)
+    settings = OptimizerSettings(consider_orders=orders)
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, settings), rounds=3, iterations=1
+    )
+    assert result.plans
+
+
+def test_orders_cost_vs_benefit():
+    generator = SteinbrunnGenerator(55, clustered_tables=True)
+    query = generator.query(9)
+    off = optimize_serial(query, OptimizerSettings())
+    on = optimize_serial(query, OptimizerSettings(consider_orders=True))
+    assert on.stats.stored_plans >= off.stats.stored_plans
+    assert min(p.cost[0] for p in on.plans) <= min(p.cost[0] for p in off.plans)

@@ -1,0 +1,45 @@
+"""Ablation: DP cost growth with the number of cost metrics (Section 5.4).
+
+The paper's analysis: memory and network grow linearly in the number of
+plans stored per table set, time cubically — because each split must pair
+all stored plans of both operands and pruning compares against whole
+frontiers.  Benchmarks one query under 1, 2, and 3 metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.config import Objective, OptimizerSettings
+from repro.core.serial import optimize_serial
+
+OBJECTIVE_SETS = {
+    "1-metric": (Objective.EXECUTION_TIME,),
+    "2-metrics": (Objective.EXECUTION_TIME, Objective.BUFFER_SPACE),
+    "3-metrics": (
+        Objective.EXECUTION_TIME,
+        Objective.BUFFER_SPACE,
+        Objective.OUTPUT_ROWS,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(OBJECTIVE_SETS), ids=list(OBJECTIVE_SETS))
+def test_dp_cost_by_metric_count(benchmark, name):
+    query = star_query(9)
+    settings = OptimizerSettings(objectives=OBJECTIVE_SETS[name])
+    result = benchmark.pedantic(
+        optimize_serial, args=(query, settings), rounds=3, iterations=1
+    )
+    assert result.plans
+
+
+def test_stored_plans_grow_with_metrics():
+    query = star_query(9)
+    stored = []
+    for objectives in OBJECTIVE_SETS.values():
+        settings = OptimizerSettings(objectives=objectives)
+        stats = optimize_serial(query, settings).stats
+        stored.append(stats.stored_plans)
+    assert stored[0] <= stored[1] <= stored[2]

@@ -1,0 +1,60 @@
+"""Paper-scale Figure 2, analytically.
+
+Executing 24-table DP is out of reach for pure Python, but the per-worker
+work/memory counts are exact closed forms (Theorems 2/3/6/7, property-tested
+against enumeration).  This bench prints the predicted Figure 2 series at
+the paper's original sizes on the paper-like cluster model and asserts the
+paper's headline magnitudes and speedups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.analytic import paper_scale_fig2, predict_series
+from repro.config import PlanSpace
+
+
+def test_paper_scale_fig2_report(benchmark):
+    series_list = benchmark.pedantic(paper_scale_fig2, rounds=1, iterations=1)
+    print()
+    print("== Predicted Figure 2 at the paper's query sizes (analytic)")
+    for series in series_list:
+        print(series.format())
+
+    by_label = {series.label: series for series in series_list}
+
+    # Paper: optimization of large queries "takes minutes on a single node";
+    # its Figure 2 y-axes span ~10^3..10^5 ms.
+    linear24 = by_label["analytic linear 24"]
+    assert linear24.points[0].time_ms > 6e4
+
+    # Paper text: speedup 8.1 for 24 tables at 128 workers (linear).
+    speedup = linear24.points[0].time_ms / linear24.time_by_workers()[128]
+    assert 6.0 < speedup < 10.0
+
+    # Paper text: bushy scaling is slower (21/27 per doubling).
+    bushy18 = by_label["analytic bushy 18"]
+    for previous, current in zip(bushy18.points, bushy18.points[1:]):
+        ratio = current.worker_time_ms / previous.worker_time_ms
+        assert 0.74 < ratio < 0.82
+
+    # Memory factors: exactly 3/4 and 7/8 per doubling.
+    for label, factor in (
+        ("analytic linear 20", 0.75),
+        ("analytic bushy 15", 0.875),
+    ):
+        points = by_label[label].points
+        for previous, current in zip(points, points[1:]):
+            observed = current.memory_relations / previous.memory_relations
+            assert observed == pytest.approx(factor, rel=0.02)
+
+
+def test_analytic_point_speed(benchmark):
+    """Prediction itself is cheap — usable inside planners."""
+    series = benchmark(
+        lambda: predict_series(
+            24, PlanSpace.LINEAR, 128, candidates_per_split=3.0
+        )
+    )
+    assert len(series.points) == 8

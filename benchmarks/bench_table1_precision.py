@@ -1,0 +1,66 @@
+"""Table 1 — minimal parallelism to reach precision alpha within a budget.
+
+Benchmarks multi-objective runs across the alpha grid (pruning gets cheaper
+as alpha grows), then regenerates the table at CI scale and asserts its
+qualitative structure: more parallelism buys tighter precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import star_query
+from repro.algorithms.mpq import optimize_mpq
+from repro.bench.experiments import table1
+from repro.bench.workloads import TABLE1_ALPHAS
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+
+
+@pytest.mark.parametrize("alpha", [1.01, 1.5, 10.0])
+def test_moq_cost_by_alpha(benchmark, alpha):
+    settings = OptimizerSettings(
+        plan_space=PlanSpace.LINEAR, objectives=MULTI_OBJECTIVE, alpha=alpha
+    )
+    query = star_query(8)
+    report = benchmark.pedantic(
+        optimize_mpq, args=(query, 4, settings), rounds=3, iterations=1
+    )
+    assert report.plans
+
+
+def test_alpha_monotone_work():
+    """Tighter alpha means more retained plans and more DP work."""
+    query = star_query(9)
+    considered = []
+    for alpha in (1.01, 2.0, 10.0):
+        settings = OptimizerSettings(
+            plan_space=PlanSpace.LINEAR, objectives=MULTI_OBJECTIVE, alpha=alpha
+        )
+        report = optimize_mpq(query, 1, settings)
+        considered.append(report.result.partition_results[0].stats.plans_considered)
+    assert considered == sorted(considered, reverse=True)
+
+
+def test_table1_report(benchmark):
+    """Regenerate Table 1 (CI scale) and assert its monotone structure."""
+    result = benchmark.pedantic(table1, args=("ci",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    def required(budget, n_tables, alpha):
+        value = result.entries[(budget, n_tables, alpha)]
+        return value if value is not None else float("inf")
+
+    for n_tables in result.tables:
+        for alpha_lo, alpha_hi in zip(TABLE1_ALPHAS, TABLE1_ALPHAS[1:]):
+            for budget in result.budgets_s:
+                # Coarser precision never needs more workers.
+                assert required(budget, n_tables, alpha_hi) <= required(
+                    budget, n_tables, alpha_lo
+                )
+        for budget_lo, budget_hi in zip(result.budgets_s, result.budgets_s[1:]):
+            for alpha in TABLE1_ALPHAS:
+                # A larger budget never needs more workers.
+                assert required(budget_hi, n_tables, alpha) <= required(
+                    budget_lo, n_tables, alpha
+                )

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures: deterministic queries and settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture(scope="session")
+def linear_settings():
+    return OptimizerSettings(plan_space=PlanSpace.LINEAR)
+
+
+@pytest.fixture(scope="session")
+def bushy_settings():
+    return OptimizerSettings(plan_space=PlanSpace.BUSHY)
+
+
+@pytest.fixture(scope="session")
+def moq_settings():
+    return OptimizerSettings(
+        plan_space=PlanSpace.LINEAR, objectives=MULTI_OBJECTIVE, alpha=10.0
+    )
+
+
+def star_query(n_tables: int, seed: int = 41):
+    return SteinbrunnGenerator(seed).query(n_tables)

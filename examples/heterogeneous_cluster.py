@@ -1,0 +1,69 @@
+"""Heterogeneous clusters: partitions proportional to worker speed.
+
+The paper's footnote: "If worker nodes are heterogeneous then the number of
+partitions treated by a worker should be proportional to its performance."
+Because every partition has exactly the same size, proportional assignment
+is all that is needed — this example quantifies how much it buys on a
+cluster whose nodes differ by up to 4x in speed.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterModel, OptimizerSettings, make_star_query, optimize_parallel
+from repro.core.scheduling import (
+    WorkerProfile,
+    assign_partitions,
+    simulate_heterogeneous_run,
+)
+
+
+def main() -> None:
+    query = make_star_query(12, seed=53)
+    settings = OptimizerSettings()
+    cluster = ClusterModel()
+    result = optimize_parallel(query, 32, settings)
+    print(f"{query.name}: {result.n_partitions} equal-size partitions\n")
+
+    nodes = [
+        WorkerProfile("fast-0", 4.0),
+        WorkerProfile("fast-1", 4.0),
+        WorkerProfile("mid-0", 2.0),
+        WorkerProfile("mid-1", 2.0),
+        WorkerProfile("slow-0", 1.0),
+        WorkerProfile("slow-1", 1.0),
+    ]
+    assignment = assign_partitions(result.n_partitions, nodes)
+    print(f"{'node':>8} {'speed':>6} {'partitions':>11}")
+    for node, partitions in zip(nodes, assignment):
+        print(f"{node.name:>8} {node.speed:>6.1f} {len(partitions):>11d}")
+    print()
+
+    proportional = simulate_heterogeneous_run(cluster, query, result, nodes)
+    uniform_nodes = [WorkerProfile(node.name, 1.0) for node in nodes]
+    # A naive scheduler ignores speeds: equal partition counts per node, but
+    # nodes still run at their true speeds.  Emulate by scaling each node's
+    # uniform-share compute time with its real speed.
+    uniform_assignment = assign_partitions(result.n_partitions, uniform_nodes)
+    from repro.cluster.simulator import worker_compute_seconds
+
+    naive_times = []
+    for partitions, node in zip(uniform_assignment, nodes):
+        work = sum(
+            worker_compute_seconds(cluster, result.partition_results[p].stats)
+            for p in partitions
+        )
+        naive_times.append(cluster.task_setup_s + work / node.speed)
+    naive_makespan = max(naive_times)
+
+    print(f"speed-aware makespan: {proportional.workers_done_s * 1e3:8.2f} ms")
+    print(f"speed-blind makespan: {naive_makespan * 1e3:8.2f} ms")
+    print(f"improvement:          {naive_makespan / proportional.workers_done_s:8.2f}x")
+    print()
+    print("Equal-size partitions make heterogeneity a pure scheduling")
+    print("problem: proportional assignment removes the slow-node straggler.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Join-graph topology barely affects DP optimization time (mini Figure 3).
+
+Because MPQ (like the classical DP it parallelizes) enumerates table sets
+regardless of the join graph — cross products are permitted — chain, star,
+cycle, and clique queries of the same size cost nearly the same to optimize.
+Randomized algorithms show no such guarantee; compare their plan quality too.
+
+Run:  python examples/join_graph_shapes.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import OptimizerSettings, SteinbrunnGenerator, optimize_serial
+from repro.algorithms.randomized import iterated_improvement, simulated_annealing
+from repro.core.serial import best_plan
+from repro.query.query import JoinGraphKind
+
+
+def main() -> None:
+    settings = OptimizerSettings()
+    kinds = (
+        JoinGraphKind.CHAIN,
+        JoinGraphKind.STAR,
+        JoinGraphKind.CYCLE,
+        JoinGraphKind.CLIQUE,
+    )
+
+    print("DP work is topology-independent (the paper's Figure 3):")
+    print(f"{'topology':>9} {'wall_ms':>9} {'splits':>8} {'candidates':>11}")
+    splits_seen = set()
+    for kind in kinds:
+        queries = SteinbrunnGenerator(57).queries(3, 10, kind)
+        times, splits, candidates = [], [], []
+        for query in queries:
+            started = time.perf_counter()
+            result = optimize_serial(query, settings)
+            times.append((time.perf_counter() - started) * 1e3)
+            splits.append(result.stats.splits_considered)
+            candidates.append(result.stats.plans_considered)
+        print(
+            f"{kind.value:>9} {statistics.median(times):>9.1f} "
+            f"{splits[0]:>8d} {statistics.median(candidates):>11.0f}"
+        )
+        splits_seen.add(splits[0])
+    assert len(splits_seen) == 1, "split counts depend only on query size"
+    print("-> identical split counts for every topology.")
+    print()
+
+    print("Randomized search vs DP optimum (10-table star):")
+    query = SteinbrunnGenerator(58).query(10, JoinGraphKind.STAR)
+    optimum = best_plan(optimize_serial(query, settings)).cost[0]
+    ii = iterated_improvement(query, n_restarts=5, seed=1).cost[0]
+    sa = simulated_annealing(query, seed=1).cost[0]
+    print(f"  DP optimum:            {optimum:>16,.0f}")
+    print(f"  iterated improvement:  {ii:>16,.0f}  ({ii / optimum:.2f}x)")
+    print(f"  simulated annealing:   {sa:>16,.0f}  ({sa / optimum:.2f}x)")
+    print()
+    print("DP guarantees the optimum; randomized methods only approach it —")
+    print("the reason the paper parallelizes DP rather than the easy targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Parametric query optimization: one optimization, plans for every θ.
+
+The paper emphasizes that its plan-space partitioning applies beyond
+classical optimization — to multi-objective and *parametric* query
+optimization, where plan cost depends on an unknown parameter.  Here the
+cost function is ``(1-θ)·execution_time + θ·intermediate_result_size`` for
+θ ∈ [0, 1] (e.g. θ encodes how memory-pressured the execution environment
+will be at run time).
+
+A single MPQ pass with envelope pruning returns a small set of plans that
+contains an optimal plan for *every* θ — re-optimizing per θ is never
+needed.  This example shows the envelope, its switching points, and
+verifies optimality against per-θ scalarized DP.
+
+Run:  python examples/parametric_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro import make_chain_query
+from repro.algorithms.pqo import optimize_parametric
+from repro.config import OptimizerSettings, Objective
+from repro.core.serial import optimize_serial
+from repro.cost.parametric import scalarize
+
+
+def scalarized_reference(query, theta):
+    """Per-θ ground truth: scalarize inside a fresh single-objective-like DP.
+
+    Uses the two-metric DP with exact Pareto pruning, then scalarizes — the
+    frontier always contains every scalarized optimum.
+    """
+    settings = OptimizerSettings(
+        objectives=(Objective.EXECUTION_TIME, Objective.OUTPUT_ROWS), alpha=1.0
+    )
+    frontier = optimize_serial(query, settings).plans
+    return min(scalarize(plan.cost, theta) for plan in frontier)
+
+
+def main() -> None:
+    query = make_chain_query(8, seed=34)
+    print(f"Query: {query.name} ({query.n_tables} tables)")
+
+    result = optimize_parametric(query, n_workers=16)
+    print(f"MPQ with {result.report.n_partitions} partitions returned "
+          f"{len(result.plans)} envelope plans\n")
+
+    print(f"{'plan':>5} {'time (θ=0)':>16} {'io (θ=1)':>16}")
+    for index, plan in enumerate(
+        sorted(result.plans, key=lambda p: p.cost[0])
+    ):
+        print(f"{index:>5d} {plan.cost[0]:>16,.0f} {plan.cost[1]:>16,.0f}")
+    print()
+
+    switches = result.switching_thetas()
+    print("optimal plan switches at θ =",
+          ", ".join(f"{theta:.4f}" for theta in switches) or "(never)")
+    print()
+
+    print(f"{'θ':>6} {'envelope cost':>16} {'reference':>16}")
+    for theta in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        envelope = result.cost_at(theta)
+        reference = scalarized_reference(query, theta)
+        assert abs(envelope - reference) <= 1e-6 * reference
+        print(f"{theta:>6.1f} {envelope:>16,.0f} {reference:>16,.0f}")
+    print()
+    print("The envelope matches per-θ re-optimization at every θ — one")
+    print("parallel optimization covers the whole parameter range.")
+    print()
+    print("Envelopes here are small because execution time and C_out are")
+    print("strongly correlated on this cost model: a plan with small")
+    print("intermediate results is usually fast too.  That itself matches")
+    print("the classic PQO observation that few plans cover wide parameter")
+    print("ranges (Hulgeri & Sudarshan).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Genuine shared-nothing parallelism with a process pool.
+
+Every other example executes partitions in one process and *simulates*
+cluster timing.  Here the partitions really run in separate OS processes:
+each child receives exactly the task payload the paper's master ships
+(query + partition ID + partition count + settings), rebuilds its cost model
+locally, and returns complete plans — one round of communication.
+
+Python's GIL makes threads useless for CPU-bound DP (the repro-band caveat),
+so the process pool is the honest local analogue of the paper's cluster.
+
+Run:  python examples/true_parallelism.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import (
+    OptimizerSettings,
+    PlanSpace,
+    ProcessPoolPartitionExecutor,
+    SerialPartitionExecutor,
+    make_star_query,
+    optimize_parallel,
+)
+
+
+def timed(label, executor, query, workers, settings):
+    started = time.perf_counter()
+    result = optimize_parallel(query, workers, settings, executor=executor)
+    elapsed = time.perf_counter() - started
+    print(f"{label:>28}: {elapsed * 1e3:>8.0f} ms "
+          f"(best cost {result.best.cost[0]:,.0f})")
+    return result, elapsed
+
+
+def main() -> None:
+    query = make_star_query(13, seed=61)
+    settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+    workers = 8
+    print(f"{query.name}: {workers} partitions\n")
+
+    serial_result, serial_s = timed(
+        "serial executor", SerialPartitionExecutor(), query, workers, settings
+    )
+    process_result, process_s = timed(
+        f"process pool ({workers} procs)",
+        ProcessPoolPartitionExecutor(max_workers=workers),
+        query,
+        workers,
+        settings,
+    )
+
+    assert serial_result.best.cost[0] == process_result.best.cost[0]
+    print()
+    total_work = sum(
+        r.stats.wall_time_s for r in serial_result.partition_results
+    )
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    print(f"sum of partition work:        {total_work * 1e3:>8.0f} ms")
+    print(f"available CPU cores:          {cores:>8d}")
+    print(f"real speedup over serial:     {serial_s / process_s:>8.2f}x")
+    print()
+    if cores > 1:
+        print("Partitioned DP does (3/2)^l times the serial algorithm's work")
+        print("in total, but each partition runs independently — so with")
+        print("enough cores the wall-clock still drops, the paper's trade.")
+    else:
+        print("Only one CPU core is available here, so the process pool")
+        print("cannot beat the serial loop — on a multi-core machine (or the")
+        print("paper's cluster) the independent partitions run concurrently")
+        print("and the wall-clock drops despite the extra total work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Multi-objective query optimization helpers (paper Sections 4/6, Figure 4-5).
+
+MPQ handles multiple cost metrics by swapping the pruning function — the
+worker DP is untouched.  This module provides the convenience entry point
+with the paper's two metrics (execution time, buffer space) and the α
+parameter of the approximate pruning scheme, plus frontier-quality measures
+used by Table 1 and by tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algorithms.mpq import MPQReport, optimize_mpq
+from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+from repro.core.master import PartitionExecutor
+from repro.plans.plan import Plan
+from repro.query.query import Query
+
+
+def optimize_multi_objective(
+    query: Query,
+    n_workers: int,
+    alpha: float = 10.0,
+    plan_space: PlanSpace = PlanSpace.LINEAR,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+    executor: PartitionExecutor | None = None,
+) -> MPQReport:
+    """MPQ with the paper's two cost metrics and α-approximate pruning.
+
+    The default ``alpha=10`` matches the paper's setting "unless noted
+    otherwise"; the returned report's ``plans`` approximate the set of
+    Pareto-optimal plans within guarantee factor α.
+    """
+    settings = OptimizerSettings(
+        plan_space=plan_space,
+        objectives=MULTI_OBJECTIVE,
+        alpha=alpha,
+    )
+    return optimize_mpq(query, n_workers, settings, cluster, executor)
+
+
+def approximation_ratio(
+    frontier: Sequence[Plan] | Sequence[tuple[float, ...]],
+    reference: Sequence[Plan] | Sequence[tuple[float, ...]],
+) -> float:
+    """Worst-case factor by which ``frontier`` misses ``reference``.
+
+    For every reference cost vector, find the approximating frontier vector
+    minimizing the maximal per-component ratio; return the maximum over the
+    reference set.  A frontier produced with pruning factor α must achieve a
+    ratio ≤ α (the paper's near-optimality guarantee); an exact frontier
+    achieves 1.0.
+    """
+    reference_costs = [_cost_of(item) for item in reference]
+    frontier_costs = [_cost_of(item) for item in frontier]
+    if not reference_costs:
+        raise ValueError("reference frontier is empty")
+    if not frontier_costs:
+        raise ValueError("candidate frontier is empty")
+    worst = 1.0
+    for target in reference_costs:
+        best_for_target = min(
+            max(
+                achieved / max(wanted, 1e-300)
+                for achieved, wanted in zip(candidate, target)
+            )
+            for candidate in frontier_costs
+        )
+        worst = max(worst, best_for_target)
+    return worst
+
+
+def frontier_summary(plans: Sequence[Plan]) -> str:
+    """One-line-per-plan rendering of a Pareto frontier, sorted by metric 0."""
+    ordered = sorted(plans, key=lambda plan: plan.cost[0])
+    lines = [
+        "  " + "  ".join(f"{value:>12.4g}" for value in plan.cost)
+        for plan in ordered
+    ]
+    return "\n".join(lines)
+
+
+def _cost_of(item: Plan | tuple[float, ...]) -> tuple[float, ...]:
+    if isinstance(item, Plan):
+        return item.cost
+    return tuple(item)

@@ -1,0 +1,79 @@
+"""Parametric query optimization (PQO) on top of MPQ.
+
+The paper points out (Sections 2 and 4) that its partitioning scheme applies
+unchanged to parametric query optimization — DP variants whose plan costs
+depend on unknown parameters (Ganguly, VLDB 1998; Hulgeri & Sudarshan,
+VLDB 2003; Ioannidis et al., VLDBJ 1997).  This module realizes that claim:
+only the pruning function changes.
+
+The parametric cost model here is linear in one parameter θ ∈ [0, 1]::
+
+    cost(plan, θ) = (1-θ) · execution_time(plan) + θ · output_rows(plan)
+
+Both endpoint metrics are additive, so for every fixed θ the scalarized
+problem is a classical DP; keeping the *lower envelope* of cost lines per
+table set yields, in a single pass, a plan set containing an optimal plan
+for every θ simultaneously.  The master's FinalPrune merges partitions'
+envelopes into the global one, exactly as for Pareto frontiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.mpq import MPQReport, optimize_mpq
+from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
+from repro.config import PARAMETRIC_OBJECTIVES, OptimizerSettings, PlanSpace
+from repro.core.master import PartitionExecutor
+from repro.cost.parametric import scalarize, switching_points
+from repro.plans.plan import Plan
+from repro.query.query import Query
+
+
+@dataclass
+class PQOResult:
+    """The parametric-optimal plan set of one query."""
+
+    report: MPQReport
+
+    @property
+    def plans(self) -> list[Plan]:
+        """Plans on the lower envelope — each optimal for some θ."""
+        return self.report.plans
+
+    def best_plan_for(self, theta: float) -> Plan:
+        """The cheapest plan at a concrete parameter value."""
+        if not self.plans:
+            raise ValueError("optimization produced no plan")
+        return min(self.plans, key=lambda plan: scalarize(plan.cost, theta))
+
+    def cost_at(self, theta: float) -> float:
+        """Scalarized cost of the optimal plan at θ (the envelope value)."""
+        return scalarize(self.best_plan_for(theta).cost, theta)
+
+    def switching_thetas(self) -> list[float]:
+        """θ values where the optimal plan changes identity."""
+        return switching_points([plan.cost for plan in self.plans])
+
+
+def parametric_settings(plan_space: PlanSpace = PlanSpace.LINEAR) -> OptimizerSettings:
+    """Optimizer settings for one-parameter linear parametric optimization."""
+    return OptimizerSettings(
+        plan_space=plan_space,
+        objectives=PARAMETRIC_OBJECTIVES,
+        parametric=True,
+    )
+
+
+def optimize_parametric(
+    query: Query,
+    n_workers: int = 1,
+    plan_space: PlanSpace = PlanSpace.LINEAR,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+    executor: PartitionExecutor | None = None,
+) -> PQOResult:
+    """Find plans covering every parameter value, in parallel via MPQ."""
+    report = optimize_mpq(
+        query, n_workers, parametric_settings(plan_space), cluster, executor
+    )
+    return PQOResult(report=report)

@@ -1,0 +1,175 @@
+"""Randomized join-order search: iterated improvement and simulated annealing.
+
+The paper contrasts its DP parallelization with randomized algorithms
+(Swami 1989; Ioannidis & Kang 1990), which are "easier to parallelize" but
+offer no optimality guarantee.  These implementations serve as that
+reference point: they search the left-deep order space by local moves and
+are useful both as baselines in examples and to quantify how far heuristic
+plans can be from the DP optimum.
+
+For a fixed left-deep join order (and with interesting orders disabled) the
+optimal operator choice of each join is independent of the others, so
+:func:`plan_for_order` — greedy per-join operator selection — yields the
+cheapest plan with that order.  The search therefore only needs to explore
+the ``n!`` order space.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.config import DEFAULT_SETTINGS, OptimizerSettings
+from repro.cost.costmodel import CostModel
+from repro.plans.plan import Plan
+from repro.query.query import Query
+
+
+def plan_for_order(
+    order: Sequence[int], cost_model: CostModel
+) -> Plan:
+    """Cheapest left-deep plan realizing the given join order.
+
+    Picks, at every join, the applicable operator with minimal first-metric
+    cost — optimal for additive cost composition without interesting orders.
+    """
+    if not order:
+        raise ValueError("join order must name at least one table")
+    current = min(
+        cost_model.scan_plans(order[0]), key=lambda plan: plan.cost[0]
+    )
+    for table_number in order[1:]:
+        scan = min(
+            cost_model.scan_plans(table_number), key=lambda plan: plan.cost[0]
+        )
+        candidates = cost_model.join_candidates(current, scan)
+        cheapest = min(candidates, key=lambda candidate: candidate.cost[0])
+        current = cost_model.build_join(current, scan, cheapest)
+    return current
+
+
+def order_cost(order: Sequence[int], cost_model: CostModel) -> float:
+    """First-metric cost of the cheapest plan with the given join order."""
+    return plan_for_order(order, cost_model).cost[0]
+
+
+def _random_neighbour(
+    order: list[int], rng: random.Random
+) -> list[int]:
+    """Swap two random positions (the classic join-order move)."""
+    neighbour = list(order)
+    i, j = rng.sample(range(len(order)), 2)
+    neighbour[i], neighbour[j] = neighbour[j], neighbour[i]
+    return neighbour
+
+
+def greedy_operator_ordering(
+    query: Query,
+    settings: OptimizerSettings = DEFAULT_SETTINGS,
+) -> Plan:
+    """GOO (Fegaras): repeatedly join the pair with the smallest result.
+
+    A deterministic bushy heuristic: maintain a forest of plans, and at each
+    step join the two roots whose join result has minimal estimated
+    cardinality (cheapest operator for that pair).  O(n^3) and often good,
+    but — like all heuristics the paper contrasts DP against — without any
+    optimality guarantee.
+    """
+    cost_model = CostModel(query, settings)
+    forest: list[Plan] = [
+        min(cost_model.scan_plans(t), key=lambda plan: plan.cost[0])
+        for t in range(query.n_tables)
+    ]
+    while len(forest) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_rows = float("inf")
+        for i in range(len(forest)):
+            for j in range(i + 1, len(forest)):
+                rows = cost_model.cardinality.rows(
+                    forest[i].mask | forest[j].mask
+                )
+                if rows < best_rows:
+                    best_rows = rows
+                    best_pair = (i, j)
+        assert best_pair is not None
+        i, j = best_pair
+        left, right = forest[i], forest[j]
+        candidate = min(
+            cost_model.join_candidates(left, right),
+            key=lambda c: c.cost[0],
+        )
+        joined = cost_model.build_join(left, right, candidate)
+        forest = [
+            plan for k, plan in enumerate(forest) if k not in (i, j)
+        ]
+        forest.append(joined)
+    return forest[0]
+
+
+def iterated_improvement(
+    query: Query,
+    settings: OptimizerSettings = DEFAULT_SETTINGS,
+    n_restarts: int = 10,
+    max_moves_without_gain: int = 50,
+    seed: int = 0,
+) -> Plan:
+    """Iterated improvement: random restarts of randomized hill climbing."""
+    if n_restarts < 1:
+        raise ValueError("need at least one restart")
+    rng = random.Random(seed)
+    cost_model = CostModel(query, settings)
+    best: Plan | None = None
+    for _ in range(n_restarts):
+        order = list(range(query.n_tables))
+        rng.shuffle(order)
+        current_cost = order_cost(order, cost_model)
+        stale = 0
+        while stale < max_moves_without_gain:
+            neighbour = _random_neighbour(order, rng)
+            neighbour_cost = order_cost(neighbour, cost_model)
+            if neighbour_cost < current_cost:
+                order, current_cost = neighbour, neighbour_cost
+                stale = 0
+            else:
+                stale += 1
+        plan = plan_for_order(order, cost_model)
+        if best is None or plan.cost[0] < best.cost[0]:
+            best = plan
+    assert best is not None
+    return best
+
+
+def simulated_annealing(
+    query: Query,
+    settings: OptimizerSettings = DEFAULT_SETTINGS,
+    initial_temperature: float | None = None,
+    cooling: float = 0.95,
+    moves_per_temperature: int = 20,
+    min_temperature_ratio: float = 1e-4,
+    seed: int = 0,
+) -> Plan:
+    """Simulated annealing over left-deep join orders (Ioannidis & Kang)."""
+    if not 0.0 < cooling < 1.0:
+        raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+    rng = random.Random(seed)
+    cost_model = CostModel(query, settings)
+    order = list(range(query.n_tables))
+    rng.shuffle(order)
+    current_cost = order_cost(order, cost_model)
+    best_order, best_cost = list(order), current_cost
+    temperature = (
+        initial_temperature if initial_temperature is not None else current_cost * 0.1
+    )
+    floor = max(temperature * min_temperature_ratio, 1e-12)
+    while temperature > floor:
+        for _ in range(moves_per_temperature):
+            neighbour = _random_neighbour(order, rng)
+            neighbour_cost = order_cost(neighbour, cost_model)
+            delta = neighbour_cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                order, current_cost = neighbour, neighbour_cost
+                if current_cost < best_cost:
+                    best_order, best_cost = list(order), current_cost
+        temperature *= cooling
+    return plan_for_order(best_order, cost_model)

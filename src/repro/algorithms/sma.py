@@ -1,0 +1,264 @@
+"""SMA — the fine-grained shared-memory-style baseline (paper Section 6.1).
+
+The paper compares MPQ against "an algorithm representing the fine-grained
+approaches to parallelizing query optimization proposed so far" [Han et al.
+2008, 2009]: a central master assigns *individual table sets* to workers,
+round by round over result cardinality, and partial plans (memotable
+entries) must be visible to all workers.
+
+On a shared-nothing architecture that design implies, per cardinality level:
+
+1. the master sends each worker the list of table sets it must solve;
+2. workers compute best plans for their sets — using the memotable built in
+   earlier rounds, which they can only have if it was *shipped* to them;
+3. workers return their new entries; the master broadcasts the merged delta
+   to every worker for the next round.
+
+This module emulates exactly that: the DP itself runs in-process (producing
+the same optimal plans as serial DP — an invariant under test), while the
+per-worker operation counts and the per-round message sizes drive the same
+simulated cluster model MPQ uses.  The memotable broadcast makes traffic
+O(2^n · m) bytes — the hundreds of megabytes the paper reports — and the
+per-round barriers add 2·(n-1) communication rounds, versus MPQ's one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.network import NetworkAccountant
+from repro.cluster.serialization import (
+    memo_entries_bytes,
+    query_bytes,
+    sma_task_bytes,
+)
+from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
+from repro.config import DEFAULT_SETTINGS, OptimizerSettings, PlanSpace
+from repro.cost.costmodel import CostModel
+from repro.cost.pruning import PlanTable, make_pruning
+from repro.plans.plan import Plan
+from repro.query.query import Query
+from repro.util.bitset import bits, iter_proper_nonempty_subsets
+
+
+@dataclass
+class SMARoundStats:
+    """Instrumentation of one cardinality level (one task round)."""
+
+    size: int
+    n_sets: int
+    #: Costed join candidates, per worker.
+    worker_plans_considered: list[int]
+    #: New memotable plans produced this round (shipped to everyone).
+    new_entries: int
+    round_bytes: int
+    round_seconds: float
+
+
+@dataclass
+class SMAReport:
+    """Result and accounting of one SMA run."""
+
+    plans: list[Plan]
+    n_workers: int
+    rounds: list[SMARoundStats] = field(repr=False, default_factory=list)
+    network_bytes: int = 0
+    network_messages: int = 0
+    simulated_seconds: float = 0.0
+    #: Memotable size every worker must hold (entries) — SMA shares it all.
+    memotable_entries: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def best(self) -> Plan:
+        """Cheapest plan by the first metric."""
+        if not self.plans:
+            raise ValueError("optimization produced no plan")
+        return min(self.plans, key=lambda plan: plan.cost[0])
+
+    @property
+    def simulated_time_ms(self) -> float:
+        """Simulated end-to-end optimization time in milliseconds."""
+        return self.simulated_seconds * 1e3
+
+
+def _level_masks(n_tables: int, size: int) -> list[int]:
+    """All table sets of the given cardinality, in ascending mask order."""
+    # Gosper's hack: iterate k-subsets of an n-set in increasing mask order.
+    masks = []
+    mask = (1 << size) - 1
+    limit = 1 << n_tables
+    while mask < limit:
+        masks.append(mask)
+        low = mask & -mask
+        ripple = mask + low
+        mask = ripple | (((mask ^ ripple) >> 2) // low)
+    return masks
+
+
+def optimize_sma(
+    query: Query,
+    n_workers: int,
+    settings: OptimizerSettings = DEFAULT_SETTINGS,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+) -> SMAReport:
+    """Optimize ``query`` with the fine-grained SMA baseline.
+
+    Produces the same optimal plans as serial DP; the report's traffic and
+    simulated time reflect the shared-memotable, multi-round coordination
+    pattern described above.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    started = time.perf_counter()
+    n = query.n_tables
+    cost_model = CostModel(query, settings)
+    pruning = make_pruning(settings, n_tables=n)
+    accountant = NetworkAccountant(model=cluster.network)
+    report = SMAReport(plans=[], n_workers=n_workers)
+
+    table: PlanTable = {}
+    for table_number in range(n):
+        for scan in cost_model.scan_plans(table_number):
+            pruning.consider(table, scan.mask, scan.cost, scan.order, lambda s=scan: s)
+
+    # Initial statistics distribution: the master sends the query (with
+    # statistics) to every worker, as it does for MPQ.
+    stats_bytes = query_bytes(query)
+    elapsed = accountant.send_many([stats_bytes] * n_workers)
+
+    stored_plans = sum(len(entry) for entry in table.values())
+    for size in range(2, n + 1):
+        level = _level_masks(n, size)
+        # Round-robin assignment of table sets to workers (the paper's
+        # master hands out "specific pairs of join operands" — we batch per
+        # level, which favours SMA).
+        assignments: list[list[int]] = [[] for _ in range(n_workers)]
+        for index, mask in enumerate(level):
+            assignments[index % n_workers].append(mask)
+
+        # 1. Task dispatch: one message per worker naming its sets.
+        round_seconds = accountant.send_many(
+            [sma_task_bytes(len(sets)) for sets in assignments]
+        )
+        round_seconds += cluster.task_setup_s
+
+        # 2. Workers solve their sets (emulated in-process, ops counted).
+        worker_ops = []
+        for sets in assignments:
+            ops = 0
+            for mask in sets:
+                ops += _solve_set(mask, table, cost_model, pruning, settings)
+            worker_ops.append(ops)
+        round_seconds += max(worker_ops, default=0) * cluster.seconds_per_plan
+
+        # 3. Result collection + memotable broadcast for the next round.
+        new_stored = sum(len(entry) for entry in table.values())
+        new_entries = new_stored - stored_plans
+        stored_plans = new_stored
+        collect = accountant.send_many(
+            [
+                memo_entries_bytes(_entries_of(assignments[w], table))
+                for w in range(n_workers)
+            ]
+        )
+        broadcast = 0.0
+        if size < n and n_workers > 1:
+            broadcast = accountant.send_many(
+                [memo_entries_bytes(new_entries)] * n_workers
+            )
+        round_seconds += collect + broadcast
+
+        report.rounds.append(
+            SMARoundStats(
+                size=size,
+                n_sets=len(level),
+                worker_plans_considered=worker_ops,
+                new_entries=new_entries,
+                round_bytes=0,  # filled below from the accountant delta
+                round_seconds=round_seconds,
+            )
+        )
+        elapsed += round_seconds
+
+    # Final answer travels to the master once more (already counted above as
+    # the last collection); expose the plans.
+    report.plans = list(table.get(query.all_tables_mask, []))
+    report.network_bytes = accountant.total_bytes
+    report.network_messages = accountant.n_messages
+    report.simulated_seconds = elapsed
+    report.memotable_entries = len(table)
+    report.wall_time_s = time.perf_counter() - started
+    _fill_round_bytes(report)
+    return report
+
+
+def _entries_of(masks: list[int], table: PlanTable) -> int:
+    """Stored plans for the given table sets (a worker's round output)."""
+    return sum(len(table.get(mask, ())) for mask in masks)
+
+
+def _solve_set(
+    mask: int,
+    table: PlanTable,
+    cost_model: CostModel,
+    pruning,
+    settings: OptimizerSettings,
+) -> int:
+    """Find best plans for one table set; returns costed-candidate count."""
+    ops = 0
+    if settings.plan_space is PlanSpace.LINEAR:
+        for inner in bits(mask):
+            rest = mask ^ (1 << inner)
+            left_plans = table.get(rest)
+            if left_plans is None:
+                continue
+            right_plans = table[1 << inner]
+            ops += _consider(left_plans, right_plans, mask, table, cost_model, pruning)
+    else:
+        for left_mask in iter_proper_nonempty_subsets(mask):
+            left_plans = table.get(left_mask)
+            right_plans = table.get(mask ^ left_mask)
+            if left_plans is None or right_plans is None:
+                continue
+            ops += _consider(left_plans, right_plans, mask, table, cost_model, pruning)
+    return ops
+
+
+def _consider(
+    left_plans: list[Plan],
+    right_plans: list[Plan],
+    mask: int,
+    table: PlanTable,
+    cost_model: CostModel,
+    pruning,
+) -> int:
+    ops = 0
+    for left in left_plans:
+        for right in right_plans:
+            for candidate in cost_model.join_candidates(left, right):
+                ops += 1
+                pruning.consider(
+                    table,
+                    mask,
+                    candidate.cost,
+                    candidate.order,
+                    lambda l=left, r=right, c=candidate: cost_model.build_join(l, r, c),
+                )
+    return ops
+
+
+def _fill_round_bytes(report: SMAReport) -> None:
+    """Attribute total bytes to rounds proportionally to their messages.
+
+    Round-level byte attribution is informational (plots use the total); an
+    exact per-round split would require interleaving the accountant, which
+    obscures the main flow.
+    """
+    total_rounds = len(report.rounds)
+    if total_rounds == 0:
+        return
+    per_round = report.network_bytes // total_rounds
+    for round_stats in report.rounds:
+        round_stats.round_bytes = per_round

@@ -1,0 +1,56 @@
+"""Command-line driver: ``python -m repro.bench <experiment> [--scale NAME]``.
+
+Experiments: fig1 fig2 fig3 fig4 fig5 table1 speedups all.
+Scales: ci (seconds), default (minutes), paper (the original sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+
+_EXPERIMENTS = {
+    "fig1": experiments.fig1,
+    "fig2": experiments.fig2,
+    "fig3": experiments.fig3,
+    "fig4": experiments.fig4,
+    "fig5": experiments.fig5,
+    "table1": experiments.table1,
+    "speedups": experiments.speedups,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their paper-style reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("ci", "default", "paper"),
+        help="workload scale (default: 'default'; 'paper' may take hours)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        result = _EXPERIMENTS[name](args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"[{name} completed in {elapsed:.1f}s wall-clock]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

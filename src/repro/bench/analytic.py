@@ -1,0 +1,211 @@
+"""Analytic (closed-form) scaling series at the paper's original sizes.
+
+Pure-Python DP cannot execute 24-table queries in reasonable time, but the
+paper's own analysis (Section 5) makes execution unnecessary for predicting
+the *scaling series*: per-worker work and memory are exact functions of
+``(n, l)`` given by Theorems 2/3/6/7, and the counting module computes them
+exactly (property-tested against enumeration in ``tests/test_counting.py``).
+
+This module composes those counts with the cluster model into predicted
+Figure 2 series for the paper's query sizes (Linear 20/24, Bushy 15/18,
+workers 1…128).  The only workload-dependent quantity is how many *costed
+candidates* each split yields (operator applicability); it is measured on a
+small executed query and carried over — everything else is exact.
+
+Single-objective only: multi-objective per-set frontier sizes have no closed
+form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import ScalingPoint, ScalingSeries
+from repro.cluster.serialization import (
+    MESSAGE_HEADER_BYTES,
+    PER_METRIC_BYTES,
+    PER_PREDICATE_BYTES,
+    PER_TABLE_BYTES,
+    PLAN_NODE_BYTES,
+    TASK_HEADER_BYTES,
+)
+from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.constraints import max_partitions
+from repro.core.counting import (
+    admissible_result_count_at_least_2,
+    bushy_assignment_count,
+    linear_split_count,
+)
+from repro.core.serial import optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+
+
+@dataclass(frozen=True)
+class AnalyticWorkerModel:
+    """Exact per-worker counters for one ``(n, l, space)`` configuration."""
+
+    n_tables: int
+    n_constraints: int
+    plan_space: PlanSpace
+
+    @property
+    def admissible_results(self) -> int:
+        """Join results of cardinality >= 2 per worker (Theorems 2/3)."""
+        return admissible_result_count_at_least_2(
+            self.n_tables, self.n_constraints, self.plan_space
+        )
+
+    @property
+    def splits_considered(self) -> int:
+        """Operand pairs tried per worker (Theorems 6/7)."""
+        if self.plan_space is PlanSpace.LINEAR:
+            return linear_split_count(self.n_tables, self.n_constraints)
+        return bushy_splits_executed(self.n_tables, self.n_constraints)
+
+
+def bushy_splits_executed(n_tables: int, n_constraints: int) -> int:
+    """Exact non-degenerate splits the bushy worker tries.
+
+    The closed-form assignment count includes, per admissible join result,
+    the two degenerate operands (empty and full) and counts the empty set
+    and singletons; subtracting those yields exactly the worker's
+    ``splits_considered`` counter.
+    """
+    assignments = bushy_assignment_count(n_tables, n_constraints)
+    at_least_2 = admissible_result_count_at_least_2(
+        n_tables, n_constraints, PlanSpace.BUSHY
+    )
+    # 1 assignment for the empty set, 2 per singleton, 2 degenerates per
+    # admissible result of cardinality >= 2.
+    return assignments - 1 - 2 * n_tables - 2 * at_least_2
+
+
+def measure_candidates_per_split(
+    plan_space: PlanSpace, probe_tables: int = 8, seed: int = 97
+) -> float:
+    """Measure costed candidates per split on a small executed query.
+
+    Operator applicability (hash/sort-merge need an equi-predicate) is the
+    only workload-dependent part of the work model; for star queries it is
+    stable across sizes, so a small probe transfers to paper-scale queries.
+    """
+    query = SteinbrunnGenerator(seed).query(probe_tables)
+    settings = OptimizerSettings(plan_space=plan_space)
+    stats = optimize_serial(query, settings).stats
+    return stats.plans_considered / stats.splits_considered
+
+
+def _star_task_bytes(n_tables: int) -> int:
+    """task_bytes for an n-table star query, without building the query."""
+    return (
+        MESSAGE_HEADER_BYTES
+        + PER_TABLE_BYTES * n_tables
+        + PER_PREDICATE_BYTES * (n_tables - 1)
+        + TASK_HEADER_BYTES
+    )
+
+
+def _plan_message_bytes(n_tables: int, n_metrics: int = 1) -> int:
+    """plans_bytes for one complete plan of an n-table query."""
+    return (
+        MESSAGE_HEADER_BYTES
+        + PLAN_NODE_BYTES * (2 * n_tables - 1)
+        + PER_METRIC_BYTES * n_metrics
+    )
+
+
+def predict_point(
+    n_tables: int,
+    workers: int,
+    plan_space: PlanSpace,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+    candidates_per_split: float | None = None,
+) -> ScalingPoint:
+    """Predict one Figure 2 data point from closed forms.
+
+    ``workers`` must be a power of two within the space's maximum.
+    """
+    if workers & (workers - 1):
+        raise ValueError(f"workers must be a power of two, got {workers}")
+    if workers > max_partitions(n_tables, plan_space):
+        raise ValueError(
+            f"{workers} workers exceed the maximum for {n_tables} tables"
+        )
+    if candidates_per_split is None:
+        candidates_per_split = measure_candidates_per_split(plan_space)
+    n_constraints = workers.bit_length() - 1
+    model = AnalyticWorkerModel(n_tables, n_constraints, plan_space)
+    splits = model.splits_considered
+    results = model.admissible_results
+    candidates = splits * candidates_per_split
+    compute_s = (
+        candidates * cluster.seconds_per_plan
+        + splits * cluster.seconds_per_split
+        + results * cluster.seconds_per_result
+    )
+    task = _star_task_bytes(n_tables)
+    plan_msg = _plan_message_bytes(n_tables)
+    dispatch_s = workers * cluster.network.transfer_seconds(task)
+    collect_s = workers * cluster.network.transfer_seconds(plan_msg)
+    total_s = (
+        dispatch_s
+        + cluster.task_setup_s
+        + compute_s
+        + collect_s
+        + workers * cluster.master_seconds_per_plan
+    )
+    # Memory counts singletons too (the worker stores scan plans).
+    memory = results + n_tables
+    return ScalingPoint(
+        workers=workers,
+        time_ms=total_s * 1e3,
+        worker_time_ms=compute_s * 1e3,
+        memory_relations=memory,
+        network_bytes=workers * (task + plan_msg),
+    )
+
+
+def predict_series(
+    n_tables: int,
+    plan_space: PlanSpace,
+    max_workers: int = 128,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+    candidates_per_split: float | None = None,
+) -> ScalingSeries:
+    """Predicted Figure 2 series for one query size."""
+    if candidates_per_split is None:
+        candidates_per_split = measure_candidates_per_split(plan_space)
+    points = []
+    workers = 1
+    limit = min(max_workers, max_partitions(n_tables, plan_space))
+    while workers <= limit:
+        points.append(
+            predict_point(
+                n_tables, workers, plan_space, cluster, candidates_per_split
+            )
+        )
+        workers *= 2
+    return ScalingSeries(
+        label=f"analytic {plan_space.value} {n_tables}", points=points
+    )
+
+
+def paper_scale_fig2(
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+) -> list[ScalingSeries]:
+    """Predicted Figure 2 series at the paper's original query sizes."""
+    series = []
+    linear_cps = measure_candidates_per_split(PlanSpace.LINEAR)
+    bushy_cps = measure_candidates_per_split(PlanSpace.BUSHY, probe_tables=7)
+    for n_tables in (20, 24):
+        series.append(
+            predict_series(
+                n_tables, PlanSpace.LINEAR, 128, cluster, linear_cps
+            )
+        )
+    for n_tables in (15, 18):
+        series.append(
+            predict_series(n_tables, PlanSpace.BUSHY, 128, cluster, bushy_cps)
+        )
+    return series

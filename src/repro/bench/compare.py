@@ -1,0 +1,115 @@
+"""Compare two recorded experiment logs (regression checking).
+
+After a change to the optimizer or the cluster model, re-run an experiment
+and diff it against the previous log::
+
+    from repro.bench.compare import compare_logs
+    print(compare_logs(old_text, new_text))
+
+Matching is by (block, series label, worker count); differences are reported
+as ratios so scale-free regressions stand out.  Network bytes and memory
+must match *exactly* for a pure-performance change — they are deterministic
+counts — so any drift there is flagged as structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.logparse import extract_blocks, parse_series
+
+
+@dataclass
+class SeriesDelta:
+    """Differences for one (block, series) pair."""
+
+    block: str
+    label: str
+    #: worker count -> (old, new) simulated time in ms.
+    time_changes: dict[int, tuple[float, float]] = field(default_factory=dict)
+    #: worker counts where deterministic counters (memory/network) diverged.
+    structural_changes: list[int] = field(default_factory=list)
+    only_in_old: list[int] = field(default_factory=list)
+    only_in_new: list[int] = field(default_factory=list)
+
+    @property
+    def worst_time_ratio(self) -> float:
+        """Largest new/old time ratio (1.0 when nothing changed)."""
+        ratios = [
+            new / old
+            for old, new in self.time_changes.values()
+            if old > 0
+        ]
+        return max(ratios, default=1.0)
+
+    def is_clean(self, tolerance: float = 0.05) -> bool:
+        """No structural drift and all times within ``tolerance``."""
+        if self.structural_changes or self.only_in_old or self.only_in_new:
+            return False
+        return all(
+            abs(new / old - 1.0) <= tolerance
+            for old, new in self.time_changes.values()
+            if old > 0
+        )
+
+
+def compare_logs(old_text: str, new_text: str) -> list[SeriesDelta]:
+    """Structured comparison of two experiment logs."""
+    old_blocks = extract_blocks(old_text)
+    new_blocks = extract_blocks(new_text)
+    deltas: list[SeriesDelta] = []
+    for block_name in sorted(set(old_blocks) & set(new_blocks)):
+        old_series = {s.label: s for s in parse_series(old_blocks[block_name])}
+        new_series = {s.label: s for s in parse_series(new_blocks[block_name])}
+        for label in sorted(set(old_series) | set(new_series)):
+            delta = SeriesDelta(block=block_name, label=label)
+            old = old_series.get(label)
+            new = new_series.get(label)
+            if old is None or new is None:
+                deltas.append(delta)
+                continue
+            old_points = {p.workers: p for p in old.points}
+            new_points = {p.workers: p for p in new.points}
+            delta.only_in_old = sorted(set(old_points) - set(new_points))
+            delta.only_in_new = sorted(set(new_points) - set(old_points))
+            for workers in sorted(set(old_points) & set(new_points)):
+                a, b = old_points[workers], new_points[workers]
+                delta.time_changes[workers] = (a.time_ms, b.time_ms)
+                if (
+                    a.network_bytes != b.network_bytes
+                    or a.memory_relations != b.memory_relations
+                ):
+                    delta.structural_changes.append(workers)
+            deltas.append(delta)
+    return deltas
+
+
+def format_comparison(deltas: list[SeriesDelta], tolerance: float = 0.05) -> str:
+    """Human-readable comparison report; clean series are summarized."""
+    lines = []
+    clean = 0
+    for delta in deltas:
+        if delta.is_clean(tolerance):
+            clean += 1
+            continue
+        lines.append(f"{delta.block} / {delta.label}:")
+        if delta.structural_changes:
+            lines.append(
+                f"  STRUCTURAL drift at workers {delta.structural_changes} "
+                f"(memory or network counts changed)"
+            )
+        if delta.only_in_old:
+            lines.append(f"  dropped worker counts: {delta.only_in_old}")
+        if delta.only_in_new:
+            lines.append(f"  added worker counts: {delta.only_in_new}")
+        for workers, (old, new) in sorted(delta.time_changes.items()):
+            if old > 0 and abs(new / old - 1.0) > tolerance:
+                lines.append(
+                    f"  workers={workers}: time {old:.2f} -> {new:.2f} ms "
+                    f"(x{new / old:.2f})"
+                )
+    lines.append(
+        f"{clean}/{len(deltas)} series unchanged within "
+        f"{tolerance:.0%} time tolerance"
+    )
+    return "\n".join(lines)

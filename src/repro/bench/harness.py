@@ -1,0 +1,149 @@
+"""Sweep helpers: run MPQ/SMA over worker counts and summarize medians.
+
+The paper's figures plot, per worker count, the median over twenty random
+queries of: optimization time, maximal worker time, maximal worker memory
+(in relations), and network bytes.  These helpers produce exactly those
+series from any list of queries.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.algorithms.mpq import optimize_mpq
+from repro.algorithms.sma import optimize_sma
+from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
+from repro.config import OptimizerSettings
+from repro.query.query import Query
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Medians at one worker count."""
+
+    workers: int
+    time_ms: float
+    worker_time_ms: float
+    memory_relations: float
+    network_bytes: float
+    #: Median number of plans returned to the master (Pareto frontier size).
+    result_plans: float = 1.0
+
+    def as_row(self) -> str:
+        """Fixed-width row used by the reporting tables."""
+        return (
+            f"{self.workers:>8d} {self.time_ms:>12.2f} {self.worker_time_ms:>12.2f} "
+            f"{self.memory_relations:>12.0f} {self.network_bytes:>14.0f}"
+        )
+
+
+@dataclass
+class ScalingSeries:
+    """One labeled line of a scaling figure."""
+
+    label: str
+    points: list[ScalingPoint]
+
+    HEADER = (
+        f"{'workers':>8} {'time_ms':>12} {'w_time_ms':>12} "
+        f"{'memory_rel':>12} {'network_B':>14}"
+    )
+
+    def format(self) -> str:
+        """Paper-style series table."""
+        lines = [f"-- {self.label}", self.HEADER]
+        lines.extend(point.as_row() for point in self.points)
+        return "\n".join(lines)
+
+    def time_by_workers(self) -> dict[int, float]:
+        """Worker count -> median time, for assertions and summaries."""
+        return {point.workers: point.time_ms for point in self.points}
+
+    def network_by_workers(self) -> dict[int, float]:
+        """Worker count -> median network bytes."""
+        return {point.workers: point.network_bytes for point in self.points}
+
+    def memory_by_workers(self) -> dict[int, float]:
+        """Worker count -> median worker memory (relations)."""
+        return {point.workers: point.memory_relations for point in self.points}
+
+
+def run_mpq_point(
+    queries: Sequence[Query],
+    workers: int,
+    settings: OptimizerSettings,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+) -> ScalingPoint:
+    """Median MPQ measurements over ``queries`` at one worker count."""
+    times, worker_times, memories, networks, frontier = [], [], [], [], []
+    for query in queries:
+        report = optimize_mpq(query, workers, settings, cluster)
+        times.append(report.simulated_time_ms)
+        worker_times.append(report.max_worker_time_ms)
+        memories.append(report.max_worker_memory_relations)
+        networks.append(report.network_bytes)
+        frontier.append(len(report.plans))
+    return ScalingPoint(
+        workers=workers,
+        time_ms=statistics.median(times),
+        worker_time_ms=statistics.median(worker_times),
+        memory_relations=statistics.median(memories),
+        network_bytes=statistics.median(networks),
+        result_plans=statistics.median(frontier),
+    )
+
+
+def run_sma_point(
+    queries: Sequence[Query],
+    workers: int,
+    settings: OptimizerSettings,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+) -> ScalingPoint:
+    """Median SMA measurements over ``queries`` at one worker count."""
+    times, networks, memories, frontier = [], [], [], []
+    for query in queries:
+        report = optimize_sma(query, workers, settings, cluster)
+        times.append(report.simulated_time_ms)
+        networks.append(report.network_bytes)
+        memories.append(report.memotable_entries)
+        frontier.append(len(report.plans))
+    return ScalingPoint(
+        workers=workers,
+        time_ms=statistics.median(times),
+        worker_time_ms=statistics.median(times),
+        memory_relations=statistics.median(memories),
+        network_bytes=statistics.median(networks),
+        result_plans=statistics.median(frontier),
+    )
+
+
+def mpq_scaling(
+    label: str,
+    queries: Sequence[Query],
+    worker_counts: Sequence[int],
+    settings: OptimizerSettings,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+) -> ScalingSeries:
+    """MPQ scaling series over the given worker counts."""
+    points = [
+        run_mpq_point(queries, workers, settings, cluster)
+        for workers in worker_counts
+    ]
+    return ScalingSeries(label=label, points=points)
+
+
+def sma_scaling(
+    label: str,
+    queries: Sequence[Query],
+    worker_counts: Sequence[int],
+    settings: OptimizerSettings,
+    cluster: ClusterModel = DEFAULT_CLUSTER,
+) -> ScalingSeries:
+    """SMA scaling series over the given worker counts."""
+    points = [
+        run_sma_point(queries, workers, settings, cluster)
+        for workers in worker_counts
+    ]
+    return ScalingSeries(label=label, points=points)

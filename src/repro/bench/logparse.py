@@ -1,0 +1,129 @@
+"""Parsing of experiment report logs back into structured series.
+
+The experiment drivers print fixed-width series tables; this module parses
+them back into :class:`~repro.bench.harness.ScalingSeries` so that reports
+(EXPERIMENTS.md assembly, chart rendering, regression comparisons) can be
+built from recorded logs without re-running hours of sweeps.
+"""
+
+from __future__ import annotations
+
+import re
+import statistics
+
+from repro.bench.harness import ScalingPoint, ScalingSeries
+
+#: A series data row: workers, time, worker time, memory, network.
+ROW_RE = re.compile(r"^\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+(\d+)\s+(\d+)\s*$")
+
+
+def extract_blocks(text: str) -> dict[str, str]:
+    """Split a log into experiment blocks keyed by their ``== `` header.
+
+    A block runs from its header to the matching ``[... completed ...]``
+    marker (or the next header / end of text).
+    """
+    blocks: dict[str, str] = {}
+    current_key: str | None = None
+    current_lines: list[str] = []
+
+    def flush() -> None:
+        nonlocal current_key, current_lines
+        if current_key is not None:
+            blocks[current_key] = "\n".join(current_lines).rstrip()
+        current_key = None
+        current_lines = []
+
+    for line in text.splitlines():
+        if line.startswith("== "):
+            flush()
+            current_key = line[3:].split(":")[0].strip()
+            current_lines = [line]
+        elif line.startswith("[") and "completed" in line:
+            flush()
+        elif current_key is not None:
+            current_lines.append(line)
+    flush()
+    return blocks
+
+
+def parse_series(block: str) -> list[ScalingSeries]:
+    """Parse the ``-- label`` series tables out of one report block."""
+    series_list: list[ScalingSeries] = []
+    label: str | None = None
+    points: list[ScalingPoint] = []
+
+    def flush() -> None:
+        nonlocal label, points
+        if label is not None:
+            series_list.append(ScalingSeries(label=label, points=points))
+        label = None
+        points = []
+
+    for line in block.splitlines():
+        if line.startswith("-- "):
+            flush()
+            label = line[3:].strip()
+            continue
+        match = ROW_RE.match(line)
+        if match and label is not None:
+            workers, time_ms, w_time, memory, network = match.groups()
+            points.append(
+                ScalingPoint(
+                    workers=int(workers),
+                    time_ms=float(time_ms),
+                    worker_time_ms=float(w_time),
+                    memory_relations=float(memory),
+                    network_bytes=float(network),
+                )
+            )
+    flush()
+    return series_list
+
+
+def doubling_factors(series: ScalingSeries, attribute: str) -> list[float]:
+    """Successive ratios ``value(2w) / value(w)`` along a series."""
+    values = {point.workers: getattr(point, attribute) for point in series.points}
+    factors = []
+    for workers, value in sorted(values.items()):
+        doubled = values.get(workers * 2)
+        if doubled is not None and value > 0:
+            factors.append(doubled / value)
+    return factors
+
+
+def summarize_factors(series_list: list[ScalingSeries], attribute: str) -> str:
+    """One line per series: median per-doubling factor of ``attribute``."""
+    lines = []
+    for series in series_list:
+        factors = doubling_factors(series, attribute)
+        if factors:
+            lines.append(
+                f"  {series.label}: median x{statistics.median(factors):.3f} "
+                f"per worker doubling"
+            )
+    return "\n".join(lines)
+
+
+def network_ratio_summary(series_list: list[ScalingSeries]) -> str:
+    """SMA-vs-MPQ byte ratios at the largest shared worker count."""
+    by_label = {series.label: series for series in series_list}
+    lines = []
+    for label, series in by_label.items():
+        if not label.startswith("MPQ"):
+            continue
+        sma = by_label.get(label.replace("MPQ", "SMA"))
+        if sma is None:
+            continue
+        shared = sorted(
+            set(series.network_by_workers()) & set(sma.network_by_workers())
+        )
+        if not shared:
+            continue
+        at = shared[-1]
+        ratio = sma.network_by_workers()[at] / series.network_by_workers()[at]
+        lines.append(
+            f"  {label.replace('MPQ ', '')}: SMA ships x{ratio:.1f} the bytes "
+            f"of MPQ at {at} workers"
+        )
+    return "\n".join(lines)

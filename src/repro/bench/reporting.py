@@ -1,0 +1,102 @@
+"""ASCII rendering of scaling figures (log-log charts, paper-style).
+
+The paper's figures plot medians on log axes against the worker count.
+:func:`log_chart` renders the same picture in plain text so experiment
+reports (EXPERIMENTS.md, CLI output) can show *shape* at a glance::
+
+    time_ms vs workers (log-log)
+    1.2e+02 |A
+            |  A
+            |     A  B
+    ...
+
+Each series gets a letter; points landing on the same cell share it
+(later series win).  Pure string generation, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.bench.harness import ScalingPoint, ScalingSeries
+
+#: Value selectors a chart can plot.
+VALUE_GETTERS: dict[str, Callable[[ScalingPoint], float]] = {
+    "time_ms": lambda point: point.time_ms,
+    "worker_time_ms": lambda point: point.worker_time_ms,
+    "memory_relations": lambda point: point.memory_relations,
+    "network_bytes": lambda point: point.network_bytes,
+}
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-12))
+
+
+def log_chart(
+    series_list: Sequence[ScalingSeries],
+    value: str = "time_ms",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render series as a log-log ASCII chart with a legend."""
+    getter = VALUE_GETTERS.get(value)
+    if getter is None:
+        raise ValueError(
+            f"unknown value {value!r}; choose from {sorted(VALUE_GETTERS)}"
+        )
+    if height < 2 or width < 8:
+        raise ValueError("chart too small")
+    points = [
+        (series_index, point.workers, getter(point))
+        for series_index, series in enumerate(series_list)
+        for point in series.points
+    ]
+    if not points:
+        raise ValueError("no data points to chart")
+
+    min_x = _log(min(workers for _, workers, _ in points))
+    max_x = _log(max(workers for _, workers, _ in points))
+    min_y = _log(min(val for _, _, val in points))
+    max_y = _log(max(val for _, _, val in points))
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, workers, val in points:
+        column = round((_log(workers) - min_x) / span_x * (width - 1))
+        row = round((max_y - _log(val)) / span_y * (height - 1))
+        grid[row][column] = chr(ord("A") + series_index % 26)
+
+    top_label = f"{10 ** max_y:.3g}"
+    bottom_label = f"{10 ** min_y:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    lines = [f"{value} vs workers (log-log)"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    min_workers = min(workers for _, workers, _ in points)
+    max_workers = max(workers for _, workers, _ in points)
+    lines.append(
+        f"{' ' * label_width}  workers: {min_workers} .. {max_workers}"
+    )
+    for series_index, series in enumerate(series_list):
+        letter = chr(ord("A") + series_index % 26)
+        lines.append(f"{' ' * label_width}  {letter} = {series.label}")
+    return "\n".join(lines)
+
+
+def chart_figure(
+    series_list: Sequence[ScalingSeries],
+    values: Sequence[str] = ("time_ms", "network_bytes"),
+) -> str:
+    """Render several charts for one figure, as the paper's panels."""
+    return "\n\n".join(log_chart(series_list, value) for value in values)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a random Steinbrunn-style query to a JSON file;
+* ``optimize`` — optimize a JSON query with MPQ and print the chosen plan
+  (or Pareto frontier) plus the cluster accounting the paper reports.
+
+Examples::
+
+    python -m repro generate --tables 10 --kind star -o query.json
+    python -m repro optimize query.json --workers 16
+    python -m repro optimize query.json --space bushy --workers 8
+    python -m repro optimize query.json --objectives time,buffer --alpha 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.algorithms.mpq import optimize_mpq
+from repro.config import Objective, OptimizerSettings, PlanSpace
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.io import load_query, plan_to_dict, save_query
+from repro.query.query import JoinGraphKind
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MPQ — massively parallel query optimization "
+        "(Trummer & Koch, VLDB 2016).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a random query")
+    generate.add_argument("--tables", type=int, default=8)
+    generate.add_argument(
+        "--kind",
+        choices=[kind.value for kind in JoinGraphKind],
+        default=JoinGraphKind.STAR.value,
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True, help="output JSON file")
+
+    optimize = commands.add_parser("optimize", help="optimize a JSON or SQL query")
+    optimize.add_argument(
+        "query", nargs="?", default=None, help="query JSON file"
+    )
+    optimize.add_argument(
+        "--sql",
+        default=None,
+        help="SPJ SQL text (requires --catalog) instead of a query file",
+    )
+    optimize.add_argument(
+        "--catalog", default=None, help="catalog JSON file for --sql"
+    )
+    optimize.add_argument("--workers", type=int, default=1)
+    optimize.add_argument(
+        "--space",
+        choices=[space.value for space in PlanSpace],
+        default=PlanSpace.LINEAR.value,
+    )
+    optimize.add_argument(
+        "--objectives",
+        default="time",
+        help="comma-separated cost metrics: time[,buffer]",
+    )
+    optimize.add_argument("--alpha", type=float, default=1.0)
+    optimize.add_argument(
+        "--orders", action="store_true", help="track interesting orders"
+    )
+    optimize.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    return parser
+
+
+def _settings_from_args(args: argparse.Namespace) -> OptimizerSettings:
+    objectives = []
+    for token in args.objectives.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            objectives.append(Objective(token))
+        except ValueError:
+            raise SystemExit(
+                f"unknown objective {token!r}; choose from "
+                f"{[o.value for o in Objective]}"
+            )
+    return OptimizerSettings(
+        plan_space=PlanSpace(args.space),
+        objectives=tuple(objectives),
+        alpha=args.alpha,
+        consider_orders=args.orders,
+    )
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    query = SteinbrunnGenerator(args.seed).query(
+        args.tables, JoinGraphKind(args.kind)
+    )
+    save_query(query, args.output)
+    print(f"wrote {query.name} ({args.tables} tables) to {args.output}")
+    return 0
+
+
+def _load_query_from_args(args: argparse.Namespace):
+    if args.sql is not None:
+        if args.catalog is None:
+            raise SystemExit("--sql requires --catalog")
+        from repro.query.io import load_catalog
+        from repro.query.sql import parse_sql
+
+        return parse_sql(args.sql, load_catalog(args.catalog))
+    if args.query is None:
+        raise SystemExit("provide a query JSON file or --sql with --catalog")
+    return load_query(args.query)
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    query = _load_query_from_args(args)
+    settings = _settings_from_args(args)
+    report = optimize_mpq(query, args.workers, settings)
+    names = tuple(table.name for table in query.tables)
+    if args.json:
+        payload = {
+            "query": query.name,
+            "partitions": report.n_partitions,
+            "simulated_time_ms": report.simulated_time_ms,
+            "network_bytes": report.network_bytes,
+            "max_worker_memory_relations": report.max_worker_memory_relations,
+            "plans": [plan_to_dict(plan, names) for plan in report.plans],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"query: {query.name} ({query.n_tables} tables)")
+    print(
+        f"partitions: {report.n_partitions} "
+        f"(requested {args.workers} workers, {settings.plan_space} space)"
+    )
+    print(f"simulated time: {report.simulated_time_ms:.2f} ms")
+    print(f"network: {report.network_bytes:,} bytes")
+    print(f"max worker memory: {report.max_worker_memory_relations} relations")
+    if settings.is_multi_objective:
+        print(f"pareto frontier: {len(report.plans)} plans (alpha={args.alpha})")
+    print()
+    print(report.best.pretty(names))
+    print(f"\nbest cost: {tuple(report.best.cost)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _run_generate(args)
+    return _run_optimize(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Execution back-ends for running partition tasks.
+
+The master (:mod:`repro.core.master`) is generic over *how* partition tasks
+run; these executors provide the options:
+
+* :class:`SerialPartitionExecutor` — run partitions one after another in this
+  process.  The default; deterministic, and the basis for simulated-cluster
+  timing (per-partition work is counted, wall-clock is composed afterwards).
+* :class:`ThreadPoolPartitionExecutor` — thread-based concurrency.  Python's
+  GIL serializes the DP's bytecode, so this demonstrates API shape rather
+  than speedup (the repro-band note about the GIL made explicit).
+* :class:`ProcessPoolPartitionExecutor` — genuine parallelism via
+  ``multiprocessing``; each partition task is shipped (pickled) to another
+  process, which mirrors a real shared-nothing deployment: the child rebuilds
+  cost model and pruning from ``(query, settings)`` and shares no state.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from repro.config import OptimizerSettings
+from repro.core.worker import PartitionResult, optimize_partition
+from repro.query.query import Query
+
+
+def _run_partition_task(
+    args: tuple[Query, int, int, OptimizerSettings],
+) -> PartitionResult:
+    """Module-level task entry point (must be picklable for process pools)."""
+    query, partition_id, n_partitions, settings = args
+    return optimize_partition(query, partition_id, n_partitions, settings)
+
+
+class RetryingPartitionExecutor:
+    """Fault tolerance: re-run failed partition tasks on a fallback path.
+
+    MPQ's coarse-grained decomposition makes recovery trivial — a partition
+    task is a pure function of ``(query, partition_id, m, settings)``, so a
+    crashed worker's task can simply be resubmitted (to the pool, or inline
+    as a last resort) without touching any other worker.  The paper's
+    single-round protocol means there is no partial state to reconcile.
+
+    Wraps any inner executor; if the inner executor raises, every partition
+    is retried individually up to ``max_attempts`` times, falling back to
+    in-process execution on the final attempt.
+    """
+
+    def __init__(self, inner: object | None = None, max_attempts: int = 3) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._inner = inner
+        self._max_attempts = max_attempts
+        #: Number of per-partition retries performed (observability).
+        self.retries = 0
+
+    def map_partitions(
+        self, query: Query, n_partitions: int, settings: OptimizerSettings
+    ) -> list[PartitionResult]:
+        if self._inner is not None:
+            try:
+                return self._inner.map_partitions(query, n_partitions, settings)
+            except Exception:
+                self.retries += 1
+        results = []
+        for partition_id in range(n_partitions):
+            results.append(self._run_one(query, partition_id, n_partitions, settings))
+        return results
+
+    def _run_one(
+        self,
+        query: Query,
+        partition_id: int,
+        n_partitions: int,
+        settings: OptimizerSettings,
+    ) -> PartitionResult:
+        last_error: Exception | None = None
+        for attempt in range(self._max_attempts):
+            try:
+                return optimize_partition(query, partition_id, n_partitions, settings)
+            except Exception as error:  # pragma: no cover - deterministic DP
+                last_error = error
+                self.retries += 1
+        assert last_error is not None
+        raise last_error
+
+
+class SerialPartitionExecutor:
+    """Run all partitions sequentially in the calling process."""
+
+    def map_partitions(
+        self, query: Query, n_partitions: int, settings: OptimizerSettings
+    ) -> list[PartitionResult]:
+        return [
+            optimize_partition(query, partition_id, n_partitions, settings)
+            for partition_id in range(n_partitions)
+        ]
+
+
+class ThreadPoolPartitionExecutor:
+    """Run partitions on a thread pool (concurrency, not parallelism)."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+
+    def map_partitions(
+        self, query: Query, n_partitions: int, settings: OptimizerSettings
+    ) -> list[PartitionResult]:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._max_workers
+        ) as pool:
+            futures = [
+                pool.submit(optimize_partition, query, pid, n_partitions, settings)
+                for pid in range(n_partitions)
+            ]
+            return [future.result() for future in futures]
+
+
+class ProcessPoolPartitionExecutor:
+    """Run partitions on separate processes (true shared-nothing workers).
+
+    Each task's payload is exactly what the paper's master ships: the query
+    (with statistics), the partition ID, the partition count, and the
+    optimizer settings.  Results come back as complete partition-optimal
+    plans — one round of communication, as in Algorithm 1.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+
+    def map_partitions(
+        self, query: Query, n_partitions: int, settings: OptimizerSettings
+    ) -> list[PartitionResult]:
+        tasks = [
+            (query, partition_id, n_partitions, settings)
+            for partition_id in range(n_partitions)
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self._max_workers
+        ) as pool:
+            return list(pool.map(_run_partition_task, tasks))

@@ -1,0 +1,58 @@
+"""Network model: per-message latency plus bandwidth-limited transfer.
+
+The paper highlights "high network latency and task assignment overheads" as
+the defining difficulty of the cluster scenario.  The model here is the
+standard α-β (latency-bandwidth) model: transferring ``b`` bytes costs
+``latency + b / bandwidth`` seconds.  An accountant accumulates total bytes
+and message counts — the quantity plotted as "Network (bytes)" in every
+figure of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """α-β network cost model.
+
+    Defaults approximate the paper's cluster: gigabit-class Ethernet with
+    sub-millisecond application-level latency per message.
+    """
+
+    latency_s: float = 5e-4
+    bandwidth_bytes_per_s: float = 125_000_000.0  # 1 Gbit/s
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"bandwidth must be > 0, got {self.bandwidth_bytes_per_s}"
+            )
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Time to deliver one message of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError(f"message size must be >= 0, got {n_bytes}")
+        return self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class NetworkAccountant:
+    """Accumulates traffic for one optimization run."""
+
+    model: NetworkModel = field(default_factory=NetworkModel)
+    total_bytes: int = 0
+    n_messages: int = 0
+
+    def send(self, n_bytes: int) -> float:
+        """Record one message; returns its transfer time in seconds."""
+        self.total_bytes += n_bytes
+        self.n_messages += 1
+        return self.model.transfer_seconds(n_bytes)
+
+    def send_many(self, sizes: list[int]) -> float:
+        """Record a sequence of messages sent back-to-back; returns total time."""
+        return sum(self.send(size) for size in sizes)

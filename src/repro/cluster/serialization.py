@@ -1,0 +1,103 @@
+"""Deterministic byte-size model for objects sent over the network.
+
+The paper's implementation sends serialized Java objects between master and
+workers; its network plots measure the resulting byte counts.  We model
+those sizes with Java-serialization-like constants: what matters for
+reproducing the paper's traffic series is that sizes are *proportional to
+object counts* — a query costs O(n) bytes, a plan O(n) bytes, and an SMA
+memotable delta O(entries) bytes — with realistic constants.
+
+All functions return integer byte counts and are pure.
+"""
+
+from __future__ import annotations
+
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.query import Query
+
+#: Fixed overhead of any serialized message (stream header, class descriptor).
+MESSAGE_HEADER_BYTES = 64
+
+#: Per-table payload: name, cardinality, per-column statistics.
+PER_TABLE_BYTES = 48
+
+#: Per-predicate payload: endpoints, columns, selectivity.
+PER_PREDICATE_BYTES = 40
+
+#: Task envelope: partition ID and partition count (two longs + object header).
+TASK_HEADER_BYTES = 24
+
+#: One serialized plan node: operator tag, table-set mask, cardinality,
+#: child references (Java object overhead included).
+PLAN_NODE_BYTES = 32
+
+#: Extra bytes per cost-metric value attached to a plan.
+PER_METRIC_BYTES = 8
+
+#: One memotable entry shipped by the fine-grained (SMA) algorithm: table-set
+#: key, best cost, cardinality, and the two sub-plan references.
+MEMO_ENTRY_BYTES = 48
+
+#: Table-set identifier inside an SMA task-assignment message.
+SET_ID_BYTES = 8
+
+
+def query_bytes(query: Query) -> int:
+    """Serialized size of a query including its per-query statistics."""
+    return (
+        MESSAGE_HEADER_BYTES
+        + PER_TABLE_BYTES * query.n_tables
+        + PER_PREDICATE_BYTES * len(query.predicates)
+    )
+
+
+def task_bytes(query: Query) -> int:
+    """Master-to-worker MPQ task: the query plus the partition envelope."""
+    return query_bytes(query) + TASK_HEADER_BYTES
+
+
+def plan_node_count(plan: Plan) -> int:
+    """Number of operator nodes in a plan tree (2n - 1 for n tables)."""
+    if isinstance(plan, ScanPlan):
+        return 1
+    assert isinstance(plan, JoinPlan)
+    return 1 + plan_node_count(plan.left) + plan_node_count(plan.right)
+
+
+def plan_bytes(plan: Plan) -> int:
+    """Serialized size of one complete plan (nodes plus its cost vector)."""
+    return (
+        MESSAGE_HEADER_BYTES
+        + PLAN_NODE_BYTES * plan_node_count(plan)
+        + PER_METRIC_BYTES * len(plan.cost)
+    )
+
+
+def plans_bytes(plans: list[Plan]) -> int:
+    """Worker-to-master result message: all partition-optimal plans.
+
+    A worker returning an empty result still sends a header-only message.
+    """
+    if not plans:
+        return MESSAGE_HEADER_BYTES
+    per_plan = sum(
+        PLAN_NODE_BYTES * plan_node_count(plan) + PER_METRIC_BYTES * len(plan.cost)
+        for plan in plans
+    )
+    return MESSAGE_HEADER_BYTES + per_plan
+
+
+def memo_entries_bytes(n_entries: int) -> int:
+    """Size of a memotable delta of ``n_entries`` stored plans (SMA traffic)."""
+    if n_entries < 0:
+        raise ValueError(f"entry count must be >= 0, got {n_entries}")
+    if n_entries == 0:
+        return 0
+    return MESSAGE_HEADER_BYTES + MEMO_ENTRY_BYTES * n_entries
+
+
+def sma_task_bytes(n_sets: int) -> int:
+    """Size of an SMA per-round task assignment naming ``n_sets`` table sets."""
+    if n_sets < 0:
+        raise ValueError(f"set count must be >= 0, got {n_sets}")
+    return TASK_HEADER_BYTES + SET_ID_BYTES * n_sets

@@ -1,0 +1,128 @@
+"""Optimizer configuration shared by master, workers, and cost model.
+
+A single :class:`OptimizerSettings` value describes *what* is being optimized
+(plan space, operators, objectives, pruning precision).  It is a small,
+picklable, frozen object: in a shared-nothing deployment the master ships it
+to every worker together with the query, so workers can rebuild their cost
+model and pruning function locally without any shared state — the paper's
+"no communication between workers" property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PlanSpace(enum.Enum):
+    """The two plan spaces of the paper: left-deep (linear) and bushy."""
+
+    LINEAR = "linear"
+    BUSHY = "bushy"
+
+    @property
+    def group_size(self) -> int:
+        """Tables per constraint group: pairs for linear, triples for bushy."""
+        return 2 if self is PlanSpace.LINEAR else 3
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Objective(enum.Enum):
+    """Plan cost metrics.
+
+    The paper's evaluation uses execution time and buffer space; output rows
+    (the classical ``C_out`` metric, additive like time) additionally powers
+    the parametric-optimization extension.
+    """
+
+    EXECUTION_TIME = "time"
+    BUFFER_SPACE = "buffer"
+    OUTPUT_ROWS = "io"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Default single-objective configuration (paper's first experiment series).
+SINGLE_OBJECTIVE: tuple[Objective, ...] = (Objective.EXECUTION_TIME,)
+
+#: Two-metric configuration (paper's second series: time + buffer space).
+MULTI_OBJECTIVE: tuple[Objective, ...] = (
+    Objective.EXECUTION_TIME,
+    Objective.BUFFER_SPACE,
+)
+
+#: Parametric configuration: both metrics additive, so the scalarization
+#: ``(1-θ)·time + θ·io`` admits exact dynamic programming for every θ.
+PARAMETRIC_OBJECTIVES: tuple[Objective, ...] = (
+    Objective.EXECUTION_TIME,
+    Objective.OUTPUT_ROWS,
+)
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Everything a worker needs, beyond the query, to run its partition.
+
+    Attributes:
+        plan_space: search left-deep (:attr:`PlanSpace.LINEAR`) or bushy plans.
+        objectives: one cost metric for classical optimization, several for
+            multi-objective optimization.
+        alpha: approximation factor for multi-objective pruning; ``1.0`` keeps
+            the exact Pareto frontier, larger values prune more aggressively
+            with a formal factor-``alpha`` near-optimality guarantee
+            (Trummer & Koch, SIGMOD 2014).  Ignored for single objectives.
+        consider_orders: track interesting orders (sort-merge output order)
+            and keep one best plan per (table set, order).
+        use_all_join_algorithms: when False, only block-nested-loop join is
+            considered — useful to make tests' expected costs easy to derive.
+        parametric: treat the two (additive) objectives as the endpoints of
+            a parametric cost function ``(1-θ)·cost[0] + θ·cost[1]`` and keep
+            exactly the plans optimal for some θ in [0, 1] (lower-envelope
+            pruning; see ``repro.algorithms.pqo``).
+    """
+
+    plan_space: PlanSpace = PlanSpace.LINEAR
+    objectives: tuple[Objective, ...] = SINGLE_OBJECTIVE
+    alpha: float = 1.0
+    consider_orders: bool = False
+    use_all_join_algorithms: bool = True
+    parametric: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError("at least one objective is required")
+        if len(set(self.objectives)) != len(self.objectives):
+            raise ValueError("objectives must be distinct")
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1.0, got {self.alpha}")
+        if self.parametric:
+            if len(self.objectives) != 2:
+                raise ValueError("parametric optimization needs exactly 2 objectives")
+            if Objective.BUFFER_SPACE in self.objectives:
+                raise ValueError(
+                    "parametric optimization requires additive metrics; "
+                    "buffer space composes via max"
+                )
+            if self.consider_orders:
+                raise ValueError(
+                    "parametric optimization does not support interesting orders"
+                )
+
+    @property
+    def is_multi_objective(self) -> bool:
+        """Whether plans are compared by Pareto dominance over several metrics."""
+        return len(self.objectives) > 1
+
+    def replace(self, **changes: object) -> "OptimizerSettings":
+        """Return a copy with the given fields changed (dataclasses.replace)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+#: Settings used when none are supplied: classical single-objective
+#: optimization of left-deep plans with all join operators.
+DEFAULT_SETTINGS = OptimizerSettings()

@@ -1,0 +1,40 @@
+"""The paper's core contribution: plan-space partitioning and parallel DP."""
+
+from repro.core.constraints import (
+    BushyConstraint,
+    Constraint,
+    LinearConstraint,
+    constraint_groups,
+    max_constraints,
+    max_partitions,
+    partition_constraints,
+    usable_partitions,
+)
+from repro.core.partitioning import (
+    admissible_join_results,
+    admissible_results_by_size,
+    is_admissible,
+)
+from repro.core.worker import PartitionResult, WorkerStats, optimize_partition
+from repro.core.serial import optimize_serial
+from repro.core.master import MasterResult, optimize_parallel
+
+__all__ = [
+    "BushyConstraint",
+    "Constraint",
+    "LinearConstraint",
+    "constraint_groups",
+    "max_constraints",
+    "max_partitions",
+    "partition_constraints",
+    "usable_partitions",
+    "admissible_join_results",
+    "admissible_results_by_size",
+    "is_admissible",
+    "PartitionResult",
+    "WorkerStats",
+    "optimize_partition",
+    "optimize_serial",
+    "MasterResult",
+    "optimize_parallel",
+]

@@ -1,0 +1,169 @@
+"""Join-order constraints and partition-ID decoding (paper Algorithm 3).
+
+The plan space for a query is divided into ``m = 2^l`` equally sized
+partitions by fixing ``l`` binary precedence decisions:
+
+* **linear** (left-deep) plan spaces constrain *pairs* of consecutively
+  numbered tables: ``Q_{2i} ≺ Q_{2i+1}`` or its complement — table ``x`` must
+  appear before table ``y`` in the join order, which excludes every
+  intermediate result containing ``y`` but not ``x``;
+* **bushy** plan spaces constrain *triples*: ``Q_{3i} ⪯ Q_{3i+1} | Q_{3i+2}``
+  or its complement — following table ``z`` from its leaf to the plan root,
+  ``x`` must appear no later than ``y``, which excludes every intermediate
+  result containing ``y`` and ``z`` but not ``x``.
+
+Bit ``i`` of the partition ID selects the direction of the ``i``-th
+constraint; the ensemble of all IDs covers the full plan space.  Partition
+IDs are 0-based here (0 … m-1); the paper numbers them 1 … m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PlanSpace
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``before ≺ after``: table ``before`` joins earlier than ``after``.
+
+    Excludes intermediate results containing ``after`` but not ``before``.
+    """
+
+    before: int
+    after: int
+
+    def __post_init__(self) -> None:
+        if self.before == self.after:
+            raise ValueError("a precedence constraint needs two distinct tables")
+
+    def excludes(self, mask: int) -> bool:
+        """Whether the table set ``mask`` is inadmissible under this constraint.
+
+        Singleton sets are never excluded: scans are always constructible
+        (the paper treats singletons separately in Algorithm 2).
+        """
+        if mask & (mask - 1) == 0:
+            return False
+        return bool(mask & (1 << self.after)) and not mask & (1 << self.before)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.before} ≺ Q{self.after}"
+
+
+@dataclass(frozen=True)
+class BushyConstraint:
+    """``x ⪯ y | z``: following ``z`` to the root, ``x`` appears no later than ``y``.
+
+    Excludes intermediate results containing ``y`` and ``z`` but not ``x``.
+    """
+
+    x: int
+    y: int
+    z: int
+
+    def __post_init__(self) -> None:
+        if len({self.x, self.y, self.z}) != 3:
+            raise ValueError("a bushy constraint needs three distinct tables")
+
+    def excludes(self, mask: int) -> bool:
+        """Whether the table set ``mask`` is inadmissible under this constraint."""
+        yz = (1 << self.y) | (1 << self.z)
+        return mask & yz == yz and not mask & (1 << self.x)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.x} ⪯ Q{self.y} | Q{self.z}"
+
+
+Constraint = LinearConstraint | BushyConstraint
+
+
+def max_constraints(n_tables: int, plan_space: PlanSpace) -> int:
+    """Maximum number of constraints: one per disjoint pair/triple.
+
+    This is the paper's ``⌊n/2⌋`` for linear and ``⌊n/3⌋`` for bushy spaces.
+    """
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    return n_tables // plan_space.group_size
+
+
+def max_partitions(n_tables: int, plan_space: PlanSpace) -> int:
+    """Maximum degree of parallelism MPQ can exploit (``2^max_constraints``)."""
+    return 1 << max_constraints(n_tables, plan_space)
+
+
+def usable_partitions(n_tables: int, n_workers: int, plan_space: PlanSpace) -> int:
+    """Largest power of two ≤ both ``n_workers`` and the space's maximum.
+
+    The paper assumes ``m`` is a power of two and notes that otherwise only a
+    power-of-two subset of workers is used.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    cap = min(n_workers, max_partitions(n_tables, plan_space))
+    return 1 << (cap.bit_length() - 1)
+
+
+def constraint_groups(n_tables: int, plan_space: PlanSpace) -> list[tuple[int, ...]]:
+    """The disjoint table groups constraints are defined on.
+
+    ``Subsets[Linear]``/``Subsets[Bushy]`` of Algorithm 4: consecutive pairs
+    for linear spaces, consecutive triples for bushy spaces.  Leftover tables
+    (when ``n`` is not a multiple of the group size) form trailing singleton
+    groups that never carry constraints.
+    """
+    size = plan_space.group_size
+    groups = [
+        tuple(range(size * i, size * i + size))
+        for i in range(n_tables // size)
+    ]
+    for leftover in range(size * (n_tables // size), n_tables):
+        groups.append((leftover,))
+    return groups
+
+
+def _single_constraint(
+    plan_space: PlanSpace, group_index: int, precedence: int
+) -> Constraint:
+    """The paper's ``Constraint[Linear]``/``Constraint[Bushy]`` functions."""
+    if plan_space is PlanSpace.LINEAR:
+        first, second = 2 * group_index, 2 * group_index + 1
+        if precedence == 0:
+            return LinearConstraint(before=first, after=second)
+        return LinearConstraint(before=second, after=first)
+    first, second, third = 3 * group_index, 3 * group_index + 1, 3 * group_index + 2
+    if precedence == 0:
+        return BushyConstraint(x=first, y=second, z=third)
+    return BushyConstraint(x=second, y=first, z=third)
+
+
+def partition_constraints(
+    n_tables: int,
+    partition_id: int,
+    n_partitions: int,
+    plan_space: PlanSpace,
+) -> tuple[Constraint, ...]:
+    """Decode a partition ID into its constraint set (Algorithm 3).
+
+    ``n_partitions`` must be a power of two no larger than
+    :func:`max_partitions`; ``partition_id`` is 0-based.
+    """
+    if n_partitions < 1 or n_partitions & (n_partitions - 1):
+        raise ValueError(f"n_partitions must be a power of two, got {n_partitions}")
+    if not 0 <= partition_id < n_partitions:
+        raise ValueError(
+            f"partition_id must be in [0, {n_partitions}), got {partition_id}"
+        )
+    n_constraints = n_partitions.bit_length() - 1
+    if n_constraints > max_constraints(n_tables, plan_space):
+        raise ValueError(
+            f"{n_partitions} partitions need {n_constraints} constraints but "
+            f"{n_tables} tables admit at most "
+            f"{max_constraints(n_tables, plan_space)} in the {plan_space} space"
+        )
+    return tuple(
+        _single_constraint(plan_space, i, (partition_id >> i) & 1)
+        for i in range(n_constraints)
+    )

@@ -1,0 +1,270 @@
+"""Closed-form complexity counts (paper Section 5) and optimality checks.
+
+The paper's analysis predicts, per worker with ``l`` constraints:
+
+* admissible join results: ``O(2^n * (3/4)^l)`` linear, ``O(2^n * (7/8)^l)``
+  bushy (Theorems 2 and 3);
+* split work: ``O(n * 2^n * (3/4)^l)`` linear (Theorem 6) and
+  ``O(3^n * (21/27)^l)`` bushy (Theorem 7);
+* and that no partitioning method in the restricted design space can do
+  better than factors 3/4 and 7/8 per worker doubling (Theorems 8 and 9).
+
+This module provides *exact* counts matching the generator in
+``repro.core.partitioning`` and the split enumeration in
+``repro.core.worker`` — property tests compare them against exhaustive
+enumeration — plus a brute-force checker for the Theorem 8/9 design space.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.config import PlanSpace
+from repro.core.constraints import max_constraints
+
+
+def _check_args(n_tables: int, n_constraints: int, plan_space: PlanSpace) -> None:
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    limit = max_constraints(n_tables, plan_space)
+    if not 0 <= n_constraints <= limit:
+        raise ValueError(
+            f"{n_constraints} constraints out of range [0, {limit}] "
+            f"for {n_tables} tables in the {plan_space} space"
+        )
+
+
+def admissible_result_count(
+    n_tables: int, n_constraints: int, plan_space: PlanSpace
+) -> int:
+    """Exact number of admissible table sets (including empty and singletons).
+
+    Product over groups: a constrained pair keeps 3 of 4 subsets, a free pair
+    4, a constrained triple 7 of 8, a free triple 8, a leftover singleton 2.
+    Equals ``len(admissible_join_results(...))`` exactly, and matches the
+    asymptotic ``2^n * (3/4)^l`` / ``2^n * (7/8)^l`` of Theorems 2/3.
+    """
+    _check_args(n_tables, n_constraints, plan_space)
+    size = plan_space.group_size
+    n_groups = n_tables // size
+    leftover = n_tables - size * n_groups
+    constrained_factor = 3 if plan_space is PlanSpace.LINEAR else 7
+    free_factor = 1 << size
+    return (
+        constrained_factor**n_constraints
+        * free_factor ** (n_groups - n_constraints)
+        * (1 << leftover)
+    )
+
+
+def admissible_result_count_at_least_2(
+    n_tables: int, n_constraints: int, plan_space: PlanSpace
+) -> int:
+    """Admissible sets of cardinality >= 2 — the DP's actual iteration count.
+
+    Subtracts the empty set and the admissible singletons.  Singleton
+    ``{y}`` (linear) is pruned by a constraint ``x ≺ y`` in the generator,
+    so each linear constraint removes one singleton; bushy constraints never
+    exclude singletons.
+    """
+    total = admissible_result_count(n_tables, n_constraints, plan_space)
+    if plan_space is PlanSpace.LINEAR:
+        singletons = n_tables - n_constraints
+    else:
+        singletons = n_tables
+    return total - singletons - 1
+
+
+def linear_split_count(n_tables: int, n_constraints: int) -> int:
+    """Exact number of splits tried by a linear worker (Theorem 6 quantity).
+
+    A split is a pair ``(U, u)``: an admissible join result ``U`` with
+    ``|U| >= 2`` and an inner operand ``u ∈ U`` that no constraint blocks
+    from being joined last.  Computed by summing, per table ``u``, the
+    number of admissible sets in which ``u`` may be last, via per-group
+    products; singleton sets ``{u}`` are excluded.
+    """
+    _check_args(n_tables, n_constraints, PlanSpace.LINEAR)
+    n_groups = n_tables // 2
+    leftover = n_tables - 2 * n_groups
+
+    def other_groups_factor(own_group: int) -> int:
+        factor = 1
+        for group in range(n_groups):
+            if group == own_group:
+                continue
+            factor *= 3 if group < n_constraints else 4
+        return factor * (1 << leftover)
+
+    total = 0
+    for u in range(n_tables):
+        group = u // 2
+        if group >= n_groups:
+            # Leftover table: any admissible set containing u allows u last.
+            own = 1  # the leftover "group" contributes {u}
+            factor = 1
+            for g in range(n_groups):
+                factor *= 3 if g < n_constraints else 4
+            count = own * factor
+        elif group < n_constraints:
+            # Constrained pair with bit-0 direction: first ≺ second; by
+            # symmetry the count is direction-independent.
+            # u == before: group subset must contain u but not the 'after'
+            # table -> exactly {u}.  u == after: admissible subsets containing
+            # 'after' must contain 'before' -> exactly the full pair.
+            own = 1
+            count = own * other_groups_factor(group)
+        else:
+            # Free pair: subsets containing u: {u} and the pair -> 2.
+            own = 2
+            count = own * other_groups_factor(group)
+        total += count
+        # Remove the singleton case U == {u}: it occurs iff {u} alone is an
+        # admissible own-group subset and all other groups contribute the
+        # empty set.  For a constrained 'after' table the own-group subset
+        # containing u is the full pair, so no singleton arises.
+        if not (group < n_constraints and u % 2 == 1):
+            total -= 1
+    return total
+
+
+def bushy_assignment_count(n_tables: int, n_constraints: int) -> int:
+    """Exact total of per-table (left/right/out) assignments (Theorem 7).
+
+    Every way of assigning each table to the left operand, the right operand,
+    or "absent", such that no constraint is violated by either operand or by
+    their union: an unconstrained triple admits ``3^3 = 27`` local
+    assignments, a constrained one ``21``, a leftover table ``3``.  This
+    equals ``sum over admissible U of |bushy_operands(U)|`` (degenerate
+    operands included), the quantity behind the 21/27 factor.
+    """
+    _check_args(n_tables, n_constraints, PlanSpace.BUSHY)
+    n_groups = n_tables // 3
+    leftover = n_tables - 3 * n_groups
+    return 21**n_constraints * 27 ** (n_groups - n_constraints) * 3**leftover
+
+
+def work_reduction_factor(plan_space: PlanSpace) -> float:
+    """Per-worker work shrink each time the worker count doubles."""
+    return 0.75 if plan_space is PlanSpace.LINEAR else 21.0 / 27.0
+
+
+def memory_reduction_factor(plan_space: PlanSpace) -> float:
+    """Per-worker admissible-set shrink each time the worker count doubles."""
+    return 0.75 if plan_space is PlanSpace.LINEAR else 7.0 / 8.0
+
+
+def best_two_way_partition_factor(plan_space: PlanSpace) -> float:
+    """Brute-force verification of Theorems 8 and 9.
+
+    Searches the restricted design space the paper analyzes: divide the
+    power set of query tables into the 4 (linear) or 8 (bushy) classes
+    defined by membership of 2 (resp. 3) fixed tables, and assign each class
+    to one or both of two workers.  A valid assignment must let each worker
+    build complete plans (see the theorems' arguments, encoded below) and
+    jointly cover the plan space.  Returns the minimum achievable value of
+    ``max(worker class count) / total class count`` — the paper proves this
+    is 3/4 (linear) and 7/8 (bushy).
+    """
+    n_classes = 4 if plan_space is PlanSpace.LINEAR else 8
+    full_class = n_classes - 1  # the class containing all fixed tables
+    best = 1.0
+    # Assignment: for each class, a value in {1, 2, 3} = {worker A, worker B,
+    # both}.  Classes are indexed by the bitmask of fixed tables present.
+    for assignment in product((1, 2, 3), repeat=n_classes):
+        workers_a = {c for c in range(n_classes) if assignment[c] & 1}
+        workers_b = {c for c in range(n_classes) if assignment[c] & 2}
+        if not _covers_plan_space(workers_a, workers_b, plan_space):
+            continue
+        if full_class not in workers_a or full_class not in workers_b:
+            continue
+        load = max(len(workers_a), len(workers_b)) / n_classes
+        best = min(best, load)
+    return best
+
+
+def _covers_plan_space(
+    classes_a: set[int], classes_b: set[int], plan_space: PlanSpace
+) -> bool:
+    """Whether two workers' class sets jointly cover all plans.
+
+    A plan is covered by a worker iff every intermediate-result class the
+    plan uses is assigned to that worker.  We enumerate the class sequences
+    plans can produce (projected onto the fixed tables) and require each to
+    be a subset of one worker's classes.
+    """
+    if plan_space is PlanSpace.LINEAR:
+        # Left-deep plans add one table at a time; projected onto fixed
+        # tables {x, y} (class bits: 1 = x, 2 = y), a plan passes through one
+        # of two maximal chains: {} -> {x} -> {x,y} or {} -> {y} -> {x,y}.
+        required_chains = [{0, 1, 3}, {0, 2, 3}]
+    else:
+        # Bushy plans over fixed tables {x, y, z} (bits 1, 2, 4): the classes
+        # a plan needs are any antichain-closure; enumerating maximal
+        # families is complex, so we enumerate all plans' class *sets* over
+        # a 6-table universe instead.
+        required_chains = _bushy_required_class_sets()
+    for chain in required_chains:
+        if not (chain <= classes_a or chain <= classes_b):
+            return False
+    return True
+
+
+_BUSHY_CLASS_SETS_CACHE: list[set[int]] | None = None
+
+
+def _bushy_required_class_sets() -> list[set[int]]:
+    """Class-usage sets of all bushy trees over 6 tables, projected on 3.
+
+    Tables 0, 1, 2 are the fixed triple (class bits 1, 2, 4); tables 3-5 are
+    "other" tables that make independent subtrees possible.  Enumerates every
+    bushy tree over the 6 tables and records which of the 8 classes its
+    intermediate results (including the final result, excluding leaves)
+    touch, *plus* the classes of its leaf projections that matter (the empty
+    class 0 is always required).  The resulting distinct sets drive the
+    coverage check of Theorem 9.
+    """
+    global _BUSHY_CLASS_SETS_CACHE
+    if _BUSHY_CLASS_SETS_CACHE is not None:
+        return _BUSHY_CLASS_SETS_CACHE
+    n = 6
+    fixed_mask = 0b000111
+    full = (1 << n) - 1
+
+    split_cache: dict[int, list[tuple[frozenset[int], ...]]] = {}
+
+    def class_of(mask: int) -> int:
+        return mask & fixed_mask
+
+    def tree_class_sets(mask: int) -> list[frozenset[int]]:
+        """All achievable sets of intermediate-result classes for ``mask``."""
+        if mask & (mask - 1) == 0:
+            return [frozenset()]
+        cached = split_cache.get(mask)
+        if cached is not None:
+            return list(cached)
+        results: set[frozenset[int]] = set()
+        sub = (mask - 1) & mask
+        while sub:
+            rest = mask ^ sub
+            if sub < rest:  # unordered split; operand order is irrelevant here
+                for left_classes in tree_class_sets(sub):
+                    for right_classes in tree_class_sets(rest):
+                        results.add(
+                            left_classes | right_classes | {class_of(mask)}
+                        )
+            sub = (sub - 1) & mask
+        out = sorted(results, key=sorted)
+        split_cache[mask] = tuple(out)
+        return out
+
+    class_sets = [set(classes) | {0} for classes in tree_class_sets(full)]
+    # Keep only maximal sets: a worker covering a maximal class set covers
+    # every plan whose class usage is a subset of it, so checking maximal
+    # sets is necessary and sufficient for full coverage.
+    unique: list[set[int]] = []
+    for candidate in sorted(class_sets, key=len, reverse=True):
+        if not any(candidate <= existing for existing in unique):
+            unique.append(candidate)
+    _BUSHY_CLASS_SETS_CACHE = unique
+    return unique

@@ -1,0 +1,131 @@
+"""Brute-force plan enumeration — the ground truth for small queries.
+
+Dynamic programming is only trustworthy if validated against exhaustive
+search.  This module enumerates *every* plan in the linear or bushy plan
+space (all join orders / tree shapes x all operator choices), costing each
+through the same cost model the DP uses.  Exponential: intended for tests
+with at most ~7 tables (linear) / ~5 tables (bushy).
+
+Also provides closed-form plan-space sizes used by tests:
+``n!`` left-deep join orders and ``n! * Catalan(n-1)`` ordered bushy trees.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from itertools import permutations
+
+from repro.config import OptimizerSettings
+from repro.core.constraints import Constraint
+from repro.cost.costmodel import CostModel
+from repro.plans.plan import Plan
+from repro.query.query import Query
+from repro.util.bitset import iter_proper_nonempty_subsets
+
+
+def n_leftdeep_orders(n_tables: int) -> int:
+    """Number of left-deep join orders (with cross products): ``n!``."""
+    return math.factorial(n_tables)
+
+
+def n_bushy_trees(n_tables: int) -> int:
+    """Number of ordered bushy trees: ``n! * Catalan(n - 1)``.
+
+    Counts distinct (leaf-labeled, operand-ordered) binary trees, i.e. the
+    splits the bushy DP distinguishes before operator choice.
+    """
+    n = n_tables
+    catalan = math.comb(2 * (n - 1), n - 1) // n
+    return math.factorial(n) * catalan
+
+
+def iter_leftdeep_plans(
+    query: Query, cost_model: CostModel, order_filter: Sequence[Constraint] = ()
+) -> Iterator[Plan]:
+    """Yield every left-deep plan (all orders x all operator choices).
+
+    ``order_filter`` drops join orders violating the given linear
+    constraints — used to enumerate a single partition's plan space.
+    """
+    for order in permutations(range(query.n_tables)):
+        if any(
+            order.index(constraint.before) > order.index(constraint.after)
+            for constraint in order_filter
+        ):
+            continue
+        yield from _leftdeep_plans_for_order(order, cost_model)
+
+
+def _leftdeep_plans_for_order(
+    order: Sequence[int], cost_model: CostModel
+) -> Iterator[Plan]:
+    prefixes: list[Plan] = list(cost_model.scan_plans(order[0]))
+    for table_number in order[1:]:
+        scans = cost_model.scan_plans(table_number)
+        extended: list[Plan] = []
+        for prefix in prefixes:
+            for scan in scans:
+                for candidate in cost_model.join_candidates(prefix, scan):
+                    extended.append(cost_model.build_join(prefix, scan, candidate))
+        prefixes = extended
+    yield from prefixes
+
+
+def iter_bushy_plans(query: Query, cost_model: CostModel) -> Iterator[Plan]:
+    """Yield every bushy plan for the full query (all trees x operators)."""
+    yield from _bushy_plans_for_mask(query.all_tables_mask, cost_model, {})
+
+
+def _bushy_plans_for_mask(
+    mask: int, cost_model: CostModel, cache: dict[int, list[Plan]]
+) -> list[Plan]:
+    cached = cache.get(mask)
+    if cached is not None:
+        return cached
+    if mask & (mask - 1) == 0:
+        plans: list[Plan] = list(cost_model.scan_plans(mask.bit_length() - 1))
+    else:
+        plans = []
+        for left_mask in iter_proper_nonempty_subsets(mask):
+            right_mask = mask ^ left_mask
+            for left in _bushy_plans_for_mask(left_mask, cost_model, cache):
+                for right in _bushy_plans_for_mask(right_mask, cost_model, cache):
+                    for candidate in cost_model.join_candidates(left, right):
+                        plans.append(cost_model.build_join(left, right, candidate))
+    cache[mask] = plans
+    return plans
+
+
+def min_cost_leftdeep(query: Query, settings: OptimizerSettings) -> float:
+    """Minimum first-metric cost over the entire left-deep plan space."""
+    cost_model = CostModel(query, settings)
+    return min(plan.cost[0] for plan in iter_leftdeep_plans(query, cost_model))
+
+
+def min_cost_bushy(query: Query, settings: OptimizerSettings) -> float:
+    """Minimum first-metric cost over the entire bushy plan space."""
+    cost_model = CostModel(query, settings)
+    return min(plan.cost[0] for plan in iter_bushy_plans(query, cost_model))
+
+
+def all_leftdeep_cost_vectors(
+    query: Query, settings: OptimizerSettings
+) -> list[tuple[float, ...]]:
+    """Cost vectors of every left-deep plan (for Pareto-frontier validation)."""
+    cost_model = CostModel(query, settings)
+    return [plan.cost for plan in iter_leftdeep_plans(query, cost_model)]
+
+
+def all_bushy_cost_vectors(
+    query: Query, settings: OptimizerSettings
+) -> list[tuple[float, ...]]:
+    """Cost vectors of every bushy plan (for Pareto-frontier validation)."""
+    cost_model = CostModel(query, settings)
+    return [plan.cost for plan in iter_bushy_plans(query, cost_model)]
+
+
+def count_bushy_plans_enumerated(query: Query, settings: OptimizerSettings) -> int:
+    """Number of enumerated bushy plans (tree shapes x operator choices)."""
+    cost_model = CostModel(query, settings)
+    return sum(1 for _ in iter_bushy_plans(query, cost_model))

@@ -1,0 +1,126 @@
+"""Admissible join-result generation (paper Algorithm 4).
+
+Constraints restrict which table sets may appear as intermediate join
+results.  ``AdmJoinResults`` builds the admissible sets directly — by a
+Cartesian product of per-group admissible subsets — instead of filtering all
+``2^n`` subsets, so each worker's set-generation work is proportional to its
+*own* partition size, not to the full plan space.
+
+Per group, the admissible subsets are:
+
+* an unconstrained pair/triple/singleton: its full power set;
+* a linear-constrained pair ``x ≺ y``: the power set minus ``{y}``
+  (3 of 4 subsets — the source of the per-constraint 3/4 factor);
+* a bushy-constrained triple ``x ⪯ y|z``: the power set minus ``{y, z}``
+  (7 of 8 subsets — the per-constraint 7/8 factor).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import PlanSpace
+from repro.core.constraints import (
+    Constraint,
+    LinearConstraint,
+    constraint_groups,
+)
+from repro.util.bitset import iter_subsets, mask_of, popcount
+
+
+def group_admissible_subsets(
+    group: tuple[int, ...], constraint: Constraint | None
+) -> list[int]:
+    """``ConstrainedPowerSet``: admissible subsets of one table group.
+
+    ``constraint`` is the (single) constraint defined on this group, if any;
+    constraints always live entirely inside one group.
+    """
+    group_mask = mask_of(group)
+    subsets = list(iter_subsets(group_mask))
+    if constraint is None:
+        return subsets
+    if isinstance(constraint, LinearConstraint):
+        excluded = 1 << constraint.after
+    else:
+        excluded = (1 << constraint.y) | (1 << constraint.z)
+    return [subset for subset in subsets if subset != excluded]
+
+
+def _constraints_by_group(
+    groups: Sequence[tuple[int, ...]], constraints: Sequence[Constraint]
+) -> list[Constraint | None]:
+    """Map each group to its constraint (or None)."""
+    by_first_table: dict[int, Constraint] = {}
+    for constraint in constraints:
+        if isinstance(constraint, LinearConstraint):
+            first = min(constraint.before, constraint.after)
+        else:
+            first = min(constraint.x, constraint.y, constraint.z)
+        if first in by_first_table:
+            raise ValueError(f"multiple constraints on the group of table {first}")
+        by_first_table[first] = constraint
+    assigned = []
+    for group in groups:
+        constraint = by_first_table.pop(group[0], None)
+        if constraint is not None:
+            members = set(group)
+            tables = (
+                {constraint.before, constraint.after}
+                if isinstance(constraint, LinearConstraint)
+                else {constraint.x, constraint.y, constraint.z}
+            )
+            if not tables <= members:
+                raise ValueError(
+                    f"constraint {constraint} does not fit group {group}"
+                )
+        assigned.append(constraint)
+    if by_first_table:
+        stray = next(iter(by_first_table.values()))
+        raise ValueError(f"constraint {stray} is not aligned to any group")
+    return assigned
+
+
+def admissible_join_results(
+    n_tables: int,
+    constraints: Sequence[Constraint],
+    plan_space: PlanSpace,
+) -> list[int]:
+    """All table sets admissible as join results (``AdmJoinResults``).
+
+    Returns bitmasks including the empty set and singletons (exactly the
+    Cartesian-product construction of Algorithm 4; the worker ignores sets of
+    fewer than two tables).  The full query set is always included: every
+    partition can build complete plans.
+    """
+    groups = constraint_groups(n_tables, plan_space)
+    assigned = _constraints_by_group(groups, constraints)
+    results = [0]
+    for group, constraint in zip(groups, assigned):
+        subsets = group_admissible_subsets(group, constraint)
+        results = [partial | subset for partial in results for subset in subsets]
+    return results
+
+
+def admissible_results_by_size(
+    n_tables: int,
+    constraints: Sequence[Constraint],
+    plan_space: PlanSpace,
+) -> dict[int, list[int]]:
+    """Admissible join results indexed by cardinality.
+
+    Algorithm 2 iterates table sets of increasing cardinality ``k``; this is
+    the index that makes "retrieve all sets with cardinality k" efficient.
+    Sizes 0 and 1 are omitted (handled separately by the DP).
+    """
+    by_size: dict[int, list[int]] = {k: [] for k in range(2, n_tables + 1)}
+    for mask in admissible_join_results(n_tables, constraints, plan_space):
+        size = popcount(mask)
+        if size >= 2:
+            by_size[size].append(mask)
+    return by_size
+
+
+def is_admissible(mask: int, constraints: Sequence[Constraint]) -> bool:
+    """Whether a table set survives every constraint (singletons always do)."""
+    return not any(constraint.excludes(mask) for constraint in constraints)

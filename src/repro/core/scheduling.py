@@ -1,0 +1,146 @@
+"""Heterogeneous worker scheduling (paper Section 4.1, footnote 1).
+
+The paper notes: "If worker nodes are heterogeneous then the number of
+partitions treated by a worker should be proportional to its performance."
+Because all partitions have exactly the same size (skew-free partitioning),
+scheduling reduces to splitting ``m`` equal chunks proportionally to worker
+speeds — no knowledge of the query is needed.
+
+:func:`assign_partitions` produces such an assignment (largest-remainder
+apportionment, ties to the faster worker, then a greedy rebalance).
+:func:`simulate_heterogeneous_run` composes the per-worker simulated time
+when each worker processes several partitions sequentially at its own speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.cluster.serialization import plans_bytes, task_bytes
+from repro.cluster.simulator import ClusterModel, worker_compute_seconds
+from repro.core.master import MasterResult
+from repro.query.query import Query
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """A worker node with a relative performance factor.
+
+    ``speed`` is relative throughput: a worker with speed 2.0 processes a
+    partition in half the time of a speed-1.0 worker.
+    """
+
+    name: str
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"speed must be > 0, got {self.speed}")
+
+
+def assign_partitions(
+    n_partitions: int, workers: Sequence[WorkerProfile]
+) -> list[list[int]]:
+    """Assign partition IDs to workers proportionally to their speeds.
+
+    Every partition is assigned to exactly one worker; each worker's load is
+    ``round(m * speed_share)`` up to rounding (largest remainder).  Workers
+    may receive zero partitions if they are much slower than the rest.
+    """
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    if not workers:
+        raise ValueError("need at least one worker")
+    total_speed = sum(worker.speed for worker in workers)
+    ideal = [n_partitions * worker.speed / total_speed for worker in workers]
+    counts = [int(share) for share in ideal]
+    remainders = [share - count for share, count in zip(ideal, counts)]
+    missing = n_partitions - sum(counts)
+    # Largest remainder first; break ties toward faster workers.
+    order = sorted(
+        range(len(workers)),
+        key=lambda i: (remainders[i], workers[i].speed),
+        reverse=True,
+    )
+    for i in order[:missing]:
+        counts[i] += 1
+    assignment: list[list[int]] = []
+    next_partition = 0
+    for count in counts:
+        assignment.append(list(range(next_partition, next_partition + count)))
+        next_partition += count
+    return assignment
+
+
+def makespan(
+    assignment: Sequence[Sequence[int]], workers: Sequence[WorkerProfile]
+) -> float:
+    """Completion time in partition-units: max over workers of load/speed."""
+    return max(
+        (len(partitions) / worker.speed)
+        for partitions, worker in zip(assignment, workers)
+    )
+
+
+@dataclass
+class HeterogeneousTiming:
+    """Simulated timing of an MPQ run over heterogeneous workers."""
+
+    assignment: list[list[int]]
+    worker_compute_s: list[float]
+    dispatch_s: float
+    collect_s: float
+    network_bytes: int
+
+    @property
+    def workers_done_s(self) -> float:
+        """When the slowest worker finishes (dispatch + setup excluded here
+        are already folded into worker_compute_s by the caller)."""
+        return max(self.worker_compute_s, default=0.0)
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end simulated time."""
+        return self.dispatch_s + self.workers_done_s + self.collect_s
+
+
+def simulate_heterogeneous_run(
+    cluster: ClusterModel,
+    query: Query,
+    result: MasterResult,
+    workers: Sequence[WorkerProfile],
+) -> HeterogeneousTiming:
+    """Compose simulated timing when workers own several partitions each.
+
+    A worker processes its partitions sequentially at its own speed; the
+    master sends one task message per *partition* (the IDs must reach their
+    owner) and receives one result message per partition, as in the
+    homogeneous case.
+    """
+    assignment = assign_partitions(len(result.partition_results), workers)
+    per_task = task_bytes(query)
+    dispatch_s = len(result.partition_results) * cluster.network.transfer_seconds(
+        per_task
+    )
+    collect_bytes = [
+        plans_bytes(partition.plans) for partition in result.partition_results
+    ]
+    collect_s = sum(
+        cluster.network.transfer_seconds(size) for size in collect_bytes
+    )
+    compute = []
+    for partitions, worker in zip(assignment, workers):
+        base = sum(
+            worker_compute_seconds(cluster, result.partition_results[pid].stats)
+            for pid in partitions
+        )
+        setup = cluster.task_setup_s if partitions else 0.0
+        compute.append(setup + base / worker.speed)
+    return HeterogeneousTiming(
+        assignment=assignment,
+        worker_compute_s=compute,
+        dispatch_s=dispatch_s,
+        collect_s=collect_s,
+        network_bytes=len(result.partition_results) * per_task + sum(collect_bytes),
+    )

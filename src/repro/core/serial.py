@@ -1,0 +1,35 @@
+"""Serial dynamic-programming optimization (the single-node baseline).
+
+Running MPQ with a single partition imposes no constraints, so the worker
+explores the full plan space in the classical table-set order — the paper
+notes that "if we use one worker then MPQ is equivalent to the classical
+query optimization algorithms as it treats the same table sets in the same
+order".  This module exposes that case directly: it is both the baseline the
+paper computes speedups against and the reference answer for tests.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_SETTINGS, OptimizerSettings
+from repro.core.worker import PartitionResult, optimize_partition
+from repro.plans.plan import Plan
+from repro.query.query import Query
+
+
+def optimize_serial(
+    query: Query, settings: OptimizerSettings = DEFAULT_SETTINGS
+) -> PartitionResult:
+    """Optimize ``query`` with classical (unpartitioned) dynamic programming.
+
+    Equivalent to Selinger's algorithm for linear plan spaces and to
+    DP over all subsets (Vance & Maier) for bushy plan spaces; for multiple
+    objectives it is the serial multi-objective DP of Trummer & Koch.
+    """
+    return optimize_partition(query, partition_id=0, n_partitions=1, settings=settings)
+
+
+def best_plan(result: PartitionResult) -> Plan:
+    """The cheapest plan by the first metric (ties: first generated)."""
+    if not result.plans:
+        raise ValueError("optimization produced no plan")
+    return min(result.plans, key=lambda plan: plan.cost[0])

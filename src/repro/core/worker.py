@@ -1,0 +1,291 @@
+"""The worker-side optimizer (paper Algorithm 2 with Algorithm 5's TrySplits).
+
+Each worker receives ``(query, partition_id, n_partitions, settings)``,
+decodes its partition ID into join-order constraints, generates the
+admissible join results, and runs the Selinger dynamic-programming scheme
+restricted to those results.  No other input is needed — in a shared-nothing
+deployment this function *is* the single task shipped to a worker node.
+
+Two split-enumeration strategies, as in the paper:
+
+* **linear** — enumerate every table of the join result as candidate inner
+  operand and check the constraints (complexity linear in *possible* splits;
+  cheap because left-deep splits are few);
+* **bushy** — generate only *admissible* operand pairs in the first place via
+  a per-triple Cartesian product (complexity linear in admissible splits; the
+  naive enumerate-and-check alternative is benchmarked as an ablation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.constraints import (
+    BushyConstraint,
+    Constraint,
+    LinearConstraint,
+    constraint_groups,
+    partition_constraints,
+)
+from repro.core.partitioning import _constraints_by_group, admissible_results_by_size
+from repro.cost.costmodel import CostModel
+from repro.cost.pruning import PlanTable, PruningPolicy, make_pruning
+from repro.plans.plan import Plan
+from repro.query.query import Query
+from repro.util.bitset import bits, iter_subsets, mask_of
+
+
+@dataclass
+class WorkerStats:
+    """Instrumentation of one partition's optimization run.
+
+    These counters are the raw material for the simulated-cluster timing
+    model and reproduce the paper's measured quantities: ``table_entries``
+    is the "Memory (relations)" axis of Figures 2/5, and the operation
+    counts drive simulated worker time.
+    """
+
+    partition_id: int
+    n_partitions: int
+    n_constraints: int
+    #: Admissible join results of cardinality >= 2 (Theorems 2/3 quantity).
+    admissible_results: int = 0
+    #: Operand pairs tried across all join results (Theorems 6/7 quantity).
+    splits_considered: int = 0
+    #: Costed join candidates (splits x operator variants x stored sub-plans).
+    plans_considered: int = 0
+    #: Candidates that survived pruning.
+    plans_kept: int = 0
+    #: Table sets with at least one stored plan (memory in "relations").
+    table_entries: int = 0
+    #: Total stored plans (> table_entries for orders / multi-objective).
+    stored_plans: int = 0
+    #: Plans returned to the master (1, or the partition's Pareto frontier).
+    result_plans: int = 0
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class PartitionResult:
+    """What a worker sends back: partition-optimal plan(s) plus statistics."""
+
+    plans: list[Plan]
+    stats: WorkerStats
+
+
+@dataclass
+class _BushyGroup:
+    """Precomputed per-group data for bushy split generation."""
+
+    group_mask: int
+    x_bit: int = 0
+    yz_mask: int = 0
+    constrained: bool = False
+
+
+def optimize_partition(
+    query: Query,
+    partition_id: int,
+    n_partitions: int,
+    settings: OptimizerSettings,
+) -> PartitionResult:
+    """Find the optimal plan(s) within one plan-space partition.
+
+    With ``n_partitions == 1`` this is exactly the classical (serial) DP —
+    the baseline the paper computes speedups against.
+    """
+    started = time.perf_counter()
+    n = query.n_tables
+    constraints = partition_constraints(
+        n, partition_id, n_partitions, settings.plan_space
+    )
+    stats = WorkerStats(
+        partition_id=partition_id,
+        n_partitions=n_partitions,
+        n_constraints=len(constraints),
+    )
+    by_size = admissible_results_by_size(n, constraints, settings.plan_space)
+    stats.admissible_results = sum(len(masks) for masks in by_size.values())
+
+    cost_model = CostModel(query, settings)
+    pruning = make_pruning(settings, n_tables=n)
+    table: PlanTable = {}
+    for table_number in range(n):
+        for scan in cost_model.scan_plans(table_number):
+            pruning.consider(table, scan.mask, scan.cost, scan.order, lambda s=scan: s)
+
+    if settings.plan_space is PlanSpace.LINEAR:
+        _run_linear(query, constraints, by_size, table, cost_model, pruning, stats)
+    else:
+        _run_bushy(query, constraints, by_size, table, cost_model, pruning, stats)
+
+    stats.table_entries = len(table)
+    stats.stored_plans = sum(len(entry) for entry in table.values())
+    full_mask = query.all_tables_mask
+    plans = list(table.get(full_mask, []))
+    stats.result_plans = len(plans)
+    stats.wall_time_s = time.perf_counter() - started
+    return PartitionResult(plans=plans, stats=stats)
+
+
+def _consider_joins(
+    left_plans: list[Plan],
+    right_plans: list[Plan],
+    mask: int,
+    table: PlanTable,
+    cost_model: CostModel,
+    pruning: PruningPolicy,
+    stats: WorkerStats,
+) -> None:
+    """Cost and prune every operator variant over stored sub-plan pairs."""
+    for left in left_plans:
+        for right in right_plans:
+            for candidate in cost_model.join_candidates(left, right):
+                stats.plans_considered += 1
+                kept = pruning.consider(
+                    table,
+                    mask,
+                    candidate.cost,
+                    candidate.order,
+                    lambda l=left, r=right, c=candidate: cost_model.build_join(l, r, c),
+                )
+                if kept:
+                    stats.plans_kept += 1
+
+
+def _run_linear(
+    query: Query,
+    constraints: tuple[Constraint, ...],
+    by_size: dict[int, list[int]],
+    table: PlanTable,
+    cost_model: CostModel,
+    pruning: PruningPolicy,
+    stats: WorkerStats,
+) -> None:
+    """TrySplits[Linear]: every table may be inner operand unless blocked.
+
+    Table ``u`` cannot be joined last if some constraint ``u ≺ v`` has ``v``
+    inside the join result; ``after_masks[u]`` collects those ``v`` bits so
+    the check is one AND per candidate.
+    """
+    n = query.n_tables
+    after_masks = [0] * n
+    for constraint in constraints:
+        assert isinstance(constraint, LinearConstraint)
+        after_masks[constraint.before] |= 1 << constraint.after
+    for size in range(2, n + 1):
+        for mask in by_size.get(size, ()):
+            for inner in bits(mask):
+                if after_masks[inner] & mask:
+                    continue
+                rest = mask ^ (1 << inner)
+                left_plans = table.get(rest)
+                if left_plans is None:
+                    continue
+                stats.splits_considered += 1
+                _consider_joins(
+                    left_plans,
+                    table[1 << inner],
+                    mask,
+                    table,
+                    cost_model,
+                    pruning,
+                    stats,
+                )
+
+
+def _bushy_groups(
+    n_tables: int, constraints: tuple[Constraint, ...]
+) -> list[_BushyGroup]:
+    """Precompute group masks and constraint bit patterns for split generation."""
+    groups = constraint_groups(n_tables, PlanSpace.BUSHY)
+    assigned = _constraints_by_group(groups, constraints)
+    prepared = []
+    for group, constraint in zip(groups, assigned):
+        info = _BushyGroup(group_mask=mask_of(group))
+        if constraint is not None:
+            assert isinstance(constraint, BushyConstraint)
+            info.constrained = True
+            info.x_bit = 1 << constraint.x
+            info.yz_mask = (1 << constraint.y) | (1 << constraint.z)
+        prepared.append(info)
+    return prepared
+
+
+def bushy_operands(mask: int, groups: list[_BushyGroup]) -> list[int]:
+    """Admissible left operands for splitting ``mask`` (Algorithm 5, bushy).
+
+    Generates, by per-group Cartesian product, every subset ``L`` of ``mask``
+    such that both ``L`` and ``mask \\ L`` are admissible intermediate
+    results.  The returned list includes the degenerate operands ``0`` and
+    ``mask`` (callers skip them) — keeping them makes the product's size
+    match the closed-form split counts of Theorem 7 exactly.
+    """
+    operands = [0]
+    for group in groups:
+        local = group.group_mask & mask
+        if local == 0:
+            continue
+        subsets = list(iter_subsets(local))
+        if group.constrained and mask & group.yz_mask == group.yz_mask:
+            # Both y and z are in the join result; since the result is
+            # admissible, x is too.  Remove operand sides violating the
+            # constraint: the side containing {y, z} must also contain x.
+            x_bit, yz = group.x_bit, group.yz_mask
+            subsets = [
+                sub
+                for sub in subsets
+                if not (sub & yz == yz and not sub & x_bit)
+                and not (sub & yz == 0 and sub & x_bit)
+            ]
+        operands = [partial | sub for partial in operands for sub in subsets]
+    return operands
+
+
+def _run_bushy(
+    query: Query,
+    constraints: tuple[Constraint, ...],
+    by_size: dict[int, list[int]],
+    table: PlanTable,
+    cost_model: CostModel,
+    pruning: PruningPolicy,
+    stats: WorkerStats,
+) -> None:
+    """TrySplits[Bushy]: generate only admissible splits, then cost them."""
+    n = query.n_tables
+    groups = _bushy_groups(n, constraints)
+    for size in range(2, n + 1):
+        for mask in by_size.get(size, ()):
+            for left_mask in bushy_operands(mask, groups):
+                if left_mask == 0 or left_mask == mask:
+                    continue
+                right_mask = mask ^ left_mask
+                left_plans = table.get(left_mask)
+                right_plans = table.get(right_mask)
+                if left_plans is None or right_plans is None:
+                    continue
+                stats.splits_considered += 1
+                _consider_joins(
+                    left_plans, right_plans, mask, table, cost_model, pruning, stats
+                )
+
+
+def naive_bushy_operands(mask: int, constraints: tuple[Constraint, ...]) -> list[int]:
+    """Ablation baseline: enumerate *all* splits, then filter by constraints.
+
+    This is the strategy the paper deliberately avoids for bushy spaces
+    because its complexity is linear in the number of *possible* rather than
+    admissible splits.  Exposed for the split-generation ablation benchmark;
+    returns the same operand set as :func:`bushy_operands` (including the
+    degenerate 0/mask entries) on admissible ``mask`` values.
+    """
+    operands = []
+    for left_mask in iter_subsets(mask):
+        right_mask = mask ^ left_mask
+        left_ok = not any(c.excludes(left_mask) for c in constraints)
+        right_ok = not any(c.excludes(right_mask) for c in constraints)
+        if left_ok and right_ok:
+            operands.append(left_mask)
+    return operands

@@ -1,0 +1,33 @@
+"""Cost estimation and pruning: cardinalities, metrics, Pareto frontiers."""
+
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.costmodel import CostModel, JoinCandidate
+from repro.cost.metrics import BufferSpaceMetric, ExecutionTimeMetric, Metric, make_metrics
+from repro.cost.pareto import alpha_dominates, dominates, pareto_filter
+from repro.cost.pruning import (
+    InterestingOrderPruning,
+    MinCostPruning,
+    ParetoPruning,
+    PruningPolicy,
+    final_prune,
+    make_pruning,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "JoinCandidate",
+    "BufferSpaceMetric",
+    "ExecutionTimeMetric",
+    "Metric",
+    "make_metrics",
+    "alpha_dominates",
+    "dominates",
+    "pareto_filter",
+    "InterestingOrderPruning",
+    "MinCostPruning",
+    "ParetoPruning",
+    "PruningPolicy",
+    "final_prune",
+    "make_pruning",
+]

@@ -1,0 +1,61 @@
+"""Join-result cardinality estimation.
+
+Standard System-R style estimation under the independence assumption: the
+cardinality of joining a table set is the product of base cardinalities times
+the product of the selectivities of all predicates applicable within the set.
+Because it depends only on the table *set* (not the join order), results are
+memoized per bitmask — the estimator is consulted once per admissible join
+result, matching the constant-time cost calculation assumed by Theorem 6.
+"""
+
+from __future__ import annotations
+
+from repro.query.query import Query
+from repro.util.bitset import bits
+
+
+class CardinalityEstimator:
+    """Memoized cardinality estimates for table subsets of one query."""
+
+    def __init__(self, query: Query) -> None:
+        self._query = query
+        self._cache: dict[int, float] = {}
+        for number, table in enumerate(query.tables):
+            self._cache[1 << number] = float(table.cardinality)
+
+    @property
+    def query(self) -> Query:
+        """The query whose table subsets this estimator sizes."""
+        return self._query
+
+    def rows(self, mask: int) -> float:
+        """Estimated cardinality of the join over the table set ``mask``."""
+        if mask == 0:
+            raise ValueError("cannot estimate cardinality of the empty table set")
+        cached = self._cache.get(mask)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        for table_number in bits(mask):
+            rows *= self._query.tables[table_number].cardinality
+        for predicate in self._query.predicates:
+            if predicate.applies_within(mask):
+                rows *= predicate.selectivity
+        rows = max(rows, 1.0)
+        self._cache[mask] = rows
+        return rows
+
+    def join_selectivity(self, left_mask: int, right_mask: int) -> float:
+        """Combined selectivity of all predicates connecting two table sets.
+
+        Returns 1.0 for a Cartesian product.  Satisfies
+        ``rows(l | r) ≈ rows(l) * rows(r) * join_selectivity(l, r)`` as long
+        as no predicate is internal to both sides (sides are disjoint here).
+        """
+        if left_mask & right_mask:
+            raise ValueError("join operands must be disjoint table sets")
+        selectivity = 1.0
+        for predicate in self._query.predicates:
+            if predicate.connects(left_mask, right_mask):
+                selectivity *= predicate.selectivity
+        return selectivity

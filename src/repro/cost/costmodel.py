@@ -1,0 +1,184 @@
+"""The cost model: the only factory for plan objects.
+
+Workers ask the cost model for scan plans and join candidates; the model
+estimates output cardinality, chooses applicable operators (hash and
+sort-merge require an equality predicate), determines sortedness, and
+evaluates every configured metric.  Candidates are plain tuples so the DP
+inner loop can compare costs *before* allocating a plan object — plan nodes
+are only materialized for candidates the pruning function keeps.
+
+The model is rebuilt locally on each worker from ``(query, settings)``; it
+holds nothing that needs to cross the network beyond those two objects.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.config import OptimizerSettings
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.metrics import Metric, make_metrics
+from repro.plans.operators import ALL_JOIN_ALGORITHMS, JoinAlgorithm, ScanAlgorithm
+from repro.plans.orders import SortOrder
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.predicates import JoinPredicate
+from repro.query.query import Query
+
+
+class JoinCandidate(NamedTuple):
+    """A costed but not yet materialized join of two fixed sub-plans.
+
+    A named tuple rather than a dataclass: millions of candidates are built
+    in the DP inner loop, and tuple construction is markedly cheaper.
+    """
+
+    algorithm: JoinAlgorithm
+    rows: float
+    cost: tuple[float, ...]
+    order: SortOrder | None
+    sort_left: bool
+    sort_right: bool
+
+
+class CostModel:
+    """Costs plans for one query under one :class:`OptimizerSettings`."""
+
+    def __init__(self, query: Query, settings: OptimizerSettings) -> None:
+        self._query = query
+        self._settings = settings
+        self._cards = CardinalityEstimator(query)
+        self._metrics: tuple[Metric, ...] = make_metrics(settings.objectives)
+        if settings.use_all_join_algorithms:
+            self._join_algorithms = ALL_JOIN_ALGORITHMS
+        else:
+            self._join_algorithms = (JoinAlgorithm.BLOCK_NESTED_LOOP,)
+        # Pair each algorithm with its (fixed) applicability flag once; the
+        # enum property would otherwise be re-evaluated per DP candidate.
+        self._algorithm_table = tuple(
+            (algorithm, algorithm.requires_equi_predicate)
+            for algorithm in self._join_algorithms
+        )
+
+    @property
+    def query(self) -> Query:
+        """The query being optimized."""
+        return self._query
+
+    @property
+    def settings(self) -> OptimizerSettings:
+        """The optimizer configuration this model was built for."""
+        return self._settings
+
+    @property
+    def metrics(self) -> tuple[Metric, ...]:
+        """The metric vector (one entry per objective)."""
+        return self._metrics
+
+    @property
+    def cardinality(self) -> CardinalityEstimator:
+        """The underlying cardinality estimator."""
+        return self._cards
+
+    def scan_plans(self, table_number: int) -> list[ScanPlan]:
+        """All scan plans for a base table.
+
+        The paper assumes one scan plan per table in its pseudo-code and
+        notes the generalization is straightforward — realized here: a
+        table clustered on a column additionally offers a clustered-index
+        scan whose output carries that column's sort order.  The sorted
+        variant only matters (and is only emitted) when interesting orders
+        are tracked.
+        """
+        table = self._query.tables[table_number]
+        rows = float(table.cardinality)
+        cost = tuple(metric.scan_cost(table, rows) for metric in self._metrics)
+        plans = [
+            ScanPlan(
+                mask=1 << table_number,
+                rows=rows,
+                cost=cost,
+                order=None,
+                table=table_number,
+                algorithm=ScanAlgorithm.FULL_SCAN,
+            )
+        ]
+        if self._settings.consider_orders and table.clustered_on is not None:
+            plans.append(
+                ScanPlan(
+                    mask=1 << table_number,
+                    rows=rows,
+                    cost=cost,
+                    order=SortOrder(table_number, table.clustered_on),
+                    table=table_number,
+                    algorithm=ScanAlgorithm.CLUSTERED_INDEX_SCAN,
+                )
+            )
+        return plans
+
+    def join_candidates(self, left: Plan, right: Plan) -> list[JoinCandidate]:
+        """All applicable operator instantiations for ``left ⋈ right``."""
+        predicates = self._query.predicates_between(left.mask, right.mask)
+        out_rows = self._cards.rows(left.mask | right.mask)
+        candidates = []
+        for algorithm, requires_equi in self._algorithm_table:
+            if requires_equi and not predicates:
+                continue
+            sort_left = sort_right = False
+            order: SortOrder | None = None
+            if algorithm is JoinAlgorithm.SORT_MERGE:
+                predicate = predicates[0]
+                left_key, right_key = self._split_keys(predicate, left.mask)
+                sort_left = not self._is_sorted(left, left_key)
+                sort_right = not self._is_sorted(right, right_key)
+                if self._settings.consider_orders:
+                    order = left_key
+            cost = tuple(
+                metric.join_cost(
+                    left.cost[i],
+                    right.cost[i],
+                    left.rows,
+                    right.rows,
+                    out_rows,
+                    algorithm,
+                    sort_left,
+                    sort_right,
+                )
+                for i, metric in enumerate(self._metrics)
+            )
+            candidates.append(
+                JoinCandidate(
+                    algorithm=algorithm,
+                    rows=out_rows,
+                    cost=cost,
+                    order=order,
+                    sort_left=sort_left,
+                    sort_right=sort_right,
+                )
+            )
+        return candidates
+
+    def build_join(self, left: Plan, right: Plan, candidate: JoinCandidate) -> JoinPlan:
+        """Materialize a plan node for a candidate the pruning kept."""
+        return JoinPlan(
+            mask=left.mask | right.mask,
+            rows=candidate.rows,
+            cost=candidate.cost,
+            order=candidate.order,
+            left=left,
+            right=right,
+            algorithm=candidate.algorithm,
+        )
+
+    def _split_keys(
+        self, predicate: JoinPredicate, left_mask: int
+    ) -> tuple[SortOrder, SortOrder]:
+        """Sort keys of the two operands for a sort-merge on ``predicate``."""
+        left_endpoint = SortOrder(predicate.left_table, predicate.left_column)
+        right_endpoint = SortOrder(predicate.right_table, predicate.right_column)
+        if left_mask & (1 << predicate.left_table):
+            return left_endpoint, right_endpoint
+        return right_endpoint, left_endpoint
+
+    def _is_sorted(self, plan: Plan, key: SortOrder) -> bool:
+        """Whether ``plan`` output is already sorted on ``key``."""
+        return self._settings.consider_orders and plan.order == key

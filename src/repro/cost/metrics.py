@@ -1,0 +1,179 @@
+"""Plan cost metrics.
+
+Two metrics, matching the paper's evaluation (Section 6.1):
+
+* **execution time** — standard cost formulas after Steinbrunn et al.:
+  block-nested-loop ``|R|·|S|``, hash ``1.2·(|R|+|S|)``, sort-merge
+  ``|R|·log|R| + |S|·log|S| + |R| + |S|`` (sort terms skipped for pre-sorted
+  inputs when interesting orders are tracked);
+* **buffer space** — memory held by the most memory-hungry operator on any
+  root-to-leaf path: hash join buffers its build side, sort-merge its unsorted
+  inputs, block-nested-loop only a fixed block.
+
+Each metric defines how a cost component composes from the children's
+components — time adds up, buffer space takes a maximum — so the two can be
+combined freely into cost vectors for multi-objective optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.config import Objective
+from repro.plans.operators import JoinAlgorithm
+from repro.query.schema import Table
+
+#: Hash-join constant from Steinbrunn et al. (build + probe overhead).
+HASH_FACTOR = 1.2
+
+#: Tuples a block-nested-loop join keeps resident (its buffer footprint).
+BNL_BLOCK_TUPLES = 100.0
+
+
+class Metric(ABC):
+    """One plan cost metric: leaf costs plus a composition rule for joins."""
+
+    #: Objective tag; used to build metric vectors from settings.
+    objective: Objective
+
+    @property
+    def name(self) -> str:
+        """Short metric name (``time``, ``buffer``)."""
+        return self.objective.value
+
+    @abstractmethod
+    def scan_cost(self, table: Table, rows: float) -> float:
+        """Cost component of scanning ``table`` producing ``rows`` tuples."""
+
+    @abstractmethod
+    def join_cost(
+        self,
+        left_cost: float,
+        right_cost: float,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+        algorithm: JoinAlgorithm,
+        sort_left: bool,
+        sort_right: bool,
+    ) -> float:
+        """Cost component of a join given operand components and sizes.
+
+        ``sort_left``/``sort_right`` report whether a sort-merge join must
+        sort the respective input (False when the input arrives pre-sorted on
+        the join attribute).
+        """
+
+
+def _sort_term(rows: float) -> float:
+    """n·log2(n) sort cost, safe for tiny inputs."""
+    return rows * math.log2(max(rows, 2.0))
+
+
+class ExecutionTimeMetric(Metric):
+    """Estimated execution time; composes additively."""
+
+    objective = Objective.EXECUTION_TIME
+
+    def scan_cost(self, table: Table, rows: float) -> float:
+        return rows
+
+    def join_cost(
+        self,
+        left_cost: float,
+        right_cost: float,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+        algorithm: JoinAlgorithm,
+        sort_left: bool,
+        sort_right: bool,
+    ) -> float:
+        if algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP:
+            operator = left_rows * right_rows
+        elif algorithm is JoinAlgorithm.HASH:
+            operator = HASH_FACTOR * (left_rows + right_rows)
+        elif algorithm is JoinAlgorithm.SORT_MERGE:
+            operator = left_rows + right_rows
+            if sort_left:
+                operator += _sort_term(left_rows)
+            if sort_right:
+                operator += _sort_term(right_rows)
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValueError(f"unknown join algorithm {algorithm!r}")
+        return left_cost + right_cost + operator
+
+
+class BufferSpaceMetric(Metric):
+    """Peak operator memory along any pipeline; composes via max."""
+
+    objective = Objective.BUFFER_SPACE
+
+    def scan_cost(self, table: Table, rows: float) -> float:
+        return 1.0
+
+    def join_cost(
+        self,
+        left_cost: float,
+        right_cost: float,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+        algorithm: JoinAlgorithm,
+        sort_left: bool,
+        sort_right: bool,
+    ) -> float:
+        if algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP:
+            operator = BNL_BLOCK_TUPLES
+        elif algorithm is JoinAlgorithm.HASH:
+            operator = right_rows
+        elif algorithm is JoinAlgorithm.SORT_MERGE:
+            operator = (left_rows if sort_left else 0.0) + (
+                right_rows if sort_right else 0.0
+            )
+            operator = max(operator, 1.0)
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValueError(f"unknown join algorithm {algorithm!r}")
+        return max(left_cost, right_cost, operator)
+
+
+class OutputRowsMetric(Metric):
+    """Total intermediate-result size (the classical ``C_out`` metric).
+
+    Additive like execution time, which makes it a valid endpoint for
+    parametric scalarization: ``(1-θ)·time + θ·io`` is additive for every θ.
+    """
+
+    objective = Objective.OUTPUT_ROWS
+
+    def scan_cost(self, table: Table, rows: float) -> float:
+        return 0.0
+
+    def join_cost(
+        self,
+        left_cost: float,
+        right_cost: float,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+        algorithm: JoinAlgorithm,
+        sort_left: bool,
+        sort_right: bool,
+    ) -> float:
+        return left_cost + right_cost + out_rows
+
+
+_METRIC_CLASSES: dict[Objective, type[Metric]] = {
+    Objective.EXECUTION_TIME: ExecutionTimeMetric,
+    Objective.BUFFER_SPACE: BufferSpaceMetric,
+    Objective.OUTPUT_ROWS: OutputRowsMetric,
+}
+
+
+def make_metrics(objectives: tuple[Objective, ...]) -> tuple[Metric, ...]:
+    """Instantiate the metric vector for the requested objectives."""
+    try:
+        return tuple(_METRIC_CLASSES[objective]() for objective in objectives)
+    except KeyError as exc:  # pragma: no cover - guarded by Objective enum
+        raise ValueError(f"no metric implementation for {exc.args[0]!r}") from exc

@@ -1,0 +1,118 @@
+"""Lower-envelope computations for parametric query optimization.
+
+A plan with (additive) cost vector ``(a, b)`` has scalarized cost
+``f(θ) = (1-θ)·a + θ·b = a + θ·(b - a)`` — a line over the parameter
+θ ∈ [0, 1].  The plans worth keeping are exactly those appearing on the
+*lower envelope* of these lines: optimal for at least one θ.  The envelope
+is a minimum of linear functions, so a candidate is needed iff it dips
+strictly below the incumbent envelope at an endpoint or at a pairwise
+crossing of lines — a finite, exact test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _tolerance(value: float) -> float:
+    """Absolute comparison slack scaled to the magnitude at hand."""
+    return 1e-9 * max(1.0, abs(value))
+
+
+def scalarize(cost: Sequence[float], theta: float) -> float:
+    """Scalarized cost ``(1-θ)·cost[0] + θ·cost[1]``."""
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    return (1.0 - theta) * cost[0] + theta * cost[1]
+
+
+def _line_intersections(costs: Sequence[Sequence[float]]) -> list[float]:
+    """θ values in (0, 1) where two of the cost lines cross."""
+    thetas = []
+    for i in range(len(costs)):
+        slope_i = costs[i][1] - costs[i][0]
+        for j in range(i + 1, len(costs)):
+            slope_j = costs[j][1] - costs[j][0]
+            denominator = slope_i - slope_j
+            if denominator == 0.0:
+                continue
+            theta = (costs[j][0] - costs[i][0]) / denominator
+            if 0.0 < theta < 1.0:
+                thetas.append(theta)
+    return thetas
+
+
+def candidate_thetas(costs: Sequence[Sequence[float]]) -> list[float]:
+    """θ values at which envelope comparisons must be evaluated.
+
+    The minimum of linear functions changes structure only at pairwise
+    crossings; adding the endpoints makes the test over [0, 1] exact.
+    """
+    return [0.0, 1.0, *_line_intersections(costs)]
+
+
+def needed_on_envelope(
+    cost: Sequence[float], others: Sequence[Sequence[float]]
+) -> bool:
+    """Whether ``cost``'s line dips strictly below the envelope of ``others``.
+
+    With no competitors every plan is needed.  Ties (a line touching but
+    never undercutting the envelope) are *not* needed — this deduplicates
+    equal-cost plans.
+    """
+    if not others:
+        return True
+    for theta in candidate_thetas([cost, *others]):
+        own = scalarize(cost, theta)
+        best_other = min(scalarize(other, theta) for other in others)
+        if own < best_other - _tolerance(best_other):
+            return True
+    return False
+
+
+def envelope_filter(costs: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the cost vectors on the lower envelope.
+
+    Incremental construction: a vector joins the survivor set only if it
+    dips strictly below the current envelope, and joining may evict
+    survivors it renders redundant.  (Near-)duplicates collapse to their
+    first occurrence, and the result is never empty for non-empty input.
+    """
+    survivors: list[int] = []
+    for index, cost in enumerate(costs):
+        current = [costs[i] for i in survivors]
+        if not needed_on_envelope(cost, current):
+            continue
+        survivors.append(index)
+        evicted = True
+        while evicted:
+            evicted = False
+            for position, kept_index in enumerate(survivors):
+                others = [
+                    costs[i]
+                    for j, i in enumerate(survivors)
+                    if j != position
+                ]
+                if others and not needed_on_envelope(costs[kept_index], others):
+                    survivors.pop(position)
+                    evicted = True
+                    break
+    return survivors
+
+
+def switching_points(costs: Sequence[Sequence[float]]) -> list[float]:
+    """θ values where the identity of the scalarized optimum changes.
+
+    Input should already be envelope-filtered; returns sorted θ in (0, 1).
+    """
+    points = []
+    for theta in sorted(set(_line_intersections(costs))):
+        best = min(scalarize(cost, theta) for cost in costs)
+        touching = sum(
+            1
+            for cost in costs
+            if scalarize(cost, theta) <= best + _tolerance(best)
+        )
+        if touching >= 2:
+            points.append(theta)
+    return points

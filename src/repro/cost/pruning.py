@@ -1,0 +1,278 @@
+"""Pruning functions — the single point of variation between optimizer flavours.
+
+The paper stresses that the classical DP scheme, multi-objective optimization,
+and parametric optimization differ *only* in the pruning function (Section 4).
+This module makes that literal: the worker DP is generic over a
+:class:`PruningPolicy` that decides which plans survive per table set.
+
+Three policies are provided:
+
+* :class:`MinCostPruning` — classical single-objective optimization; one best
+  plan per table set.
+* :class:`InterestingOrderPruning` — one best plan per (table set, output
+  order); a costlier sorted plan survives if its order may pay off later.
+* :class:`ParetoPruning` — multi-objective optimization keeping an (α-)
+  approximate Pareto frontier per table set (Trummer & Koch, SIGMOD 2014).
+
+The memotable is a plain ``dict`` mapping table-set bitmasks to lists of
+plans; policies mutate the entry for one mask.  Candidates arrive as
+``(cost, order, build)`` where ``build`` materializes the plan node only if
+the candidate is kept — this keeps the DP inner loop allocation-free for
+rejected plans.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable
+
+from repro.config import OptimizerSettings
+from repro.cost.parametric import envelope_filter, needed_on_envelope
+from repro.cost.pareto import alpha_dominates, dominates, pareto_filter
+from repro.plans.orders import SortOrder, order_satisfies
+from repro.plans.plan import Plan
+
+PlanTable = dict[int, list[Plan]]
+PlanBuilder = Callable[[], Plan]
+
+
+class PruningPolicy(ABC):
+    """Decides which plans survive per table set."""
+
+    @abstractmethod
+    def consider(
+        self,
+        table: PlanTable,
+        mask: int,
+        cost: tuple[float, ...],
+        order: SortOrder | None,
+        build: PlanBuilder,
+    ) -> bool:
+        """Offer a candidate plan for ``mask``; return True iff it was kept."""
+
+    @abstractmethod
+    def final_prune(self, plans: Iterable[Plan]) -> list[Plan]:
+        """Master-side pruning across partition-optimal plans (FinalPrune).
+
+        Output order is irrelevant for completed plans (the paper notes the
+        master's pruning may differ from the workers' for this reason), so
+        dominance here ignores interesting orders.
+        """
+
+
+class MinCostPruning(PruningPolicy):
+    """Keep the single cheapest plan per table set (classical optimization)."""
+
+    def consider(
+        self,
+        table: PlanTable,
+        mask: int,
+        cost: tuple[float, ...],
+        order: SortOrder | None,
+        build: PlanBuilder,
+    ) -> bool:
+        entry = table.get(mask)
+        if entry is not None and entry[0].cost[0] <= cost[0]:
+            return False
+        table[mask] = [build()]
+        return True
+
+    def final_prune(self, plans: Iterable[Plan]) -> list[Plan]:
+        best: Plan | None = None
+        for plan in plans:
+            if best is None or plan.cost[0] < best.cost[0]:
+                best = plan
+        return [] if best is None else [best]
+
+
+class InterestingOrderPruning(PruningPolicy):
+    """Keep one best plan per (table set, interesting order).
+
+    A kept plan ``p`` eliminates candidate ``q`` iff ``p`` costs no more and
+    ``p``'s output order satisfies ``q``'s (``q`` unsorted, or same order).
+    """
+
+    def consider(
+        self,
+        table: PlanTable,
+        mask: int,
+        cost: tuple[float, ...],
+        order: SortOrder | None,
+        build: PlanBuilder,
+    ) -> bool:
+        entry = table.get(mask)
+        if entry is None:
+            table[mask] = [build()]
+            return True
+        for kept in entry:
+            if kept.cost[0] <= cost[0] and order_satisfies(kept.order, order):
+                return False
+        plan = build()
+        entry[:] = [
+            kept
+            for kept in entry
+            if not (cost[0] <= kept.cost[0] and order_satisfies(order, kept.order))
+        ]
+        entry.append(plan)
+        return True
+
+    def final_prune(self, plans: Iterable[Plan]) -> list[Plan]:
+        return MinCostPruning().final_prune(plans)
+
+
+class ParetoPruning(PruningPolicy):
+    """Keep an approximate Pareto frontier per table set.
+
+    ``alpha`` here is the *per-comparison* factor: a candidate is discarded
+    when some kept plan α-dominates it (cost within factor α in every
+    metric, and compatible order when orders are tracked).  When a candidate
+    is kept, previously kept plans it *exactly* dominates are removed —
+    exact removal preserves the invariant that every discarded plan remains
+    α-dominated by some kept plan.
+
+    Because discarding compounds across DP levels (a pruned sub-plan's
+    replacement may itself be pruned one level up), a per-comparison factor
+    α yields an end-to-end guarantee of α^(n-1) for an n-table query.  The
+    approximation scheme of Trummer & Koch (SIGMOD 2014) therefore uses the
+    per-level root: :func:`make_pruning` converts a *global* target α into
+    the per-comparison factor ``α^(1/(n-1))``, restoring the end-to-end
+    factor-α near-optimality guarantee the paper's Table 1 relies on.
+    """
+
+    def __init__(self, alpha: float = 1.0, respect_orders: bool = False) -> None:
+        if alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1.0, got {alpha}")
+        self._alpha = alpha
+        self._respect_orders = respect_orders
+
+    @property
+    def alpha(self) -> float:
+        """The approximation factor used for discarding candidates."""
+        return self._alpha
+
+    def consider(
+        self,
+        table: PlanTable,
+        mask: int,
+        cost: tuple[float, ...],
+        order: SortOrder | None,
+        build: PlanBuilder,
+    ) -> bool:
+        entry = table.get(mask)
+        if entry is None:
+            table[mask] = [build()]
+            return True
+        for kept in entry:
+            if alpha_dominates(kept.cost, cost, self._alpha) and self._covers(
+                kept.order, order
+            ):
+                return False
+        plan = build()
+        entry[:] = [
+            kept
+            for kept in entry
+            if not (dominates(cost, kept.cost) and self._covers(order, kept.order))
+        ]
+        entry.append(plan)
+        return True
+
+    def final_prune(self, plans: Iterable[Plan]) -> list[Plan]:
+        frontier: list[Plan] = []
+        for plan in plans:
+            if any(dominates(kept.cost, plan.cost) for kept in frontier):
+                continue
+            frontier = [
+                kept for kept in frontier if not dominates(plan.cost, kept.cost)
+            ]
+            frontier.append(plan)
+        return frontier
+
+    def _covers(self, produced: SortOrder | None, required: SortOrder | None) -> bool:
+        if not self._respect_orders:
+            return True
+        return order_satisfies(produced, required)
+
+
+class ParametricPruning(PruningPolicy):
+    """Keep the plans optimal for some θ ∈ [0, 1] (parametric optimization).
+
+    Cost vectors are interpreted as the endpoints of the linear cost
+    function ``(1-θ)·cost[0] + θ·cost[1]``; the entry holds exactly the
+    lower envelope of those lines.  Because both metrics compose additively,
+    the scalarized problem is a classical DP for every fixed θ, and
+    envelope pruning preserves a θ-optimal plan for *all* θ simultaneously —
+    the parametric variant the paper cites (Ganguly; Hulgeri & Sudarshan).
+    """
+
+    def consider(
+        self,
+        table: PlanTable,
+        mask: int,
+        cost: tuple[float, ...],
+        order: SortOrder | None,
+        build: PlanBuilder,
+    ) -> bool:
+        entry = table.get(mask)
+        if entry is None:
+            table[mask] = [build()]
+            return True
+        kept_costs = [plan.cost for plan in entry]
+        if not needed_on_envelope(cost, kept_costs):
+            return False
+        plan = build()
+        candidates = [*entry, plan]
+        keep = envelope_filter([p.cost for p in candidates])
+        entry[:] = [candidates[index] for index in keep]
+        return any(kept is plan for kept in entry)
+
+    def final_prune(self, plans: Iterable[Plan]) -> list[Plan]:
+        flat = list(plans)
+        keep = envelope_filter([plan.cost for plan in flat])
+        return [flat[index] for index in keep]
+
+
+def per_level_alpha(global_alpha: float, n_tables: int) -> float:
+    """Per-comparison factor yielding an end-to-end ``global_alpha`` bound.
+
+    An n-table plan has n-1 join levels; errors multiply once per level, so
+    the per-comparison factor is the (n-1)-th root of the global target.
+    """
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    levels = max(n_tables - 1, 1)
+    return global_alpha ** (1.0 / levels)
+
+
+def make_pruning(
+    settings: OptimizerSettings, n_tables: int | None = None
+) -> PruningPolicy:
+    """Instantiate the pruning policy implied by the optimizer settings.
+
+    With ``n_tables`` given (as the worker DP does), the multi-objective
+    policy uses the per-level root of ``settings.alpha`` so that the
+    *end-to-end* approximation guarantee is α.  Without it, ``alpha`` is
+    applied per comparison directly (useful for isolated frontier tests).
+    """
+    if settings.parametric:
+        return ParametricPruning()
+    if settings.is_multi_objective:
+        alpha = settings.alpha
+        if n_tables is not None:
+            alpha = per_level_alpha(alpha, n_tables)
+        return ParetoPruning(alpha=alpha, respect_orders=settings.consider_orders)
+    if settings.consider_orders:
+        return InterestingOrderPruning()
+    return MinCostPruning()
+
+
+def final_prune(policy: PruningPolicy, plan_lists: Iterable[Iterable[Plan]]) -> list[Plan]:
+    """Flatten partition results and apply the master's final pruning."""
+    flat: list[Plan] = []
+    for plans in plan_lists:
+        flat.extend(plans)
+    return policy.final_prune(flat)
+
+
+def frontier_costs(plans: Iterable[Plan]) -> list[tuple[float, ...]]:
+    """Cost vectors of the exact Pareto frontier over the given plans."""
+    return pareto_filter(plan.cost for plan in plans)

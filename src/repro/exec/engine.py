@@ -1,0 +1,146 @@
+"""Plan interpretation: execute scan/join trees over materialized tuples.
+
+Joined rows are dicts keyed by ``(table_number, column_name)`` so columns of
+different tables never collide.  Each join algorithm is implemented
+faithfully to its cost model:
+
+* block-nested-loop — compares every pair (works for cross products);
+* hash — builds a table on the inner operand's join key, probes with the
+  outer, then applies any residual predicates;
+* sort-merge — sorts both inputs on the join key and merges equal-key runs.
+
+All three must produce identical result multisets for the same operands; the
+test suite asserts this, as well as the semantic equivalence of *different*
+plans for the same query.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.exec.data import Database
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.predicates import JoinPredicate
+
+ExecRow = dict[tuple[int, str], int]
+
+
+def execute_plan(plan: Plan, database: Database) -> list[ExecRow]:
+    """Execute a plan tree and return its result rows."""
+    if isinstance(plan, ScanPlan):
+        return _execute_scan(plan, database)
+    assert isinstance(plan, JoinPlan)
+    left_rows = execute_plan(plan.left, database)
+    right_rows = execute_plan(plan.right, database)
+    predicates = database.query.predicates_between(plan.left.mask, plan.right.mask)
+    if plan.algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP:
+        return _nested_loop_join(left_rows, right_rows, predicates)
+    if plan.algorithm is JoinAlgorithm.HASH:
+        return _hash_join(left_rows, right_rows, predicates, plan.left.mask)
+    if plan.algorithm is JoinAlgorithm.SORT_MERGE:
+        return _sort_merge_join(left_rows, right_rows, predicates, plan.left.mask)
+    raise ValueError(f"unknown join algorithm {plan.algorithm!r}")  # pragma: no cover
+
+
+def _execute_scan(plan: ScanPlan, database: Database) -> list[ExecRow]:
+    table = database.query.tables[plan.table]
+    return [
+        {(plan.table, column.name): row[column.name] for column in table.columns}
+        for row in database.table_rows(plan.table)
+    ]
+
+
+def _row_satisfies(
+    left: ExecRow, right: ExecRow, predicates: Sequence[JoinPredicate]
+) -> bool:
+    for predicate in predicates:
+        left_key = (predicate.left_table, predicate.left_column)
+        right_key = (predicate.right_table, predicate.right_column)
+        a = left.get(left_key, right.get(left_key))
+        b = left.get(right_key, right.get(right_key))
+        if a != b:
+            return False
+    return True
+
+
+def _nested_loop_join(
+    left_rows: list[ExecRow],
+    right_rows: list[ExecRow],
+    predicates: Sequence[JoinPredicate],
+) -> list[ExecRow]:
+    joined = []
+    for left in left_rows:
+        for right in right_rows:
+            if _row_satisfies(left, right, predicates):
+                joined.append(left | right)
+    return joined
+
+
+def _join_keys(
+    predicates: Sequence[JoinPredicate], left_mask: int
+) -> tuple[tuple[int, str], tuple[int, str]]:
+    """The (left-side, right-side) column keys of the first equi-predicate."""
+    predicate = predicates[0]
+    left_endpoint = (predicate.left_table, predicate.left_column)
+    right_endpoint = (predicate.right_table, predicate.right_column)
+    if left_mask & (1 << predicate.left_table):
+        return left_endpoint, right_endpoint
+    return right_endpoint, left_endpoint
+
+
+def _hash_join(
+    left_rows: list[ExecRow],
+    right_rows: list[ExecRow],
+    predicates: Sequence[JoinPredicate],
+    left_mask: int,
+) -> list[ExecRow]:
+    if not predicates:
+        raise ValueError("hash join requires at least one equality predicate")
+    left_key, right_key = _join_keys(predicates, left_mask)
+    residual = predicates[1:]
+    buckets: dict[int, list[ExecRow]] = defaultdict(list)
+    for right in right_rows:
+        buckets[right[right_key]].append(right)
+    joined = []
+    for left in left_rows:
+        for right in buckets.get(left[left_key], ()):
+            if _row_satisfies(left, right, residual):
+                joined.append(left | right)
+    return joined
+
+
+def _sort_merge_join(
+    left_rows: list[ExecRow],
+    right_rows: list[ExecRow],
+    predicates: Sequence[JoinPredicate],
+    left_mask: int,
+) -> list[ExecRow]:
+    if not predicates:
+        raise ValueError("sort-merge join requires at least one equality predicate")
+    left_key, right_key = _join_keys(predicates, left_mask)
+    residual = predicates[1:]
+    left_sorted = sorted(left_rows, key=lambda row: row[left_key])
+    right_sorted = sorted(right_rows, key=lambda row: row[right_key])
+    joined = []
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        a = left_sorted[i][left_key]
+        b = right_sorted[j][right_key]
+        if a < b:
+            i += 1
+        elif a > b:
+            j += 1
+        else:
+            # Merge the equal-key runs on both sides.
+            run_end = j
+            while run_end < len(right_sorted) and right_sorted[run_end][right_key] == a:
+                run_end += 1
+            while i < len(left_sorted) and left_sorted[i][left_key] == a:
+                for k in range(j, run_end):
+                    if _row_satisfies(left_sorted[i], right_sorted[k], residual):
+                        joined.append(left_sorted[i] | right_sorted[k])
+                i += 1
+            j = run_end
+    return joined

@@ -1,0 +1,51 @@
+"""Graphviz (DOT) export for plan trees.
+
+``plan_to_dot(plan)`` renders a plan as a ``digraph`` suitable for
+``dot -Tpng``; handy for documentation and for eyeballing why the optimizer
+chose a shape.  Pure string generation — no graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def plan_to_dot(
+    plan: Plan,
+    table_names: tuple[str, ...] | None = None,
+    graph_name: str = "plan",
+) -> str:
+    """Render a plan tree as a Graphviz digraph string."""
+    lines = [
+        f'digraph "{_escape(graph_name)}" {{',
+        "  node [shape=box, fontname=monospace];",
+    ]
+    counter = [0]
+
+    def emit(node: Plan) -> str:
+        identifier = f"n{counter[0]}"
+        counter[0] += 1
+        if isinstance(node, ScanPlan):
+            name = table_names[node.table] if table_names else f"T{node.table}"
+            label = f"Scan {name}\\nrows={node.rows:.0f}"
+        else:
+            assert isinstance(node, JoinPlan)
+            label = (
+                f"Join [{node.algorithm.value}]\\n"
+                f"rows={node.rows:.0f}\\ncost={node.cost[0]:.3g}"
+            )
+        lines.append(f'  {identifier} [label="{_escape(label)}"];')
+        if isinstance(node, JoinPlan):
+            left = emit(node.left)
+            right = emit(node.right)
+            lines.append(f'  {identifier} -> {left} [label="outer"];')
+            lines.append(f'  {identifier} -> {right} [label="inner"];')
+        return identifier
+
+    emit(plan)
+    lines.append("}")
+    return "\n".join(lines)

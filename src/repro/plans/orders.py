@@ -1,0 +1,35 @@
+"""Interesting orders (physical sort properties of intermediate results).
+
+A sort order names the attribute an intermediate result is sorted on.  Sorted
+inputs let a sort-merge join skip its sort phase, so a more expensive sorted
+plan can beat a cheaper unsorted one downstream — Selinger's classic
+*interesting orders*.  Pruning must therefore keep one best plan per
+(table set, order), which is exactly what the paper's complexity analysis
+accounts for in Section 5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SortOrder:
+    """Output sorted on column ``column`` of query table number ``table``."""
+
+    table: int
+    column: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"T{self.table}.{self.column}"
+
+
+def order_satisfies(produced: SortOrder | None, required: SortOrder | None) -> bool:
+    """Whether a plan producing ``produced`` satisfies a ``required`` order.
+
+    ``None`` as the requirement means "any order is fine"; a plan with no
+    order cannot satisfy a concrete requirement.
+    """
+    if required is None:
+        return True
+    return produced == required

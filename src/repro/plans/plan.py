@@ -1,0 +1,160 @@
+"""Immutable query plan trees.
+
+Plans follow the paper's model (Section 3): ``Scan(q)`` for a base table and
+``Join(p_L, p_R)`` with an outer (left) and inner (right) operand.  A plan is
+*left-deep* iff the right operand of every join is a scan; everything else is
+*bushy*.
+
+Every plan node carries the derived properties the optimizer needs:
+
+* ``mask`` — bitmask of joined table numbers;
+* ``rows`` — estimated output cardinality;
+* ``cost`` — a tuple of cost-metric values (one entry per objective);
+* ``order`` — the :class:`~repro.plans.orders.SortOrder` of the output, if any.
+
+Plan objects are created exclusively by a cost model (``repro.cost``), which
+guarantees the derived fields are consistent.  As noted in the paper's space
+analysis, each DP plan is just two pointers to sub-plans plus O(1) fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plans.operators import JoinAlgorithm, ScanAlgorithm
+from repro.plans.orders import SortOrder
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Base class for plan nodes; use :class:`ScanPlan` or :class:`JoinPlan`."""
+
+    mask: int
+    rows: float
+    cost: tuple[float, ...]
+    order: SortOrder | None
+
+    @property
+    def n_tables(self) -> int:
+        """Number of base tables joined by this plan."""
+        return self.mask.bit_count()
+
+    def is_left_deep(self) -> bool:
+        """Whether every join's inner operand is a single-table scan."""
+        raise NotImplementedError
+
+    def pretty(self, table_names: tuple[str, ...] | None = None) -> str:
+        """Multi-line indented rendering of the plan tree."""
+        lines: list[str] = []
+        self._pretty_into(lines, 0, table_names)
+        return "\n".join(lines)
+
+    def _pretty_into(
+        self, lines: list[str], depth: int, table_names: tuple[str, ...] | None
+    ) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanPlan(Plan):
+    """Scan of a single base table (the paper's ``Scan(q)``)."""
+
+    table: int
+    algorithm: ScanAlgorithm = ScanAlgorithm.FULL_SCAN
+
+    def is_left_deep(self) -> bool:
+        return True
+
+    def _pretty_into(
+        self, lines: list[str], depth: int, table_names: tuple[str, ...] | None
+    ) -> None:
+        name = table_names[self.table] if table_names else f"T{self.table}"
+        lines.append(
+            f"{'  ' * depth}Scan[{self.algorithm.value}] {name} "
+            f"(rows={self.rows:.0f})"
+        )
+
+
+@dataclass(frozen=True)
+class JoinPlan(Plan):
+    """Join of two sub-plans (the paper's ``Join(p_L, p_R)``).
+
+    ``left`` is the outer operand, ``right`` the inner operand.
+    """
+
+    left: Plan
+    right: Plan
+    algorithm: JoinAlgorithm = JoinAlgorithm.BLOCK_NESTED_LOOP
+
+    def is_left_deep(self) -> bool:
+        return isinstance(self.right, ScanPlan) and self.left.is_left_deep()
+
+    def join_order(self) -> tuple[int, ...]:
+        """For left-deep plans: the join order as a table-number sequence.
+
+        The sequence lists tables in the order they are joined (outermost
+        first).  Raises ``ValueError`` for bushy plans, whose shape cannot be
+        captured by a sequence (Section 3).
+        """
+        if not self.is_left_deep():
+            raise ValueError("join_order() is only defined for left-deep plans")
+        order: list[int] = []
+        node: Plan = self
+        while isinstance(node, JoinPlan):
+            assert isinstance(node.right, ScanPlan)
+            order.append(node.right.table)
+            node = node.left
+        assert isinstance(node, ScanPlan)
+        order.append(node.table)
+        order.reverse()
+        return tuple(order)
+
+    def _pretty_into(
+        self, lines: list[str], depth: int, table_names: tuple[str, ...] | None
+    ) -> None:
+        order = f", order={self.order}" if self.order else ""
+        lines.append(
+            f"{'  ' * depth}Join[{self.algorithm.value}] "
+            f"(rows={self.rows:.0f}, cost={_fmt_cost(self.cost)}{order})"
+        )
+        self.left._pretty_into(lines, depth + 1, table_names)
+        self.right._pretty_into(lines, depth + 1, table_names)
+
+
+def _fmt_cost(cost: tuple[float, ...]) -> str:
+    return "(" + ", ".join(f"{value:.3g}" for value in cost) + ")"
+
+
+def plan_join_count(plan: Plan) -> int:
+    """Number of join operators in the plan tree."""
+    if isinstance(plan, ScanPlan):
+        return 0
+    assert isinstance(plan, JoinPlan)
+    return 1 + plan_join_count(plan.left) + plan_join_count(plan.right)
+
+
+def plan_depth(plan: Plan) -> int:
+    """Height of the plan tree (a scan has depth 1)."""
+    if isinstance(plan, ScanPlan):
+        return 1
+    assert isinstance(plan, JoinPlan)
+    return 1 + max(plan_depth(plan.left), plan_depth(plan.right))
+
+
+def iter_join_result_masks(plan: Plan) -> list[int]:
+    """Masks of all intermediate join results produced by the plan.
+
+    Includes the final result; excludes single-table scans.  These are
+    exactly the table sets whose admissibility the partitioning constraints
+    restrict (Section 4.2).
+    """
+    masks: list[int] = []
+
+    def _walk(node: Plan) -> None:
+        if isinstance(node, JoinPlan):
+            _walk(node.left)
+            _walk(node.right)
+            masks.append(node.mask)
+
+    _walk(plan)
+    return masks

@@ -1,0 +1,27 @@
+"""Relational query model: schema, predicates, queries, workload generation."""
+
+from repro.query.schema import Catalog, Column, Table
+from repro.query.predicates import JoinPredicate, equi_join_selectivity
+from repro.query.query import JoinGraphKind, Query
+from repro.query.generator import (
+    SteinbrunnGenerator,
+    make_chain_query,
+    make_clique_query,
+    make_cycle_query,
+    make_star_query,
+)
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Table",
+    "JoinPredicate",
+    "equi_join_selectivity",
+    "JoinGraphKind",
+    "Query",
+    "SteinbrunnGenerator",
+    "make_chain_query",
+    "make_clique_query",
+    "make_cycle_query",
+    "make_star_query",
+]

@@ -1,0 +1,164 @@
+"""Random workload generation after Steinbrunn et al. (VLDBJ 1997).
+
+The paper benchmarks on randomly generated queries: "We choose table
+cardinalities and attribute domain sizes by the method introduced by
+Steinbrunn et al. which is commonly used for query optimization benchmarks"
+and "We generate queries with equality predicates and star-shaped join graphs
+(unless noted otherwise)".
+
+This module reproduces that method:
+
+* relation cardinalities are drawn uniformly from ``{10, ..., 100_000}``;
+* attribute domain sizes are drawn from a small set of ranges so that join
+  selectivities span several orders of magnitude;
+* join graphs can be chains, stars, cycles, or cliques (Figure 3 compares
+  chain/star/cycle and finds the impact negligible because cross products
+  are permitted).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.query.predicates import JoinPredicate, equi_join_selectivity
+from repro.query.query import JoinGraphKind, Query
+from repro.query.schema import Column, Table
+
+#: Cardinality range used by Steinbrunn et al. for base relations.
+CARDINALITY_RANGE = (10, 100_000)
+
+#: Domain-size ranges; one is picked per attribute, then a size within it.
+#: Mixing ranges produces the wide selectivity spread of the original method.
+DOMAIN_SIZE_RANGES = ((2, 10), (10, 100), (100, 500), (500, 1_000))
+
+
+def _edges_for(kind: JoinGraphKind, n_tables: int) -> list[tuple[int, int]]:
+    """Unordered join-graph edges (as ordered pairs a < b) for a topology."""
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    if kind is JoinGraphKind.CHAIN:
+        return [(i, i + 1) for i in range(n_tables - 1)]
+    if kind is JoinGraphKind.STAR:
+        return [(0, i) for i in range(1, n_tables)]
+    if kind is JoinGraphKind.CYCLE:
+        edges = [(i, i + 1) for i in range(n_tables - 1)]
+        if n_tables > 2:
+            edges.append((0, n_tables - 1))
+        return edges
+    if kind is JoinGraphKind.CLIQUE:
+        return [(i, j) for i in range(n_tables) for j in range(i + 1, n_tables)]
+    raise ValueError(f"unsupported join graph kind: {kind!r}")
+
+
+class SteinbrunnGenerator:
+    """Deterministic (seeded) random query generator.
+
+    Each generated query is self-contained: fresh tables with random
+    statistics and predicates carrying precomputed selectivities.  The same
+    seed always yields the same workload, which keeps experiments and tests
+    reproducible.
+    """
+
+    def __init__(self, seed: int = 0, clustered_tables: bool = False) -> None:
+        self._rng = random.Random(seed)
+        self._query_counter = 0
+        self._clustered_tables = clustered_tables
+
+    def table(self, name: str, n_columns: int = 2) -> Table:
+        """Generate one table with random cardinality and column domains.
+
+        With ``clustered_tables`` the table is clustered on its first
+        column, enabling sorted (clustered-index) scans when the optimizer
+        tracks interesting orders.
+        """
+        cardinality = self._rng.randint(*CARDINALITY_RANGE)
+        columns = tuple(
+            Column(name=f"c{i}", domain_size=self._domain_size())
+            for i in range(n_columns)
+        )
+        clustered_on = columns[0].name if self._clustered_tables else None
+        return Table(
+            name=name,
+            cardinality=cardinality,
+            columns=columns,
+            clustered_on=clustered_on,
+        )
+
+    def query(
+        self,
+        n_tables: int,
+        kind: JoinGraphKind = JoinGraphKind.STAR,
+        name: str | None = None,
+    ) -> Query:
+        """Generate a random query with the requested join-graph topology."""
+        edges = _edges_for(kind, n_tables)
+        n_columns = max(2, self._max_degree(edges, n_tables))
+        tables = tuple(self.table(f"T{i}", n_columns=n_columns) for i in range(n_tables))
+        predicates = self._predicates_for(tables, edges)
+        self._query_counter += 1
+        query_name = name or f"{kind.value}-{n_tables}-{self._query_counter}"
+        return Query(tables=tables, predicates=tuple(predicates), name=query_name)
+
+    def queries(
+        self,
+        count: int,
+        n_tables: int,
+        kind: JoinGraphKind = JoinGraphKind.STAR,
+    ) -> list[Query]:
+        """Generate ``count`` independent random queries (paper: 20 per point)."""
+        return [self.query(n_tables, kind) for _ in range(count)]
+
+    def _domain_size(self) -> int:
+        low, high = self._rng.choice(DOMAIN_SIZE_RANGES)
+        return self._rng.randint(low, high)
+
+    @staticmethod
+    def _max_degree(edges: Sequence[tuple[int, int]], n_tables: int) -> int:
+        degree = [0] * n_tables
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        return max(degree, default=1)
+
+    def _predicates_for(
+        self, tables: Sequence[Table], edges: Sequence[tuple[int, int]]
+    ) -> list[JoinPredicate]:
+        """One equality predicate per join-graph edge, distinct columns per side."""
+        next_column = [0] * len(tables)
+        predicates = []
+        for a, b in edges:
+            col_a = tables[a].columns[next_column[a] % len(tables[a].columns)]
+            col_b = tables[b].columns[next_column[b] % len(tables[b].columns)]
+            next_column[a] += 1
+            next_column[b] += 1
+            predicates.append(
+                JoinPredicate(
+                    left_table=a,
+                    left_column=col_a.name,
+                    right_table=b,
+                    right_column=col_b.name,
+                    selectivity=equi_join_selectivity(col_a, col_b),
+                )
+            )
+        return predicates
+
+
+def make_star_query(n_tables: int, seed: int = 0) -> Query:
+    """Convenience: one random star-shaped query (the paper's default)."""
+    return SteinbrunnGenerator(seed).query(n_tables, JoinGraphKind.STAR)
+
+
+def make_chain_query(n_tables: int, seed: int = 0) -> Query:
+    """Convenience: one random chain-shaped query."""
+    return SteinbrunnGenerator(seed).query(n_tables, JoinGraphKind.CHAIN)
+
+
+def make_cycle_query(n_tables: int, seed: int = 0) -> Query:
+    """Convenience: one random cycle-shaped query."""
+    return SteinbrunnGenerator(seed).query(n_tables, JoinGraphKind.CYCLE)
+
+
+def make_clique_query(n_tables: int, seed: int = 0) -> Query:
+    """Convenience: one random clique-shaped query."""
+    return SteinbrunnGenerator(seed).query(n_tables, JoinGraphKind.CLIQUE)

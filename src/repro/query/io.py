@@ -1,0 +1,200 @@
+"""JSON (de)serialization for queries and plan explain output.
+
+Lets users define queries in files and drive the optimizer from the command
+line (``python -m repro optimize query.json``), and makes optimizer output
+machine-readable.  The schema is deliberately plain:
+
+.. code-block:: json
+
+    {
+      "name": "sales-star",
+      "tables": [
+        {"name": "sales", "cardinality": 80000,
+         "columns": [{"name": "fk0", "domain_size": 10000}]}
+      ],
+      "predicates": [
+        {"left_table": 0, "left_column": "fk0",
+         "right_table": 1, "right_column": "id", "selectivity": 0.0001}
+      ]
+    }
+
+``selectivity`` may be omitted, in which case it defaults to the Steinbrunn
+estimate ``1 / max(domain sizes)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.predicates import JoinPredicate, equi_join_selectivity
+from repro.query.query import Query
+from repro.query.schema import Catalog, Column, Table
+
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """Plain-JSON representation of a query."""
+    return {
+        "name": query.name,
+        "tables": [
+            {
+                "name": table.name,
+                "cardinality": table.cardinality,
+                "row_bytes": table.row_bytes,
+                "columns": [
+                    {"name": column.name, "domain_size": column.domain_size}
+                    for column in table.columns
+                ],
+            }
+            for table in query.tables
+        ],
+        "predicates": [
+            {
+                "left_table": predicate.left_table,
+                "left_column": predicate.left_column,
+                "right_table": predicate.right_table,
+                "right_column": predicate.right_column,
+                "selectivity": predicate.selectivity,
+            }
+            for predicate in query.predicates
+        ],
+    }
+
+
+def query_from_dict(data: dict[str, Any]) -> Query:
+    """Build a query from its JSON representation.
+
+    Raises ``ValueError`` with a readable message on malformed input.
+    """
+    try:
+        tables = tuple(
+            Table(
+                name=raw["name"],
+                cardinality=int(raw["cardinality"]),
+                row_bytes=int(raw.get("row_bytes", 64)),
+                columns=tuple(
+                    Column(name=col["name"], domain_size=int(col["domain_size"]))
+                    for col in raw.get("columns", ())
+                ),
+            )
+            for raw in data["tables"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed table definition: {exc}") from exc
+    predicates = []
+    for raw in data.get("predicates", ()):
+        try:
+            left_table = int(raw["left_table"])
+            right_table = int(raw["right_table"])
+            left_column = raw["left_column"]
+            right_column = raw["right_column"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed predicate definition: {exc}") from exc
+        selectivity = raw.get("selectivity")
+        if selectivity is None:
+            selectivity = equi_join_selectivity(
+                tables[left_table].column(left_column),
+                tables[right_table].column(right_column),
+            )
+        predicates.append(
+            JoinPredicate(
+                left_table=left_table,
+                left_column=left_column,
+                right_table=right_table,
+                right_column=right_column,
+                selectivity=float(selectivity),
+            )
+        )
+    return Query(
+        tables=tables,
+        predicates=tuple(predicates),
+        name=data.get("name", "query"),
+    )
+
+
+def save_query(query: Query, path: str | Path) -> None:
+    """Write a query to a JSON file."""
+    Path(path).write_text(json.dumps(query_to_dict(query), indent=2) + "\n")
+
+
+def load_query(path: str | Path) -> Query:
+    """Read a query from a JSON file."""
+    return query_from_dict(json.loads(Path(path).read_text()))
+
+
+def _table_from_dict(raw: dict[str, Any]) -> Table:
+    try:
+        return Table(
+            name=raw["name"],
+            cardinality=int(raw["cardinality"]),
+            row_bytes=int(raw.get("row_bytes", 64)),
+            columns=tuple(
+                Column(name=col["name"], domain_size=int(col["domain_size"]))
+                for col in raw.get("columns", ())
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed table definition: {exc}") from exc
+
+
+def catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
+    """Plain-JSON representation of a catalog (for the SQL frontend)."""
+    return {
+        "tables": [
+            {
+                "name": table.name,
+                "cardinality": table.cardinality,
+                "row_bytes": table.row_bytes,
+                "columns": [
+                    {"name": column.name, "domain_size": column.domain_size}
+                    for column in table.columns
+                ],
+            }
+            for table in catalog.tables.values()
+        ]
+    }
+
+
+def catalog_from_dict(data: dict[str, Any]) -> Catalog:
+    """Build a catalog from its JSON representation."""
+    catalog = Catalog()
+    for raw in data.get("tables", ()):
+        catalog.add(_table_from_dict(raw))
+    return catalog
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Write a catalog to a JSON file."""
+    Path(path).write_text(json.dumps(catalog_to_dict(catalog), indent=2) + "\n")
+
+
+def load_catalog(path: str | Path) -> Catalog:
+    """Read a catalog from a JSON file."""
+    return catalog_from_dict(json.loads(Path(path).read_text()))
+
+
+def plan_to_dict(plan: Plan, table_names: tuple[str, ...] | None = None) -> dict[str, Any]:
+    """Plain-JSON representation of a plan tree (for EXPLAIN-style output)."""
+    common = {
+        "rows": plan.rows,
+        "cost": list(plan.cost),
+        "order": str(plan.order) if plan.order else None,
+    }
+    if isinstance(plan, ScanPlan):
+        name = table_names[plan.table] if table_names else f"T{plan.table}"
+        return {
+            "operator": "scan",
+            "algorithm": plan.algorithm.value,
+            "table": name,
+            **common,
+        }
+    assert isinstance(plan, JoinPlan)
+    return {
+        "operator": "join",
+        "algorithm": plan.algorithm.value,
+        **common,
+        "outer": plan_to_dict(plan.left, table_names),
+        "inner": plan_to_dict(plan.right, table_names),
+    }

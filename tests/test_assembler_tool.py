@@ -1,0 +1,62 @@
+"""The EXPERIMENTS.md assembler tool, end to end on sample logs."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "assemble_experiments.py"
+
+SAMPLE_LOG = """\
+== Figure 2: MPQ scaling (single objective, larger search spaces)
+scale=ci; medians over 2 queries
+-- MPQ linear 10
+ workers      time_ms    w_time_ms   memory_rel      network_B
+       1        15.92        13.80         1023           1608
+       2        13.03        10.86          768           3216
+       4        10.00         7.60          577           6432
+[fig2 completed in 20.0s wall-clock]
+"""
+
+
+def run_tool(tmp_path, *logs):
+    arguments = [sys.executable, str(TOOL)]
+    for index, text in enumerate(logs):
+        path = tmp_path / f"log{index}.txt"
+        path.write_text(text)
+        arguments.append(str(path))
+    output = tmp_path / "EXPERIMENTS.md"
+    arguments += ["-o", str(output)]
+    completed = subprocess.run(
+        arguments, capture_output=True, text=True, cwd=tmp_path
+    )
+    return completed, output
+
+
+class TestAssemblerTool:
+    def test_writes_output(self, tmp_path):
+        completed, output = run_tool(tmp_path, SAMPLE_LOG)
+        assert completed.returncode == 0, completed.stderr
+        assert output.exists()
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Figure 2" in text
+        assert "MPQ linear 10" in text
+
+    def test_computes_doubling_factors(self, tmp_path):
+        __, output = run_tool(tmp_path, SAMPLE_LOG)
+        text = output.read_text()
+        assert "per worker doubling" in text
+        # memory 1023 -> 768 is x0.751
+        assert "x0.75" in text
+
+    def test_warns_on_missing_blocks(self, tmp_path):
+        completed, __ = run_tool(tmp_path, SAMPLE_LOG)
+        assert "missing experiment blocks" in completed.stderr
+
+    def test_renders_chart(self, tmp_path):
+        __, output = run_tool(tmp_path, SAMPLE_LOG)
+        text = output.read_text()
+        assert "vs workers (log-log)" in text

@@ -1,0 +1,222 @@
+"""Experiment harness: scaling series, workloads, CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ScalingPoint,
+    ScalingSeries,
+    mpq_scaling,
+    run_mpq_point,
+    run_sma_point,
+    sma_scaling,
+)
+from repro.bench.workloads import SCALES, TABLE1_ALPHAS, worker_counts
+from repro.bench import experiments
+from repro.bench.__main__ import main as bench_main
+from repro.config import OptimizerSettings
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture
+def queries():
+    return SteinbrunnGenerator(30).queries(2, 6)
+
+
+@pytest.fixture
+def settings():
+    return OptimizerSettings()
+
+
+class TestWorkerCounts:
+    def test_powers_of_two(self):
+        assert worker_counts(16) == [1, 2, 4, 8, 16]
+
+    def test_non_power_limit(self):
+        assert worker_counts(20) == [1, 2, 4, 8, 16]
+
+    def test_custom_start(self):
+        assert worker_counts(64, start=16) == [16, 32, 64]
+
+    def test_empty_when_start_exceeds(self):
+        assert worker_counts(4, start=8) == []
+
+
+class TestScales:
+    def test_registry_names(self):
+        assert set(SCALES) == {"ci", "default", "paper"}
+        for name, scale in SCALES.items():
+            assert scale.name == name
+
+    def test_paper_matches_paper_sizes(self):
+        paper = SCALES["paper"]
+        assert paper.fig2_linear == (20, 24)
+        assert paper.fig2_bushy == (15, 18)
+        assert paper.fig5_linear == (16, 18, 20)
+        assert paper.table1_budgets_s == (10.0, 30.0, 60.0)
+        assert paper.max_workers == 256
+
+    def test_alphas_match_paper(self):
+        assert TABLE1_ALPHAS == (1.01, 1.05, 1.25, 1.5, 2.0, 5.0, 10.0)
+
+    def test_cluster_built_from_scale(self):
+        cluster = SCALES["ci"].cluster()
+        assert cluster.task_setup_s == SCALES["ci"].task_setup_s
+
+
+class TestPoints:
+    def test_mpq_point_fields(self, queries, settings):
+        point = run_mpq_point(queries, 4, settings)
+        assert point.workers == 4
+        assert point.time_ms > 0
+        assert point.worker_time_ms > 0
+        assert point.memory_relations > 0
+        assert point.network_bytes > 0
+
+    def test_sma_point_fields(self, queries, settings):
+        point = run_sma_point(queries, 4, settings)
+        assert point.workers == 4
+        assert point.time_ms > 0
+        assert point.network_bytes > 0
+
+    def test_point_row_formatting(self):
+        point = ScalingPoint(8, 1.0, 0.5, 100, 2000)
+        row = point.as_row()
+        assert "8" in row and "2000" in row
+
+
+class TestSeries:
+    def test_mpq_series(self, queries, settings):
+        series = mpq_scaling("test", queries, [1, 2, 4], settings)
+        assert [p.workers for p in series.points] == [1, 2, 4]
+        assert "test" in series.format()
+        assert len(series.format().splitlines()) == 5
+
+    def test_series_lookups(self, queries, settings):
+        series = mpq_scaling("test", queries, [1, 2], settings)
+        assert set(series.time_by_workers()) == {1, 2}
+        assert set(series.network_by_workers()) == {1, 2}
+        assert set(series.memory_by_workers()) == {1, 2}
+
+    def test_sma_series(self, queries, settings):
+        series = sma_scaling("sma", queries, [1, 2], settings)
+        assert len(series.points) == 2
+
+    def test_memory_monotone_decreasing(self, queries, settings):
+        series = mpq_scaling("m", queries, [1, 2, 4, 8], settings)
+        memories = [p.memory_relations for p in series.points]
+        assert memories == sorted(memories, reverse=True)
+
+
+class TestExperimentDrivers:
+    """Smoke tests on a tiny injected scale (real ci scale is for benches)."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_scale(self, monkeypatch):
+        from repro.bench.workloads import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="tiny",
+            queries_per_point=1,
+            fig1_linear=(4,),
+            fig1_bushy=(4,),
+            fig2_linear=(5,),
+            fig2_bushy=(5,),
+            fig3_sma=(4,),
+            fig3_mpq=(4,),
+            fig4_linear=(4,),
+            fig4_bushy=(4,),
+            fig5_linear=(5,),
+            table1_tables=(4,),
+            table1_budgets_s=(0.001, 1.0),
+            speedup_linear=(5,),
+            speedup_bushy=(5,),
+            max_workers=4,
+            max_sma_workers=4,
+            task_setup_s=0.001,
+            latency_s=1e-5,
+        )
+        monkeypatch.setitem(SCALES, "tiny", tiny)
+        return tiny
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            experiments.fig1("nope")
+
+    def test_fig1(self):
+        result = experiments.fig1("tiny")
+        assert "Figure 1" in result.format()
+        labels = [s.label for s in result.series]
+        assert any(label.startswith("MPQ") for label in labels)
+        assert any(label.startswith("SMA") for label in labels)
+
+    def test_fig2(self):
+        result = experiments.fig2("tiny")
+        assert len(result.series) == 2
+
+    def test_fig3(self):
+        result = experiments.fig3("tiny")
+        kinds = {label.split("/")[-1].strip() for label in
+                 (s.label for s in result.series)}
+        assert kinds == {"chain", "star", "cycle"}
+
+    def test_fig4(self):
+        result = experiments.fig4("tiny")
+        assert "alpha=10" in result.title
+
+    def test_fig5(self):
+        result = experiments.fig5("tiny")
+        assert len(result.series) == 1
+
+    def test_table1(self):
+        result = experiments.table1("tiny")
+        text = result.format()
+        assert "Table 1" in text
+        # Every grid cell is present.
+        assert len(result.entries) == 2 * 1 * len(TABLE1_ALPHAS)
+        # The generous budget is reachable by one worker.
+        assert result.entries[(1.0, 4, 10.0)] == 1
+
+    def test_speedups(self):
+        result = experiments.speedups("tiny")
+        assert len(result.rows) == 3  # linear + bushy + multi-objective
+        for row in result.rows:
+            assert row.speedup > 0
+        assert "speedup" in result.format()
+
+
+class TestCLI:
+    class _StubResult:
+        def format(self):
+            return "stub report"
+
+    def test_cli_runs_one_experiment(self, capsys, monkeypatch):
+        from repro.bench import __main__ as cli
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS, "fig2", lambda scale: self._StubResult()
+        )
+        assert bench_main(["fig2", "--scale", "ci"]) == 0
+        captured = capsys.readouterr()
+        assert "stub report" in captured.out
+        assert "fig2 completed" in captured.out
+
+    def test_cli_all_runs_everything(self, capsys, monkeypatch):
+        from repro.bench import __main__ as cli
+
+        for name in list(cli._EXPERIMENTS):
+            monkeypatch.setitem(
+                cli._EXPERIMENTS, name, lambda scale: self._StubResult()
+            )
+        assert bench_main(["all", "--scale", "ci"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("stub report") == 7
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            bench_main(["nope"])
+
+    def test_cli_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            bench_main(["fig1", "--scale", "huge"])

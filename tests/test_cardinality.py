@@ -1,0 +1,84 @@
+"""Cardinality estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.cardinality import CardinalityEstimator
+from tests.conftest import make_manual_query
+
+
+class TestBaseTables:
+    def test_singleton(self):
+        query = make_manual_query([100, 200])
+        estimator = CardinalityEstimator(query)
+        assert estimator.rows(0b01) == 100.0
+        assert estimator.rows(0b10) == 200.0
+
+    def test_empty_set_rejected(self):
+        estimator = CardinalityEstimator(make_manual_query([10]))
+        with pytest.raises(ValueError):
+            estimator.rows(0)
+
+
+class TestJoins:
+    def test_cross_product(self):
+        query = make_manual_query([100, 200])
+        estimator = CardinalityEstimator(query)
+        assert estimator.rows(0b11) == 100.0 * 200.0
+
+    def test_predicate_applies(self):
+        query = make_manual_query([100, 200], [(0, 1, 0.01)])
+        estimator = CardinalityEstimator(query)
+        assert estimator.rows(0b11) == pytest.approx(100 * 200 * 0.01)
+
+    def test_predicate_only_when_both_present(self):
+        query = make_manual_query([100, 200, 300], [(0, 2, 0.01)])
+        estimator = CardinalityEstimator(query)
+        assert estimator.rows(0b011) == 100 * 200
+
+    def test_multiple_predicates_multiply(self):
+        query = make_manual_query(
+            [100, 200, 300], [(0, 1, 0.1), (1, 2, 0.01), (0, 2, 0.5)]
+        )
+        estimator = CardinalityEstimator(query)
+        expected = 100 * 200 * 300 * 0.1 * 0.01 * 0.5
+        assert estimator.rows(0b111) == pytest.approx(expected)
+
+    def test_floor_at_one_row(self):
+        query = make_manual_query([10, 10], [(0, 1, 0.0001)])
+        estimator = CardinalityEstimator(query)
+        assert estimator.rows(0b11) == 1.0
+
+    def test_memoization_returns_same(self):
+        query = make_manual_query([100, 200], [(0, 1, 0.01)])
+        estimator = CardinalityEstimator(query)
+        assert estimator.rows(0b11) == estimator.rows(0b11)
+
+
+class TestJoinSelectivity:
+    def test_cross_product_is_one(self):
+        query = make_manual_query([10, 20, 30], [(0, 1, 0.1)])
+        estimator = CardinalityEstimator(query)
+        assert estimator.join_selectivity(0b001, 0b100) == 1.0
+
+    def test_connecting_predicates(self):
+        query = make_manual_query([10, 20, 30], [(0, 1, 0.1), (0, 2, 0.2)])
+        estimator = CardinalityEstimator(query)
+        assert estimator.join_selectivity(0b001, 0b110) == pytest.approx(0.02)
+
+    def test_rejects_overlapping_operands(self):
+        estimator = CardinalityEstimator(make_manual_query([10, 20]))
+        with pytest.raises(ValueError):
+            estimator.join_selectivity(0b11, 0b01)
+
+    def test_consistent_with_rows(self):
+        query = make_manual_query([10, 20, 30], [(0, 1, 0.1), (1, 2, 0.05)])
+        estimator = CardinalityEstimator(query)
+        left, right = 0b011, 0b100
+        expected = (
+            estimator.rows(left)
+            * estimator.rows(right)
+            * estimator.join_selectivity(left, right)
+        )
+        assert estimator.rows(left | right) == pytest.approx(expected)

@@ -1,0 +1,131 @@
+"""Clustered-index scans: interesting orders available at the leaves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.master import optimize_parallel
+from repro.core.serial import best_plan, optimize_serial
+from repro.cost.costmodel import CostModel
+from repro.plans.operators import ScanAlgorithm
+from repro.plans.orders import SortOrder
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.predicates import JoinPredicate
+from repro.query.query import Query
+from repro.query.schema import Column, Table
+
+
+def clustered_query():
+    """Two big tables clustered on their join keys: sort-merge for free."""
+    tables = (
+        Table(
+            "fact",
+            50_000,
+            (Column("k", 1_000), Column("x", 10)),
+            clustered_on="k",
+        ),
+        Table("dim", 40_000, (Column("k", 1_000),), clustered_on="k"),
+        Table("other", 300, (Column("k", 1_000),)),
+    )
+    predicates = (
+        JoinPredicate(0, "k", 1, "k", selectivity=1 / 1_000),
+        JoinPredicate(1, "k", 2, "k", selectivity=1 / 1_000),
+    )
+    return Query(tables=tables, predicates=predicates, name="clustered")
+
+
+class TestSchema:
+    def test_clustered_on_validated(self):
+        with pytest.raises(ValueError, match="clustered"):
+            Table("R", 10, (Column("a", 5),), clustered_on="nope")
+
+    def test_clustered_on_accepted(self):
+        table = Table("R", 10, (Column("a", 5),), clustered_on="a")
+        assert table.clustered_on == "a"
+
+
+class TestScanVariants:
+    def test_orders_off_single_scan(self):
+        query = clustered_query()
+        model = CostModel(query, OptimizerSettings())
+        assert len(model.scan_plans(0)) == 1
+
+    def test_orders_on_adds_sorted_scan(self):
+        query = clustered_query()
+        model = CostModel(query, OptimizerSettings(consider_orders=True))
+        plans = model.scan_plans(0)
+        assert len(plans) == 2
+        algorithms = {plan.algorithm for plan in plans}
+        assert algorithms == {
+            ScanAlgorithm.FULL_SCAN,
+            ScanAlgorithm.CLUSTERED_INDEX_SCAN,
+        }
+        sorted_scan = next(
+            p for p in plans if p.algorithm is ScanAlgorithm.CLUSTERED_INDEX_SCAN
+        )
+        assert sorted_scan.order == SortOrder(0, "k")
+
+    def test_unclustered_table_has_no_sorted_scan(self):
+        query = clustered_query()
+        model = CostModel(query, OptimizerSettings(consider_orders=True))
+        assert len(model.scan_plans(2)) == 1
+
+
+class TestSortedScansPayOff:
+    def test_clustering_reduces_cost(self):
+        """Pre-sorted inputs make sort-merge cheaper than without clustering."""
+        query = clustered_query()
+        unclustered = Query(
+            tables=tuple(
+                Table(t.name, t.cardinality, t.columns) for t in query.tables
+            ),
+            predicates=query.predicates,
+        )
+        settings = OptimizerSettings(consider_orders=True)
+        with_cluster = best_plan(optimize_serial(query, settings)).cost[0]
+        without = best_plan(optimize_serial(unclustered, settings)).cost[0]
+        assert with_cluster < without
+
+    def test_clustering_never_hurts(self):
+        query = clustered_query()
+        plain = best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+        with_orders = best_plan(
+            optimize_serial(query, OptimizerSettings(consider_orders=True))
+        ).cost[0]
+        assert with_orders <= plain
+
+    def test_mpq_matches_serial_with_clustered_scans(self):
+        query = clustered_query()
+        settings = OptimizerSettings(consider_orders=True)
+        serial = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, 2, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial)
+
+    def test_bushy_space_with_clustered_scans(self):
+        query = clustered_query()
+        settings = OptimizerSettings(
+            plan_space=PlanSpace.BUSHY, consider_orders=True
+        )
+        serial = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, 2, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial)
+
+
+class TestGeneratorClustering:
+    def test_clustered_generator(self):
+        generator = SteinbrunnGenerator(5, clustered_tables=True)
+        query = generator.query(5)
+        assert all(t.clustered_on == "c0" for t in query.tables)
+
+    def test_default_unclustered(self):
+        query = SteinbrunnGenerator(5).query(5)
+        assert all(t.clustered_on is None for t in query.tables)
+
+    def test_clustered_workload_optimizes(self):
+        generator = SteinbrunnGenerator(6, clustered_tables=True)
+        query = generator.query(6)
+        settings = OptimizerSettings(consider_orders=True)
+        serial = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, 4, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial)

@@ -1,0 +1,79 @@
+"""Experiment-log comparison tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import compare_logs, format_comparison
+
+OLD = """\
+== Figure 2: MPQ scaling
+-- MPQ linear 10
+ workers      time_ms    w_time_ms   memory_rel      network_B
+       1        15.92        13.80         1023           1608
+       2        13.03        10.86          768           3216
+[fig2 completed in 20.0s wall-clock]
+"""
+
+SAME = OLD
+
+FASTER = OLD.replace("15.92", "10.00").replace("13.03", " 9.00")
+
+STRUCTURAL = OLD.replace("1023", "1024")
+
+DROPPED_POINT = """\
+== Figure 2: MPQ scaling
+-- MPQ linear 10
+ workers      time_ms    w_time_ms   memory_rel      network_B
+       1        15.92        13.80         1023           1608
+[fig2 completed in 20.0s wall-clock]
+"""
+
+
+class TestCompare:
+    def test_identical_logs_clean(self):
+        deltas = compare_logs(OLD, SAME)
+        assert len(deltas) == 1
+        assert deltas[0].is_clean()
+        assert deltas[0].worst_time_ratio == 1.0
+
+    def test_time_change_detected(self):
+        (delta,) = compare_logs(OLD, FASTER)
+        assert not delta.is_clean()
+        assert delta.time_changes[1] == (15.92, 10.0)
+        assert delta.worst_time_ratio < 1.0
+
+    def test_structural_change_detected(self):
+        (delta,) = compare_logs(OLD, STRUCTURAL)
+        assert delta.structural_changes == [1]
+        assert not delta.is_clean()
+
+    def test_dropped_points_detected(self):
+        (delta,) = compare_logs(OLD, DROPPED_POINT)
+        assert delta.only_in_old == [2]
+        assert not delta.is_clean()
+
+    def test_tolerance(self):
+        slightly = OLD.replace("15.92", "16.20")  # ~1.8% slower
+        (delta,) = compare_logs(OLD, slightly)
+        assert delta.is_clean(tolerance=0.05)
+        assert not delta.is_clean(tolerance=0.01)
+
+    def test_disjoint_blocks_ignored(self):
+        other = OLD.replace("Figure 2", "Figure 9")
+        assert compare_logs(OLD, other) == []
+
+
+class TestFormat:
+    def test_clean_summary(self):
+        report = format_comparison(compare_logs(OLD, SAME))
+        assert "1/1 series unchanged" in report
+
+    def test_reports_regressions(self):
+        report = format_comparison(compare_logs(OLD, FASTER))
+        assert "x0.6" in report or "x0.7" in report
+        assert "MPQ linear 10" in report
+
+    def test_reports_structural(self):
+        report = format_comparison(compare_logs(OLD, STRUCTURAL))
+        assert "STRUCTURAL" in report

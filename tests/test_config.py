@@ -1,0 +1,69 @@
+"""Optimizer settings and configuration validation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SETTINGS,
+    MULTI_OBJECTIVE,
+    SINGLE_OBJECTIVE,
+    Objective,
+    OptimizerSettings,
+    PlanSpace,
+)
+
+
+class TestPlanSpace:
+    def test_group_sizes(self):
+        assert PlanSpace.LINEAR.group_size == 2
+        assert PlanSpace.BUSHY.group_size == 3
+
+
+class TestSettingsValidation:
+    def test_default_is_single_objective_linear(self):
+        assert DEFAULT_SETTINGS.plan_space is PlanSpace.LINEAR
+        assert DEFAULT_SETTINGS.objectives == SINGLE_OBJECTIVE
+        assert not DEFAULT_SETTINGS.is_multi_objective
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(objectives=())
+
+    def test_rejects_duplicate_objectives(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(
+                objectives=(Objective.EXECUTION_TIME, Objective.EXECUTION_TIME)
+            )
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(alpha=0.99)
+
+    def test_multi_objective_flag(self):
+        assert OptimizerSettings(objectives=MULTI_OBJECTIVE).is_multi_objective
+
+
+class TestReplace:
+    def test_replace_plan_space(self):
+        changed = DEFAULT_SETTINGS.replace(plan_space=PlanSpace.BUSHY)
+        assert changed.plan_space is PlanSpace.BUSHY
+        assert DEFAULT_SETTINGS.plan_space is PlanSpace.LINEAR
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SETTINGS.replace(alpha=0.1)
+
+
+class TestPickling:
+    def test_settings_roundtrip(self):
+        settings = OptimizerSettings(
+            plan_space=PlanSpace.BUSHY,
+            objectives=MULTI_OBJECTIVE,
+            alpha=2.5,
+            consider_orders=True,
+        )
+        clone = pickle.loads(pickle.dumps(settings))
+        assert clone == settings

@@ -1,0 +1,163 @@
+"""Constraints and partition-ID decoding (paper Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlanSpace
+from repro.core.constraints import (
+    BushyConstraint,
+    LinearConstraint,
+    constraint_groups,
+    max_constraints,
+    max_partitions,
+    partition_constraints,
+    usable_partitions,
+)
+
+
+class TestLinearConstraint:
+    def test_excludes_after_without_before(self):
+        constraint = LinearConstraint(before=0, after=1)
+        assert constraint.excludes(0b0110)  # contains 1, not 0
+
+    def test_allows_both(self):
+        assert not LinearConstraint(0, 1).excludes(0b011)
+
+    def test_allows_neither(self):
+        assert not LinearConstraint(0, 1).excludes(0b100)
+
+    def test_allows_before_only(self):
+        assert not LinearConstraint(0, 1).excludes(0b101)
+
+    def test_singleton_never_excluded(self):
+        assert not LinearConstraint(0, 1).excludes(0b10)
+
+    def test_distinct_tables_required(self):
+        with pytest.raises(ValueError):
+            LinearConstraint(2, 2)
+
+
+class TestBushyConstraint:
+    def test_excludes_yz_without_x(self):
+        constraint = BushyConstraint(x=0, y=1, z=2)
+        assert constraint.excludes(0b0110)
+
+    def test_allows_with_x(self):
+        assert not BushyConstraint(0, 1, 2).excludes(0b0111)
+
+    def test_allows_y_only(self):
+        assert not BushyConstraint(0, 1, 2).excludes(0b0010)
+
+    def test_allows_z_with_others(self):
+        assert not BushyConstraint(0, 1, 2).excludes(0b1100)
+
+    def test_distinct_tables_required(self):
+        with pytest.raises(ValueError):
+            BushyConstraint(0, 1, 1)
+
+
+class TestLimits:
+    @pytest.mark.parametrize(
+        "n,space,expected",
+        [
+            (4, PlanSpace.LINEAR, 2),
+            (5, PlanSpace.LINEAR, 2),
+            (24, PlanSpace.LINEAR, 12),
+            (9, PlanSpace.BUSHY, 3),
+            (11, PlanSpace.BUSHY, 3),
+            (18, PlanSpace.BUSHY, 6),
+        ],
+    )
+    def test_max_constraints(self, n, space, expected):
+        assert max_constraints(n, space) == expected
+
+    def test_max_partitions(self):
+        assert max_partitions(8, PlanSpace.LINEAR) == 16
+        assert max_partitions(9, PlanSpace.BUSHY) == 8
+
+    def test_max_constraints_rejects_empty(self):
+        with pytest.raises(ValueError):
+            max_constraints(0, PlanSpace.LINEAR)
+
+    @pytest.mark.parametrize(
+        "n,workers,space,expected",
+        [
+            (8, 1, PlanSpace.LINEAR, 1),
+            (8, 3, PlanSpace.LINEAR, 2),
+            (8, 16, PlanSpace.LINEAR, 16),
+            (8, 1000, PlanSpace.LINEAR, 16),
+            (9, 100, PlanSpace.BUSHY, 8),
+            (6, 7, PlanSpace.BUSHY, 4),
+        ],
+    )
+    def test_usable_partitions(self, n, workers, space, expected):
+        assert usable_partitions(n, workers, space) == expected
+
+    def test_usable_partitions_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            usable_partitions(8, 0, PlanSpace.LINEAR)
+
+
+class TestGroups:
+    def test_linear_pairs(self):
+        assert constraint_groups(6, PlanSpace.LINEAR) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_linear_odd_leftover(self):
+        assert constraint_groups(5, PlanSpace.LINEAR) == [(0, 1), (2, 3), (4,)]
+
+    def test_bushy_triples(self):
+        assert constraint_groups(6, PlanSpace.BUSHY) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_bushy_leftovers(self):
+        assert constraint_groups(8, PlanSpace.BUSHY) == [(0, 1, 2), (3, 4, 5), (6,), (7,)]
+
+
+class TestPartitionDecoding:
+    def test_zero_constraints(self):
+        assert partition_constraints(6, 0, 1, PlanSpace.LINEAR) == ()
+
+    def test_bit_zero_direction(self):
+        (constraint,) = partition_constraints(4, 0, 2, PlanSpace.LINEAR)
+        assert constraint == LinearConstraint(before=0, after=1)
+
+    def test_bit_one_direction(self):
+        (constraint,) = partition_constraints(4, 1, 2, PlanSpace.LINEAR)
+        assert constraint == LinearConstraint(before=1, after=0)
+
+    def test_two_constraints_decode_bits(self):
+        constraints = partition_constraints(4, 0b10, 4, PlanSpace.LINEAR)
+        assert constraints == (
+            LinearConstraint(before=0, after=1),
+            LinearConstraint(before=3, after=2),
+        )
+
+    def test_bushy_directions(self):
+        (c0,) = partition_constraints(6, 0, 2, PlanSpace.BUSHY)
+        assert c0 == BushyConstraint(x=0, y=1, z=2)
+        (c1,) = partition_constraints(6, 1, 2, PlanSpace.BUSHY)
+        assert c1 == BushyConstraint(x=1, y=0, z=2)
+
+    def test_complementary_partitions_differ_per_bit(self):
+        for partition_id in range(8):
+            constraints = partition_constraints(8, partition_id, 8, PlanSpace.LINEAR)
+            assert len(constraints) == 3
+            for i, constraint in enumerate(constraints):
+                expected_flip = bool((partition_id >> i) & 1)
+                assert (constraint.before > constraint.after) == expected_flip
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            partition_constraints(8, 0, 3, PlanSpace.LINEAR)
+
+    def test_rejects_out_of_range_id(self):
+        with pytest.raises(ValueError):
+            partition_constraints(8, 4, 4, PlanSpace.LINEAR)
+        with pytest.raises(ValueError):
+            partition_constraints(8, -1, 4, PlanSpace.LINEAR)
+
+    def test_rejects_too_many_partitions(self):
+        with pytest.raises(ValueError):
+            partition_constraints(4, 0, 8, PlanSpace.LINEAR)
+        with pytest.raises(ValueError):
+            partition_constraints(6, 0, 8, PlanSpace.BUSHY)

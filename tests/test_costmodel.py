@@ -1,0 +1,133 @@
+"""Cost model: operator applicability, candidate costing, plan building."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings
+from repro.cost.costmodel import CostModel
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.orders import SortOrder
+from tests.conftest import make_manual_query
+
+
+@pytest.fixture
+def query():
+    return make_manual_query([100, 200, 300], [(0, 1, 0.01)])
+
+
+@pytest.fixture
+def model(query):
+    return CostModel(query, OptimizerSettings())
+
+
+class TestScanPlans:
+    def test_one_scan_per_table(self, model):
+        assert len(model.scan_plans(0)) == 1
+
+    def test_scan_fields(self, model):
+        scan = model.scan_plans(1)[0]
+        assert scan.mask == 0b10
+        assert scan.rows == 200.0
+        assert scan.cost == (200.0,)
+        assert scan.order is None
+
+    def test_multi_objective_scan_cost(self, query):
+        model = CostModel(
+            query, OptimizerSettings(objectives=MULTI_OBJECTIVE)
+        )
+        scan = model.scan_plans(0)[0]
+        assert scan.cost == (100.0, 1.0)
+
+
+class TestCandidateApplicability:
+    def test_equi_join_gets_all_operators(self, model):
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        algorithms = {c.algorithm for c in model.join_candidates(left, right)}
+        assert algorithms == {
+            JoinAlgorithm.BLOCK_NESTED_LOOP,
+            JoinAlgorithm.HASH,
+            JoinAlgorithm.SORT_MERGE,
+        }
+
+    def test_cross_product_only_nested_loop(self, model):
+        left, right = model.scan_plans(0)[0], model.scan_plans(2)[0]
+        algorithms = {c.algorithm for c in model.join_candidates(left, right)}
+        assert algorithms == {JoinAlgorithm.BLOCK_NESTED_LOOP}
+
+    def test_nested_loop_only_setting(self, query):
+        model = CostModel(query, OptimizerSettings(use_all_join_algorithms=False))
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        algorithms = {c.algorithm for c in model.join_candidates(left, right)}
+        assert algorithms == {JoinAlgorithm.BLOCK_NESTED_LOOP}
+
+
+class TestCandidateCosting:
+    def test_rows_use_selectivity(self, model):
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        for candidate in model.join_candidates(left, right):
+            assert candidate.rows == pytest.approx(100 * 200 * 0.01)
+
+    def test_cost_includes_children(self, model):
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        nl = next(
+            c
+            for c in model.join_candidates(left, right)
+            if c.algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP
+        )
+        assert nl.cost[0] == pytest.approx(100 + 200 + 100 * 200)
+
+    def test_build_join_consistent(self, model):
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        candidate = model.join_candidates(left, right)[0]
+        plan = model.build_join(left, right, candidate)
+        assert plan.mask == 0b11
+        assert plan.cost == candidate.cost
+        assert plan.rows == candidate.rows
+        assert plan.algorithm == candidate.algorithm
+
+
+class TestInterestingOrderProduction:
+    def test_orders_off_no_order(self, model):
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        for candidate in model.join_candidates(left, right):
+            assert candidate.order is None
+
+    def test_sort_merge_emits_order_when_enabled(self, query):
+        model = CostModel(query, OptimizerSettings(consider_orders=True))
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        sm = next(
+            c
+            for c in model.join_candidates(left, right)
+            if c.algorithm is JoinAlgorithm.SORT_MERGE
+        )
+        assert sm.order == SortOrder(0, "c0")
+
+    def test_order_follows_outer_operand(self, query):
+        model = CostModel(query, OptimizerSettings(consider_orders=True))
+        left, right = model.scan_plans(1)[0], model.scan_plans(0)[0]
+        sm = next(
+            c
+            for c in model.join_candidates(left, right)
+            if c.algorithm is JoinAlgorithm.SORT_MERGE
+        )
+        assert sm.order == SortOrder(1, "c0")
+
+    def test_presorted_input_cheaper(self, query):
+        model = CostModel(query, OptimizerSettings(consider_orders=True))
+        scan0, scan1 = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        sm = next(
+            c
+            for c in model.join_candidates(scan0, scan1)
+            if c.algorithm is JoinAlgorithm.SORT_MERGE
+        )
+        sorted_plan = model.build_join(scan0, scan1, sm)
+        # Re-join the sorted result with an unsorted scan over the same key
+        # is not expressible here; instead verify the sort flags recorded.
+        assert sm.sort_left and sm.sort_right
+
+    def test_multi_objective_cost_length(self, query):
+        model = CostModel(query, OptimizerSettings(objectives=MULTI_OBJECTIVE))
+        left, right = model.scan_plans(0)[0], model.scan_plans(1)[0]
+        for candidate in model.join_candidates(left, right):
+            assert len(candidate.cost) == 2

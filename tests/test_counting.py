@@ -1,0 +1,146 @@
+"""Closed-form complexity counts vs exhaustive enumeration (paper Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlanSpace
+from repro.core.constraints import max_constraints, partition_constraints
+from repro.core.counting import (
+    admissible_result_count,
+    admissible_result_count_at_least_2,
+    best_two_way_partition_factor,
+    bushy_assignment_count,
+    linear_split_count,
+    memory_reduction_factor,
+    work_reduction_factor,
+)
+from repro.core.partitioning import admissible_join_results, admissible_results_by_size
+from repro.core.worker import _bushy_groups, bushy_operands
+
+
+def _all_space_constraint_combos():
+    combos = []
+    for space in (PlanSpace.LINEAR, PlanSpace.BUSHY):
+        for n in range(2 if space is PlanSpace.LINEAR else 3, 11):
+            for l in range(max_constraints(n, space) + 1):
+                combos.append((n, l, space))
+    return combos
+
+
+class TestAdmissibleCounts:
+    @pytest.mark.parametrize("n,l,space", _all_space_constraint_combos())
+    def test_matches_enumeration(self, n, l, space):
+        constraints = partition_constraints(n, 0, 1 << l, space)
+        enumerated = len(admissible_join_results(n, constraints, space))
+        assert admissible_result_count(n, l, space) == enumerated
+
+    @pytest.mark.parametrize("n,l,space", _all_space_constraint_combos())
+    def test_at_least_2_matches_enumeration(self, n, l, space):
+        constraints = partition_constraints(n, 0, 1 << l, space)
+        by_size = admissible_results_by_size(n, constraints, space)
+        enumerated = sum(len(masks) for masks in by_size.values())
+        assert admissible_result_count_at_least_2(n, l, space) == enumerated
+
+    def test_theorem2_factor(self):
+        # Each added linear constraint multiplies the count by exactly 3/4.
+        for l in range(4):
+            a = admissible_result_count(8, l, PlanSpace.LINEAR)
+            b = admissible_result_count(8, l + 1, PlanSpace.LINEAR)
+            assert b * 4 == a * 3
+
+    def test_theorem3_factor(self):
+        # Each added bushy constraint multiplies the count by exactly 7/8.
+        for l in range(2):
+            a = admissible_result_count(9, l, PlanSpace.BUSHY)
+            b = admissible_result_count(9, l + 1, PlanSpace.BUSHY)
+            assert b * 8 == a * 7
+
+    def test_unconstrained_is_power_set(self):
+        assert admissible_result_count(10, 0, PlanSpace.LINEAR) == 1 << 10
+        assert admissible_result_count(9, 0, PlanSpace.BUSHY) == 1 << 9
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            admissible_result_count(4, 3, PlanSpace.LINEAR)
+        with pytest.raises(ValueError):
+            admissible_result_count(6, -1, PlanSpace.BUSHY)
+
+
+def enumerate_linear_splits(n, l):
+    """Count (U, u) split pairs exactly as the worker's inner loop does."""
+    constraints = partition_constraints(n, 0, 1 << l, PlanSpace.LINEAR)
+    after_masks = [0] * n
+    for constraint in constraints:
+        after_masks[constraint.before] |= 1 << constraint.after
+    by_size = admissible_results_by_size(n, constraints, PlanSpace.LINEAR)
+    total = 0
+    for masks in by_size.values():
+        for mask in masks:
+            for u in range(n):
+                if mask & (1 << u) and not after_masks[u] & mask:
+                    total += 1
+    return total
+
+
+class TestLinearSplitCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 9])
+    def test_matches_enumeration(self, n):
+        for l in range(max_constraints(n, PlanSpace.LINEAR) + 1):
+            assert linear_split_count(n, l) == enumerate_linear_splits(n, l)
+
+    def test_theorem6_factor_asymptotically(self):
+        # Splits shrink by a factor approaching 3/4 per constraint.
+        n = 12
+        for l in range(3):
+            ratio = linear_split_count(n, l + 1) / linear_split_count(n, l)
+            assert 0.70 < ratio < 0.78
+
+
+def enumerate_bushy_assignments(n, l):
+    """Sum of |bushy_operands(U)| (degenerates included) over admissible U."""
+    constraints = partition_constraints(n, 0, 1 << l, PlanSpace.BUSHY)
+    groups = _bushy_groups(n, constraints)
+    total = 0
+    for mask in admissible_join_results(n, constraints, PlanSpace.BUSHY):
+        total += len(bushy_operands(mask, groups))
+    return total
+
+
+class TestBushyAssignmentCounts:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8, 9])
+    def test_matches_enumeration(self, n):
+        for l in range(max_constraints(n, PlanSpace.BUSHY) + 1):
+            assert bushy_assignment_count(n, l) == enumerate_bushy_assignments(n, l)
+
+    def test_theorem7_factor(self):
+        # Each added bushy constraint multiplies split work by exactly 21/27.
+        for l in range(2):
+            a = bushy_assignment_count(9, l)
+            b = bushy_assignment_count(9, l + 1)
+            assert b * 27 == a * 21
+
+    def test_unconstrained_is_3_to_n(self):
+        assert bushy_assignment_count(9, 0) == 3**9
+        assert bushy_assignment_count(7, 0) == 3**7
+
+
+class TestReductionFactors:
+    def test_work_factors(self):
+        assert work_reduction_factor(PlanSpace.LINEAR) == 0.75
+        assert work_reduction_factor(PlanSpace.BUSHY) == pytest.approx(21 / 27)
+
+    def test_memory_factors(self):
+        assert memory_reduction_factor(PlanSpace.LINEAR) == 0.75
+        assert memory_reduction_factor(PlanSpace.BUSHY) == 0.875
+
+
+class TestPartitioningOptimality:
+    """Theorems 8 and 9: 3/4 and 7/8 are optimal in the restricted space."""
+
+    def test_theorem8_linear(self):
+        assert best_two_way_partition_factor(PlanSpace.LINEAR) == pytest.approx(0.75)
+
+    @pytest.mark.slow
+    def test_theorem9_bushy(self):
+        assert best_two_way_partition_factor(PlanSpace.BUSHY) == pytest.approx(7 / 8)

@@ -1,0 +1,59 @@
+"""Execution back-ends: serial, thread pool, process pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.executors import (
+    ProcessPoolPartitionExecutor,
+    SerialPartitionExecutor,
+    ThreadPoolPartitionExecutor,
+)
+from repro.config import OptimizerSettings
+from repro.core.master import optimize_parallel
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture
+def query():
+    return SteinbrunnGenerator(4).query(6)
+
+
+@pytest.fixture
+def settings():
+    return OptimizerSettings()
+
+
+class TestSerialExecutor:
+    def test_runs_all_partitions(self, query, settings):
+        results = SerialPartitionExecutor().map_partitions(query, 4, settings)
+        assert [r.stats.partition_id for r in results] == [0, 1, 2, 3]
+
+
+class TestThreadExecutor:
+    def test_matches_serial(self, query, settings):
+        serial = SerialPartitionExecutor().map_partitions(query, 4, settings)
+        threaded = ThreadPoolPartitionExecutor(max_workers=4).map_partitions(
+            query, 4, settings
+        )
+        for a, b in zip(serial, threaded):
+            assert a.plans[0].cost == b.plans[0].cost
+            assert a.stats.partition_id == b.stats.partition_id
+
+
+class TestProcessExecutor:
+    def test_matches_serial(self, query, settings):
+        serial = SerialPartitionExecutor().map_partitions(query, 2, settings)
+        processed = ProcessPoolPartitionExecutor(max_workers=2).map_partitions(
+            query, 2, settings
+        )
+        for a, b in zip(serial, processed):
+            assert a.plans[0].cost == b.plans[0].cost
+            assert a.stats.splits_considered == b.stats.splits_considered
+
+    def test_through_master(self, query, settings):
+        inline = optimize_parallel(query, 2, settings)
+        pooled = optimize_parallel(
+            query, 2, settings, executor=ProcessPoolPartitionExecutor(max_workers=2)
+        )
+        assert pooled.best.cost == inline.best.cost

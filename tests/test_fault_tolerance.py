@@ -1,0 +1,105 @@
+"""Retry executor, skew-freeness, and DOT export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.executors import (
+    RetryingPartitionExecutor,
+    SerialPartitionExecutor,
+)
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.master import optimize_parallel
+from repro.core.serial import best_plan, optimize_serial
+from repro.core.worker import optimize_partition
+from repro.plans.dot import plan_to_dot
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture
+def query():
+    return SteinbrunnGenerator(91).query(6)
+
+
+class TestRetryingExecutor:
+    def test_passthrough_when_inner_works(self, query, linear_settings):
+        executor = RetryingPartitionExecutor(inner=SerialPartitionExecutor())
+        results = executor.map_partitions(query, 4, linear_settings)
+        assert len(results) == 4
+        assert executor.retries == 0
+
+    def test_recovers_from_inner_failure(self, query, linear_settings):
+        class CrashingExecutor:
+            def map_partitions(self, query, n_partitions, settings):
+                raise ConnectionError("cluster gone")
+
+        executor = RetryingPartitionExecutor(inner=CrashingExecutor())
+        result = optimize_parallel(query, 4, linear_settings, executor=executor)
+        serial = best_plan(optimize_serial(query, linear_settings))
+        assert result.best.cost[0] == pytest.approx(serial.cost[0])
+        assert executor.retries >= 1
+
+    def test_no_inner_runs_inline(self, query, linear_settings):
+        executor = RetryingPartitionExecutor()
+        results = executor.map_partitions(query, 2, linear_settings)
+        assert [r.stats.partition_id for r in results] == [0, 1]
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryingPartitionExecutor(max_attempts=0)
+
+
+class TestSkewFreeness:
+    """The paper: "All plan space partitions have the same size which
+    guarantees skew-free parallelization." — verify at the worker level."""
+
+    def test_linear_partitions_identical_work(self, query, linear_settings):
+        stats = [
+            optimize_partition(query, pid, 8, linear_settings).stats
+            for pid in range(8)
+        ]
+        assert len({s.admissible_results for s in stats}) == 1
+        assert len({s.splits_considered for s in stats}) == 1
+        assert len({s.table_entries for s in stats}) == 1
+
+    def test_bushy_partitions_identical_work(self, bushy_settings):
+        query = SteinbrunnGenerator(92).query(6)
+        stats = [
+            optimize_partition(query, pid, 4, bushy_settings).stats
+            for pid in range(4)
+        ]
+        assert len({s.admissible_results for s in stats}) == 1
+        assert len({s.splits_considered for s in stats}) == 1
+
+    def test_candidate_counts_near_uniform(self, query, linear_settings):
+        """Costed candidates may differ slightly (operator applicability),
+        but never by more than a small factor — no real skew."""
+        considered = [
+            optimize_partition(query, pid, 8, linear_settings).stats.plans_considered
+            for pid in range(8)
+        ]
+        assert max(considered) <= 2 * min(considered)
+
+
+class TestDotExport:
+    def test_digraph_structure(self, query, linear_settings):
+        plan = best_plan(optimize_serial(query, linear_settings))
+        dot = plan_to_dot(plan, tuple(t.name for t in query.tables))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("Join") == query.n_tables - 1
+        assert dot.count("Scan") == query.n_tables
+        assert dot.count("->") == 2 * (query.n_tables - 1)
+
+    def test_operand_roles_labeled(self, query, linear_settings):
+        plan = best_plan(optimize_serial(query, linear_settings))
+        dot = plan_to_dot(plan)
+        assert 'label="outer"' in dot
+        assert 'label="inner"' in dot
+
+    def test_escaping(self):
+        from repro.plans.plan import ScanPlan
+
+        scan = ScanPlan(mask=1, rows=5.0, cost=(5.0,), order=None, table=0)
+        dot = plan_to_dot(scan, ('weird"name',))
+        assert '\\"' in dot

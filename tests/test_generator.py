@@ -1,0 +1,104 @@
+"""Steinbrunn workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.generator import (
+    CARDINALITY_RANGE,
+    SteinbrunnGenerator,
+    _edges_for,
+    make_chain_query,
+    make_clique_query,
+    make_cycle_query,
+    make_star_query,
+)
+from repro.query.query import JoinGraphKind
+
+
+class TestDeterminism:
+    def test_same_seed_same_query(self):
+        a = SteinbrunnGenerator(5).query(6)
+        b = SteinbrunnGenerator(5).query(6)
+        assert [t.cardinality for t in a.tables] == [t.cardinality for t in b.tables]
+        assert a.predicates == b.predicates
+
+    def test_different_seeds_differ(self):
+        a = SteinbrunnGenerator(1).query(8)
+        b = SteinbrunnGenerator(2).query(8)
+        assert [t.cardinality for t in a.tables] != [t.cardinality for t in b.tables]
+
+    def test_sequential_queries_differ(self):
+        generator = SteinbrunnGenerator(3)
+        a, b = generator.query(6), generator.query(6)
+        assert [t.cardinality for t in a.tables] != [t.cardinality for t in b.tables]
+
+
+class TestStatisticsRanges:
+    def test_cardinalities_in_range(self):
+        query = SteinbrunnGenerator(0).query(12)
+        low, high = CARDINALITY_RANGE
+        for table in query.tables:
+            assert low <= table.cardinality <= high
+
+    def test_selectivities_valid(self):
+        query = SteinbrunnGenerator(0).query(12)
+        for predicate in query.predicates:
+            assert 0 < predicate.selectivity <= 0.5
+
+    def test_domain_sizes_positive(self):
+        table = SteinbrunnGenerator(0).table("X", n_columns=4)
+        assert all(column.domain_size >= 2 for column in table.columns)
+
+
+class TestTopologies:
+    def test_star_edges(self):
+        assert _edges_for(JoinGraphKind.STAR, 5) == [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+    def test_chain_edges(self):
+        assert _edges_for(JoinGraphKind.CHAIN, 4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle_edges(self):
+        assert _edges_for(JoinGraphKind.CYCLE, 4) == [(0, 1), (1, 2), (2, 3), (0, 3)]
+
+    def test_cycle_of_two_has_single_edge(self):
+        assert _edges_for(JoinGraphKind.CYCLE, 2) == [(0, 1)]
+
+    def test_clique_edges(self):
+        assert len(_edges_for(JoinGraphKind.CLIQUE, 5)) == 10
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            _edges_for(JoinGraphKind.CHAIN, 0)
+
+    @pytest.mark.parametrize(
+        "maker,kind",
+        [
+            (make_star_query, JoinGraphKind.STAR),
+            (make_chain_query, JoinGraphKind.CHAIN),
+            (make_cycle_query, JoinGraphKind.CYCLE),
+            (make_clique_query, JoinGraphKind.CLIQUE),
+        ],
+    )
+    def test_convenience_constructors_connected(self, maker, kind):
+        query = maker(6, seed=4)
+        assert query.n_tables == 6
+        assert query.is_connected()
+        assert kind.value in query.name
+
+
+class TestPredicateWiring:
+    def test_one_predicate_per_edge(self):
+        query = SteinbrunnGenerator(0).query(7, JoinGraphKind.STAR)
+        assert len(query.predicates) == 6
+
+    def test_star_hub_has_enough_columns(self):
+        query = SteinbrunnGenerator(0).query(9, JoinGraphKind.STAR)
+        hub = query.tables[0]
+        # Hub joins 8 spokes; distinct columns cycle but must exist.
+        assert len(hub.columns) >= 2
+
+    def test_batch_generation(self):
+        queries = SteinbrunnGenerator(0).queries(5, 4)
+        assert len(queries) == 5
+        assert all(q.n_tables == 4 for q in queries)

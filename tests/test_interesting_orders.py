@@ -1,0 +1,66 @@
+"""Interesting orders: sort-merge order reuse across joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import JoinPlan
+from repro.query.generator import SteinbrunnGenerator
+from tests.conftest import make_manual_query
+
+
+def count_sort_merges(plan):
+    if not isinstance(plan, JoinPlan):
+        return 0
+    own = 1 if plan.algorithm is JoinAlgorithm.SORT_MERGE else 0
+    return own + count_sort_merges(plan.left) + count_sort_merges(plan.right)
+
+
+class TestOrdersNeverHurt:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_orders_on_at_most_orders_off(self, seed):
+        query = SteinbrunnGenerator(seed).query(6)
+        off = best_plan(optimize_serial(query, OptimizerSettings()))
+        on = best_plan(
+            optimize_serial(query, OptimizerSettings(consider_orders=True))
+        )
+        assert on.cost[0] <= off.cost[0] * (1 + 1e-9)
+
+    def test_orders_track_more_plans(self):
+        query = SteinbrunnGenerator(6).query(6)
+        off = optimize_serial(query, OptimizerSettings())
+        on = optimize_serial(query, OptimizerSettings(consider_orders=True))
+        assert on.stats.stored_plans >= off.stats.stored_plans
+
+
+class TestOrderReuseScenario:
+    def test_shared_sort_key_benefits(self):
+        """Two joins over the same column: sorting once must pay off.
+
+        T0 joins T1 and T2 on the *same* column T0.c0, so a sort-merge join
+        producing output sorted on T0.c0 makes the second sort-merge free of
+        its sort term.  With orders on, the optimizer may keep the costlier
+        sorted intermediate plan; the final cost must never exceed orders-off.
+        """
+        query = make_manual_query(
+            [5000, 4000, 3000],
+            [(0, 1, 0.001), (0, 2, 0.001)],
+        )
+        off = best_plan(optimize_serial(query, OptimizerSettings()))
+        on = best_plan(
+            optimize_serial(query, OptimizerSettings(consider_orders=True))
+        )
+        assert on.cost[0] <= off.cost[0]
+
+    def test_sorted_output_recorded(self):
+        query = make_manual_query([5000, 4000], [(0, 1, 0.001)])
+        result = optimize_serial(query, OptimizerSettings(consider_orders=True))
+        orders = {plan.order for plan in result.plans}
+        # The returned best plan may or may not be sorted, but every stored
+        # sort-merge plan must carry its output order.
+        for plan in result.plans:
+            if isinstance(plan, JoinPlan) and plan.algorithm is JoinAlgorithm.SORT_MERGE:
+                assert plan.order is not None

@@ -1,0 +1,128 @@
+"""Query JSON round-tripping and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.io import (
+    load_query,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    save_query,
+)
+from tests.conftest import make_manual_query
+
+
+class TestQueryRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        query = SteinbrunnGenerator(5).query(6)
+        clone = query_from_dict(query_to_dict(query))
+        assert clone.name == query.name
+        assert clone.predicates == query.predicates
+        assert [t.cardinality for t in clone.tables] == [
+            t.cardinality for t in query.tables
+        ]
+        assert [t.columns for t in clone.tables] == [t.columns for t in query.tables]
+
+    def test_file_roundtrip(self, tmp_path):
+        query = make_manual_query([100, 200], [(0, 1, 0.25)])
+        path = tmp_path / "q.json"
+        save_query(query, path)
+        loaded = load_query(path)
+        assert loaded.predicates == query.predicates
+
+    def test_default_selectivity(self):
+        data = query_to_dict(make_manual_query([10, 20], [(0, 1, 0.5)]))
+        del data["predicates"][0]["selectivity"]
+        loaded = query_from_dict(data)
+        # Columns have domain 100 in the manual query -> Steinbrunn 1/100.
+        assert loaded.predicates[0].selectivity == pytest.approx(0.01)
+
+    def test_malformed_table_rejected(self):
+        with pytest.raises(ValueError, match="table"):
+            query_from_dict({"tables": [{"name": "X"}], "predicates": []})
+
+    def test_malformed_predicate_rejected(self):
+        data = query_to_dict(make_manual_query([10, 20]))
+        data["predicates"] = [{"left_table": 0}]
+        with pytest.raises(ValueError, match="predicate"):
+            query_from_dict(data)
+
+    def test_optimization_equivalent_after_roundtrip(self):
+        query = SteinbrunnGenerator(6).query(6)
+        clone = query_from_dict(query_to_dict(query))
+        original = best_plan(optimize_serial(query, OptimizerSettings()))
+        reloaded = best_plan(optimize_serial(clone, OptimizerSettings()))
+        assert original.cost == reloaded.cost
+
+
+class TestPlanToDict:
+    def test_structure(self):
+        query = make_manual_query([100, 200], [(0, 1, 0.1)])
+        plan = best_plan(optimize_serial(query, OptimizerSettings()))
+        data = plan_to_dict(plan, ("A", "B"))
+        assert data["operator"] == "join"
+        assert {data["outer"]["operator"], data["inner"]["operator"]} == {"scan"}
+        assert {data["outer"]["table"], data["inner"]["table"]} == {"A", "B"}
+        assert data["cost"] == list(plan.cost)
+
+
+class TestCLI:
+    def test_generate_then_optimize(self, tmp_path, capsys):
+        path = tmp_path / "query.json"
+        assert main(["generate", "--tables", "6", "-o", str(path)]) == 0
+        assert path.exists()
+        assert main([
+            "optimize", str(path), "--workers", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partitions: 4" in out
+        assert "best cost" in out
+
+    def test_optimize_json_output(self, tmp_path, capsys):
+        path = tmp_path / "query.json"
+        main(["generate", "--tables", "5", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["optimize", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partitions"] == 1
+        assert payload["plans"][0]["operator"] == "join"
+
+    def test_optimize_multi_objective(self, tmp_path, capsys):
+        path = tmp_path / "query.json"
+        main(["generate", "--tables", "6", "-o", str(path)])
+        assert main([
+            "optimize", str(path),
+            "--objectives", "time,buffer", "--alpha", "5", "--workers", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier" in out
+
+    def test_optimize_bushy(self, tmp_path, capsys):
+        path = tmp_path / "query.json"
+        main(["generate", "--tables", "6", "-o", str(path)])
+        assert main(["optimize", str(path), "--space", "bushy"]) == 0
+        assert "bushy" in capsys.readouterr().out
+
+    def test_unknown_objective_rejected(self, tmp_path):
+        path = tmp_path / "query.json"
+        main(["generate", "--tables", "4", "-o", str(path)])
+        with pytest.raises(SystemExit):
+            main(["optimize", str(path), "--objectives", "carbon"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["generate", "--tables", "5", "--seed", "3", "-o", str(a)])
+        main(["generate", "--tables", "5", "--seed", "3", "-o", str(b)])
+        assert a.read_text() == b.read_text()

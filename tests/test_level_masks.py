@@ -1,0 +1,45 @@
+"""Gosper's-hack level enumeration vs itertools ground truth."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sma import _level_masks
+from repro.util.bitset import mask_of, popcount
+
+
+class TestLevelMasks:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=14),
+        data=st.data(),
+    )
+    def test_matches_itertools(self, n, data):
+        size = data.draw(st.integers(min_value=1, max_value=n))
+        masks = _level_masks(n, size)
+        expected = sorted(
+            mask_of(combo) for combo in combinations(range(n), size)
+        )
+        assert masks == expected
+
+    def test_counts(self):
+        for n in range(1, 12):
+            for size in range(1, n + 1):
+                assert len(_level_masks(n, size)) == comb(n, size)
+
+    def test_all_levels_partition_the_power_set(self):
+        n = 8
+        union = set()
+        for size in range(1, n + 1):
+            level = set(_level_masks(n, size))
+            assert not union & level
+            union |= level
+        assert len(union) == (1 << n) - 1
+
+    def test_sizes_homogeneous(self):
+        assert all(popcount(m) == 5 for m in _level_masks(12, 5))

@@ -1,0 +1,107 @@
+"""Report-log parsing round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ScalingPoint, ScalingSeries
+from repro.bench.logparse import (
+    doubling_factors,
+    extract_blocks,
+    network_ratio_summary,
+    parse_series,
+    summarize_factors,
+)
+
+SAMPLE = """\
+== Figure 2: MPQ scaling (single objective, larger search spaces)
+scale=ci; medians over 2 queries
+-- MPQ linear 10
+ workers      time_ms    w_time_ms   memory_rel      network_B
+       1        15.92        13.80         1023           1608
+       2        13.03        10.86          768           3216
+       4        10.00         7.60          577           6432
+[fig2 completed in 20.0s wall-clock]
+
+== Figure 1: MPQ vs SMA
+-- MPQ linear 8
+ workers      time_ms    w_time_ms   memory_rel      network_B
+       1         3.00         1.00          255           1000
+       4         2.00         0.50          144           4000
+-- SMA linear 8
+ workers      time_ms    w_time_ms   memory_rel      network_B
+       1         9.00         9.00          255          12000
+       4        12.00        12.00          255          48000
+[fig1 completed in 4.2s wall-clock]
+"""
+
+
+class TestExtractBlocks:
+    def test_two_blocks(self):
+        blocks = extract_blocks(SAMPLE)
+        assert set(blocks) == {"Figure 2", "Figure 1"}
+
+    def test_block_contents(self):
+        blocks = extract_blocks(SAMPLE)
+        assert "MPQ linear 10" in blocks["Figure 2"]
+        assert "completed" not in blocks["Figure 2"]
+
+    def test_empty_text(self):
+        assert extract_blocks("") == {}
+
+    def test_unterminated_block_kept(self):
+        blocks = extract_blocks("== Figure 9: partial\n-- x\n")
+        assert "Figure 9" in blocks
+
+
+class TestParseSeries:
+    def test_roundtrip_series(self):
+        blocks = extract_blocks(SAMPLE)
+        series = parse_series(blocks["Figure 2"])
+        assert len(series) == 1
+        assert series[0].label == "MPQ linear 10"
+        assert [p.workers for p in series[0].points] == [1, 2, 4]
+        assert series[0].points[0].memory_relations == 1023
+
+    def test_format_then_parse_identity(self):
+        original = ScalingSeries(
+            label="roundtrip",
+            points=[
+                ScalingPoint(1, 10.5, 9.25, 100, 2048),
+                ScalingPoint(2, 8.12, 7.0, 75, 4096),
+            ],
+        )
+        parsed = parse_series(original.format())
+        assert len(parsed) == 1
+        clone = parsed[0]
+        assert clone.label == original.label
+        for a, b in zip(original.points, clone.points):
+            assert a.workers == b.workers
+            assert a.time_ms == pytest.approx(b.time_ms, abs=0.01)
+            assert a.network_bytes == b.network_bytes
+
+    def test_multiple_series(self):
+        blocks = extract_blocks(SAMPLE)
+        series = parse_series(blocks["Figure 1"])
+        assert [s.label for s in series] == ["MPQ linear 8", "SMA linear 8"]
+
+
+class TestSummaries:
+    def test_doubling_factors(self):
+        blocks = extract_blocks(SAMPLE)
+        (series,) = parse_series(blocks["Figure 2"])
+        factors = doubling_factors(series, "memory_relations")
+        assert factors == [pytest.approx(768 / 1023), pytest.approx(577 / 768)]
+
+    def test_summarize_factors_mentions_series(self):
+        blocks = extract_blocks(SAMPLE)
+        series = parse_series(blocks["Figure 2"])
+        text = summarize_factors(series, "worker_time_ms")
+        assert "MPQ linear 10" in text
+        assert "per worker doubling" in text
+
+    def test_network_ratio(self):
+        blocks = extract_blocks(SAMPLE)
+        series = parse_series(blocks["Figure 1"])
+        text = network_ratio_summary(series)
+        assert "x12.0" in text  # 48000 / 4000 at 4 workers

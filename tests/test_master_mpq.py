@@ -1,0 +1,138 @@
+"""Master orchestration and the central MPQ correctness invariant:
+
+MPQ with any usable power-of-two worker count returns the same optimal cost
+as serial dynamic programming — over both plan spaces, many seeds, and all
+join-graph topologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.mpq import optimize_mpq
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.master import optimize_parallel
+from repro.core.serial import best_plan, optimize_serial
+from repro.core.worker import optimize_partition
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
+
+
+class TestMasterMechanics:
+    def test_caps_at_max_partitions(self, star6, linear_settings):
+        result = optimize_parallel(star6, 1000, linear_settings)
+        assert result.n_partitions == 8  # 2^(6/2)
+        assert result.requested_workers == 1000
+
+    def test_rounds_down_to_power_of_two(self, star6, linear_settings):
+        result = optimize_parallel(star6, 7, linear_settings)
+        assert result.n_partitions == 4
+
+    def test_partition_results_returned(self, star6, linear_settings):
+        result = optimize_parallel(star6, 4, linear_settings)
+        assert len(result.partition_results) == 4
+        ids = [r.stats.partition_id for r in result.partition_results]
+        assert ids == [0, 1, 2, 3]
+
+    def test_best_raises_on_empty(self):
+        from repro.core.master import MasterResult
+
+        empty = MasterResult(plans=[], n_partitions=1, requested_workers=1)
+        with pytest.raises(ValueError):
+            _ = empty.best
+
+    def test_executor_result_count_checked(self, star6, linear_settings):
+        class BrokenExecutor:
+            def map_partitions(self, query, n_partitions, settings):
+                return []
+
+        with pytest.raises(RuntimeError):
+            optimize_parallel(star6, 4, linear_settings, executor=BrokenExecutor())
+
+    def test_timings_populated(self, star6, linear_settings):
+        result = optimize_parallel(star6, 4, linear_settings)
+        assert result.total_wall_s > 0
+        assert result.max_worker_wall_s > 0
+        assert result.master_prune_s >= 0
+
+
+class TestMPQEqualsSerial:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("workers", [2, 4, 8, 16])
+    def test_linear(self, seed, workers):
+        query = SteinbrunnGenerator(seed).query(8)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        serial_cost = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, workers, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial_cost)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bushy(self, seed, workers):
+        query = SteinbrunnGenerator(seed).query(7)
+        settings = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        serial_cost = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, workers, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial_cost)
+
+    @pytest.mark.parametrize(
+        "kind", [JoinGraphKind.CHAIN, JoinGraphKind.STAR, JoinGraphKind.CYCLE,
+                 JoinGraphKind.CLIQUE]
+    )
+    def test_topologies(self, kind):
+        query = SteinbrunnGenerator(50).query(8, kind)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        serial_cost = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, 16, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial_cost)
+
+    def test_with_interesting_orders(self):
+        query = SteinbrunnGenerator(51).query(6)
+        settings = OptimizerSettings(consider_orders=True)
+        serial_cost = best_plan(optimize_serial(query, settings)).cost[0]
+        parallel = optimize_parallel(query, 8, settings)
+        assert parallel.best.cost[0] == pytest.approx(serial_cost)
+
+    def test_optimum_lives_in_exactly_matching_partition(self):
+        """The partition whose constraints the optimal order satisfies
+        returns a plan of globally optimal cost."""
+        query = SteinbrunnGenerator(52).query(6)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        optimal_order = best_plan(optimize_serial(query, settings)).join_order()
+        position = {table: i for i, table in enumerate(optimal_order)}
+        partition_id = 0
+        for bit_index, pair_start in enumerate(range(0, 6 - 1, 2)):
+            if position[pair_start] > position[pair_start + 1]:
+                partition_id |= 1 << bit_index
+        result = optimize_partition(query, partition_id, 8, settings)
+        serial_cost = best_plan(optimize_serial(query, settings)).cost[0]
+        assert min(p.cost[0] for p in result.plans) == pytest.approx(serial_cost)
+
+
+class TestMPQReport:
+    def test_report_fields(self, star6, linear_settings):
+        report = optimize_mpq(star6, 4, linear_settings)
+        assert report.n_partitions == 4
+        assert report.simulated_time_ms > 0
+        assert report.network_bytes > 0
+        assert report.max_worker_memory_relations > 0
+        assert report.best.cost[0] > 0
+        assert len(report.plans) == 1
+
+    def test_network_linear_in_workers(self, star6, linear_settings):
+        small = optimize_mpq(star6, 2, linear_settings)
+        large = optimize_mpq(star6, 8, linear_settings)
+        assert large.network_bytes == pytest.approx(4 * small.network_bytes, rel=0.2)
+
+    def test_memory_decreases_with_workers(self, star6, linear_settings):
+        serial = optimize_mpq(star6, 1, linear_settings)
+        parallel = optimize_mpq(star6, 8, linear_settings)
+        assert (
+            parallel.max_worker_memory_relations
+            < serial.max_worker_memory_relations
+        )
+
+    def test_worker_compute_decreases_with_workers(self, star6, linear_settings):
+        serial = optimize_mpq(star6, 1, linear_settings)
+        parallel = optimize_mpq(star6, 8, linear_settings)
+        assert parallel.max_worker_time_ms < serial.max_worker_time_ms

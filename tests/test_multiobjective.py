@@ -1,0 +1,159 @@
+"""Multi-objective optimization: exact frontiers and the α guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.moq import (
+    approximation_ratio,
+    frontier_summary,
+    optimize_multi_objective,
+)
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+from repro.core.exhaustive import all_bushy_cost_vectors, all_leftdeep_cost_vectors
+from repro.core.master import optimize_parallel
+from repro.core.serial import optimize_serial
+from repro.cost.pareto import dominates, pareto_filter
+from repro.query.generator import SteinbrunnGenerator
+
+SEEDS = [1, 2, 3, 4]
+
+
+def exact_settings(plan_space=PlanSpace.LINEAR):
+    return OptimizerSettings(
+        plan_space=plan_space, objectives=MULTI_OBJECTIVE, alpha=1.0
+    )
+
+
+class TestExactFrontier:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_exhaustive_linear(self, seed):
+        query = SteinbrunnGenerator(seed).query(5)
+        settings = exact_settings()
+        reference = set(pareto_filter(all_leftdeep_cost_vectors(query, settings)))
+        result = optimize_serial(query, settings)
+        produced = {plan.cost for plan in result.plans}
+        assert produced == reference
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_matches_exhaustive_bushy(self, seed):
+        query = SteinbrunnGenerator(seed).query(4)
+        settings = exact_settings(PlanSpace.BUSHY)
+        reference = set(pareto_filter(all_bushy_cost_vectors(query, settings)))
+        result = optimize_serial(query, settings)
+        produced = {plan.cost for plan in result.plans}
+        assert produced == reference
+
+    def test_frontier_is_antichain(self):
+        query = SteinbrunnGenerator(5).query(6)
+        result = optimize_serial(query, exact_settings())
+        for a in result.plans:
+            for b in result.plans:
+                if a is not b:
+                    assert not dominates(a.cost, b.cost)
+
+    def test_parallel_frontier_equals_serial(self):
+        query = SteinbrunnGenerator(6).query(6)
+        settings = exact_settings()
+        serial_costs = {plan.cost for plan in optimize_serial(query, settings).plans}
+        parallel = optimize_parallel(query, 8, settings)
+        assert {plan.cost for plan in parallel.plans} == serial_costs
+
+
+class TestAlphaGuarantee:
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 5.0, 10.0])
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_serial_within_alpha_of_exact(self, alpha, seed):
+        query = SteinbrunnGenerator(seed).query(6)
+        exact = optimize_serial(query, exact_settings())
+        approx = optimize_serial(
+            query,
+            OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=alpha),
+        )
+        ratio = approximation_ratio(approx.plans, exact.plans)
+        assert ratio <= alpha * (1 + 1e-9)
+
+    @pytest.mark.parametrize("alpha", [2.0, 10.0])
+    def test_parallel_within_alpha_of_exact(self, alpha):
+        query = SteinbrunnGenerator(9).query(6)
+        exact = optimize_serial(query, exact_settings())
+        approx = optimize_parallel(
+            query,
+            8,
+            OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=alpha),
+        )
+        assert approximation_ratio(approx.plans, exact.plans) <= alpha * (1 + 1e-9)
+
+    def test_larger_alpha_smaller_or_equal_frontier(self):
+        query = SteinbrunnGenerator(10).query(7)
+        sizes = []
+        for alpha in (1.0, 2.0, 10.0):
+            result = optimize_serial(
+                query, OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=alpha)
+            )
+            sizes.append(len(result.plans))
+        assert sizes[0] >= sizes[1] >= sizes[2] >= 1
+
+    def test_larger_alpha_not_slower(self):
+        query = SteinbrunnGenerator(11).query(7)
+        tight = optimize_serial(
+            query, OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=1.0)
+        )
+        loose = optimize_serial(
+            query, OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=10.0)
+        )
+        assert loose.stats.plans_considered <= tight.stats.plans_considered
+
+
+class TestHelpers:
+    def test_approximation_ratio_exact(self):
+        frontier = [(1.0, 2.0), (2.0, 1.0)]
+        assert approximation_ratio(frontier, frontier) == 1.0
+
+    def test_approximation_ratio_factor(self):
+        reference = [(1.0, 1.0)]
+        candidate = [(2.0, 1.0)]
+        assert approximation_ratio(candidate, reference) == pytest.approx(2.0)
+
+    def test_approximation_ratio_picks_best_cover(self):
+        reference = [(1.0, 1.0)]
+        candidate = [(3.0, 1.0), (1.0, 1.5)]
+        assert approximation_ratio(candidate, reference) == pytest.approx(1.5)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            approximation_ratio([], [(1.0,)])
+        with pytest.raises(ValueError):
+            approximation_ratio([(1.0,)], [])
+
+    def test_frontier_summary_sorted(self):
+        query = SteinbrunnGenerator(12).query(5)
+        result = optimize_serial(query, exact_settings())
+        text = frontier_summary(result.plans)
+        assert len(text.splitlines()) == len(result.plans)
+
+
+class TestOptimizeMultiObjective:
+    def test_returns_frontier(self):
+        query = SteinbrunnGenerator(13).query(6)
+        report = optimize_multi_objective(query, 4, alpha=1.0)
+        assert len(report.plans) >= 1
+        assert all(len(plan.cost) == 2 for plan in report.plans)
+
+    def test_network_grows_with_frontier(self):
+        """Multi-objective runs ship whole frontiers back (paper Figure 4)."""
+        query = SteinbrunnGenerator(14).query(8)
+        single = optimize_parallel(
+            query, 4, OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        )
+        multi = optimize_multi_objective(query, 4, alpha=1.0)
+        if len(multi.plans) > 1:
+            from repro.cluster.serialization import plans_bytes
+
+            single_result_bytes = sum(
+                plans_bytes(r.plans) for r in single.partition_results
+            )
+            multi_result_bytes = sum(
+                plans_bytes(r.plans) for r in multi.result.partition_results
+            )
+            assert multi_result_bytes > single_result_bytes

@@ -1,0 +1,137 @@
+"""Network model and simulated-cluster timing composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.mpq import optimize_mpq
+from repro.cluster.network import NetworkAccountant, NetworkModel
+from repro.cluster.serialization import plans_bytes, task_bytes
+from repro.cluster.simulator import (
+    ClusterModel,
+    simulate_mpq_run,
+    worker_compute_seconds,
+)
+from repro.config import OptimizerSettings
+from repro.core.master import optimize_parallel
+from repro.core.worker import WorkerStats
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture
+def query():
+    return SteinbrunnGenerator(2).query(6)
+
+
+class TestNetworkModel:
+    def test_latency_only_for_empty_message(self):
+        model = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1e6)
+        assert model.transfer_seconds(0) == 0.001
+
+    def test_bandwidth_term(self):
+        model = NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=1e6)
+        assert model.transfer_seconds(2_000_000) == pytest.approx(2.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_seconds(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0.0)
+
+
+class TestAccountant:
+    def test_accumulates(self):
+        accountant = NetworkAccountant()
+        accountant.send(100)
+        accountant.send(200)
+        assert accountant.total_bytes == 300
+        assert accountant.n_messages == 2
+
+    def test_send_returns_time(self):
+        model = NetworkModel(latency_s=0.5, bandwidth_bytes_per_s=1e3)
+        accountant = NetworkAccountant(model=model)
+        assert accountant.send(500) == pytest.approx(1.0)
+
+    def test_send_many(self):
+        accountant = NetworkAccountant()
+        total = accountant.send_many([10, 20, 30])
+        assert accountant.total_bytes == 60
+        assert total == pytest.approx(
+            sum(accountant.model.transfer_seconds(b) for b in (10, 20, 30))
+        )
+
+
+class TestClusterModel:
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ValueError):
+            ClusterModel(task_setup_s=-1.0)
+
+    def test_worker_compute_formula(self):
+        cluster = ClusterModel(
+            seconds_per_plan=1.0, seconds_per_split=10.0, seconds_per_result=100.0
+        )
+        stats = WorkerStats(
+            partition_id=0,
+            n_partitions=1,
+            n_constraints=0,
+            admissible_results=1,
+            splits_considered=2,
+            plans_considered=3,
+        )
+        assert worker_compute_seconds(cluster, stats) == pytest.approx(123.0)
+
+
+class TestSimulatedTiming:
+    def test_bytes_match_message_inventory(self, query):
+        settings = OptimizerSettings()
+        result = optimize_parallel(query, 4, settings)
+        timing = simulate_mpq_run(ClusterModel(), query, result)
+        expected = 4 * task_bytes(query) + sum(
+            plans_bytes(r.plans) for r in result.partition_results
+        )
+        assert timing.network_bytes == expected
+        assert timing.network_messages == 8
+
+    def test_dispatch_linear_in_workers(self, query):
+        settings = OptimizerSettings()
+        cluster = ClusterModel()
+        small = simulate_mpq_run(cluster, query, optimize_parallel(query, 2, settings))
+        large = simulate_mpq_run(cluster, query, optimize_parallel(query, 8, settings))
+        assert large.dispatch_s == pytest.approx(4 * small.dispatch_s)
+
+    def test_total_decomposition(self, query):
+        settings = OptimizerSettings()
+        result = optimize_parallel(query, 4, settings)
+        timing = simulate_mpq_run(ClusterModel(), query, result)
+        assert timing.total_s == pytest.approx(
+            timing.workers_done_s + timing.collect_s + timing.master_prune_s
+        )
+        assert timing.total_ms == pytest.approx(timing.total_s * 1e3)
+
+    def test_workers_done_after_dispatch(self, query):
+        settings = OptimizerSettings()
+        result = optimize_parallel(query, 4, settings)
+        cluster = ClusterModel()
+        timing = simulate_mpq_run(cluster, query, result)
+        assert timing.workers_done_s >= timing.dispatch_s + cluster.task_setup_s
+
+    def test_max_worker_compute(self, query):
+        settings = OptimizerSettings()
+        result = optimize_parallel(query, 4, settings)
+        timing = simulate_mpq_run(ClusterModel(), query, result)
+        assert timing.max_worker_compute_s == max(timing.worker_compute_s)
+        assert len(timing.worker_compute_s) == 4
+
+    def test_setup_dominates_tiny_queries(self):
+        """Figure 1's flat MPQ curves: overhead hides tiny DP times."""
+        query = SteinbrunnGenerator(3).query(4)
+        report_1 = optimize_mpq(query, 1)
+        report_4 = optimize_mpq(query, 4)
+        # More workers cannot make a tiny query much faster...
+        assert report_4.simulated_time_ms >= report_1.simulated_time_ms * 0.5
+        # ...because setup dominates compute.
+        assert report_1.simulated.workers_done_s > report_1.max_worker_time_ms / 1e3

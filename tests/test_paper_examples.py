@@ -1,0 +1,147 @@
+"""The paper's worked examples, reproduced literally.
+
+Example 1 (Section 4): four workers optimizing R ⋈ S ⋈ T ⋈ U; the worker
+with partition ID 3 (the paper's 1-based partition "three", binary ``10``)
+derives constraints "R before S" and "U before T".
+
+Example 2 (Section 4.2): Q = {Q1, Q2, Q3, Q4} with constraints
+Q1 ≺ Q2 and Q4 ≺ Q3 yields exactly nine admissible join results.
+
+Paper tables are 1-based (Q1…Q4) and partition IDs run 1…m; this library is
+0-based throughout, so Q_i maps to table i-1 and partition p to p-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from itertools import permutations
+
+from repro.config import PlanSpace
+from repro.core.constraints import (
+    LinearConstraint,
+    max_constraints,
+    partition_constraints,
+)
+from repro.core.partitioning import admissible_join_results
+from repro.util.bitset import mask_of
+
+
+class TestExample1:
+    """Partition "three" of four: constraints R ≺ S and U ≺ T."""
+
+    # Tables: R=0, S=1, T=2, U=3.  The paper's partition ID 3 is our ID 2,
+    # binary 10: bit 0 = 0 -> first pair ordered R before S; bit 1 = 1 ->
+    # second pair flipped, U before T.
+    def test_constraints_decoded(self):
+        constraints = partition_constraints(4, 2, 4, PlanSpace.LINEAR)
+        assert constraints == (
+            LinearConstraint(before=0, after=1),  # R before S
+            LinearConstraint(before=3, after=2),  # U before T
+        )
+
+    def test_two_constraints_for_four_partitions(self):
+        constraints = partition_constraints(4, 2, 4, PlanSpace.LINEAR)
+        assert len(constraints) == 2  # log2(4)
+
+    def test_all_four_partitions_have_distinct_constraints(self):
+        seen = {
+            partition_constraints(4, pid, 4, PlanSpace.LINEAR)
+            for pid in range(4)
+        }
+        assert len(seen) == 4
+
+
+class TestExample2:
+    """Admissible join results under Q1 ≺ Q2 and Q4 ≺ Q3."""
+
+    def test_exact_admissible_sets(self):
+        # Q1..Q4 map to tables 0..3; constraints: 0 ≺ 1 and 3 ≺ 2.
+        constraints = (
+            LinearConstraint(before=0, after=1),
+            LinearConstraint(before=3, after=2),
+        )
+        generated = set(admissible_join_results(4, constraints, PlanSpace.LINEAR))
+        # The paper's R after the second iteration:
+        # {}, {Q1}, {Q1,Q2}, {Q4}, {Q1,Q4}, {Q1,Q2,Q4}, {Q3,Q4},
+        # {Q1,Q3,Q4}, {Q1,Q2,Q3,Q4}
+        expected = {
+            mask_of([]),
+            mask_of([0]),
+            mask_of([0, 1]),
+            mask_of([3]),
+            mask_of([0, 3]),
+            mask_of([0, 1, 3]),
+            mask_of([2, 3]),
+            mask_of([0, 2, 3]),
+            mask_of([0, 1, 2, 3]),
+        }
+        assert generated == expected
+
+    def test_count_matches_paper(self):
+        constraints = (
+            LinearConstraint(before=0, after=1),
+            LinearConstraint(before=3, after=2),
+        )
+        generated = admissible_join_results(4, constraints, PlanSpace.LINEAR)
+        assert len(generated) == 9  # 3 x 3 per the Cartesian product
+
+
+def _order_partition(order, n_tables, n_partitions):
+    """The unique partition ID whose constraints the join order satisfies."""
+    position = {table: index for index, table in enumerate(order)}
+    n_constraints = n_partitions.bit_length() - 1
+    partition_id = 0
+    for bit_index in range(n_constraints):
+        first, second = 2 * bit_index, 2 * bit_index + 1
+        if position[first] > position[second]:
+            partition_id |= 1 << bit_index
+    return partition_id
+
+
+class TestOrdersPartitionThePlanSpace:
+    """Left-deep orders distribute over partitions: each order satisfies the
+    constraints of *exactly one* partition — the partitioning is a true
+    partition of the join-order space, not just a covering."""
+
+    @pytest.mark.parametrize("n,m", [(4, 4), (6, 8), (6, 4)])
+    def test_each_order_in_exactly_one_partition(self, n, m):
+        all_constraints = [
+            partition_constraints(n, pid, m, PlanSpace.LINEAR) for pid in range(m)
+        ]
+        for order in permutations(range(n)):
+            position = {table: index for index, table in enumerate(order)}
+            satisfying = [
+                pid
+                for pid, constraints in enumerate(all_constraints)
+                if all(
+                    position[c.before] < position[c.after] for c in constraints
+                )
+            ]
+            assert len(satisfying) == 1
+            assert satisfying[0] == _order_partition(order, n, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=10),
+        data=st.data(),
+    )
+    def test_random_order_lands_in_its_computed_partition(self, n, data):
+        m = 1 << max_constraints(n, PlanSpace.LINEAR)
+        order = data.draw(st.permutations(range(n)))
+        pid = _order_partition(order, n, m)
+        constraints = partition_constraints(n, pid, m, PlanSpace.LINEAR)
+        position = {table: index for index, table in enumerate(order)}
+        for constraint in constraints:
+            assert position[constraint.before] < position[constraint.after]
+
+    def test_partition_counts_are_uniform(self):
+        """Each partition admits exactly n!/m of the join orders."""
+        import math
+
+        n, m = 6, 8
+        counts = [0] * m
+        for order in permutations(range(n)):
+            counts[_order_partition(order, n, m)] += 1
+        assert counts == [math.factorial(n) // m] * m

@@ -1,0 +1,199 @@
+"""Parametric query optimization: envelopes and the end-to-end guarantee."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pqo import optimize_parametric, parametric_settings
+from repro.config import (
+    MULTI_OBJECTIVE,
+    Objective,
+    OptimizerSettings,
+    PlanSpace,
+)
+from repro.core.master import optimize_parallel
+from repro.core.serial import best_plan, optimize_serial
+from repro.cost.metrics import OutputRowsMetric
+from repro.cost.parametric import (
+    envelope_filter,
+    needed_on_envelope,
+    scalarize,
+    switching_points,
+)
+from repro.query.generator import SteinbrunnGenerator
+
+cost_vectors = st.tuples(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestScalarize:
+    def test_endpoints(self):
+        assert scalarize((3.0, 7.0), 0.0) == 3.0
+        assert scalarize((3.0, 7.0), 1.0) == 7.0
+
+    def test_midpoint(self):
+        assert scalarize((2.0, 4.0), 0.5) == 3.0
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            scalarize((1.0, 1.0), 1.5)
+
+
+class TestEnvelope:
+    def test_single_always_needed(self):
+        assert needed_on_envelope((5.0, 5.0), [])
+
+    def test_dominated_line_not_needed(self):
+        assert not needed_on_envelope((5.0, 5.0), [(1.0, 1.0)])
+
+    def test_crossing_lines_both_needed(self):
+        assert needed_on_envelope((1.0, 10.0), [(10.0, 1.0)])
+        assert needed_on_envelope((10.0, 1.0), [(1.0, 10.0)])
+
+    def test_middle_line_above_crossing_not_needed(self):
+        # Lines (0, 10) and (10, 0) cross at theta=0.5 with value 5;
+        # a flat line at 6 never wins.
+        assert not needed_on_envelope((6.0, 6.0), [(0.0, 10.0), (10.0, 0.0)])
+
+    def test_middle_line_below_crossing_needed(self):
+        assert needed_on_envelope((4.0, 4.0), [(0.0, 10.0), (10.0, 0.0)])
+
+    def test_duplicate_not_needed(self):
+        assert not needed_on_envelope((2.0, 3.0), [(2.0, 3.0)])
+
+    def test_envelope_filter_keeps_extremes(self):
+        keep = envelope_filter([(0.0, 10.0), (10.0, 0.0), (6.0, 6.0)])
+        assert keep == [0, 1]
+
+    def test_envelope_filter_dedupes(self):
+        keep = envelope_filter([(1.0, 1.0), (1.0, 1.0)])
+        assert keep == [0]
+
+    def test_switching_points(self):
+        points = switching_points([(0.0, 10.0), (10.0, 0.0)])
+        assert points == [pytest.approx(0.5)]
+
+    @given(st.lists(cost_vectors, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_envelope_preserves_optimum_everywhere(self, costs):
+        keep = envelope_filter(costs)
+        kept = [costs[i] for i in keep]
+        for theta in (0.0, 0.25, 0.5, 0.75, 1.0):
+            full = min(scalarize(c, theta) for c in costs)
+            reduced = min(scalarize(c, theta) for c in kept)
+            assert reduced == pytest.approx(full, rel=1e-6, abs=1e-6)
+
+
+class TestSettingsValidation:
+    def test_parametric_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(parametric=True)
+
+    def test_parametric_rejects_buffer(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(objectives=MULTI_OBJECTIVE, parametric=True)
+
+    def test_parametric_rejects_orders(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(
+                objectives=(Objective.EXECUTION_TIME, Objective.OUTPUT_ROWS),
+                parametric=True,
+                consider_orders=True,
+            )
+
+    def test_helper_builds_valid_settings(self):
+        assert parametric_settings().parametric
+
+
+class TestOutputRowsMetric:
+    def test_scan_free(self):
+        from repro.query.schema import Table
+
+        assert OutputRowsMetric().scan_cost(Table("R", 100), 100.0) == 0.0
+
+    def test_join_adds_output(self):
+        from repro.plans.operators import JoinAlgorithm
+
+        cost = OutputRowsMetric().join_cost(
+            10.0, 20.0, 5.0, 5.0, 42.0, JoinAlgorithm.HASH, True, True
+        )
+        assert cost == 72.0
+
+
+class TestParametricOptimality:
+    """The envelope matches scalarized single-objective DP at every θ."""
+
+    THETAS = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+    def scalarized_optimum(self, query, theta):
+        """Ground truth via exhaustive enumeration of left-deep plans."""
+        from repro.core.exhaustive import iter_leftdeep_plans
+        from repro.cost.costmodel import CostModel
+
+        model = CostModel(query, parametric_settings())
+        return min(
+            scalarize(plan.cost, theta)
+            for plan in iter_leftdeep_plans(query, model)
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_serial_envelope_optimal_everywhere(self, seed):
+        query = SteinbrunnGenerator(seed).query(5)
+        result = optimize_parametric(query)
+        for theta in self.THETAS:
+            assert result.cost_at(theta) == pytest.approx(
+                self.scalarized_optimum(query, theta)
+            )
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_parallel_matches_serial(self, workers):
+        query = SteinbrunnGenerator(9).query(6)
+        serial = optimize_parametric(query, 1)
+        parallel = optimize_parametric(query, workers)
+        for theta in self.THETAS:
+            assert parallel.cost_at(theta) == pytest.approx(serial.cost_at(theta))
+
+    def test_bushy_space(self):
+        query = SteinbrunnGenerator(11).query(6)
+        linear = optimize_parametric(query, 1, PlanSpace.LINEAR)
+        bushy = optimize_parametric(query, 4, PlanSpace.BUSHY)
+        for theta in self.THETAS:
+            assert bushy.cost_at(theta) <= linear.cost_at(theta) * (1 + 1e-9)
+
+    def test_time_endpoint_matches_single_objective(self):
+        query = SteinbrunnGenerator(12).query(7)
+        single = best_plan(optimize_serial(query, OptimizerSettings()))
+        parametric = optimize_parametric(query)
+        assert parametric.cost_at(0.0) == pytest.approx(single.cost[0])
+
+    def test_switching_thetas_in_range(self):
+        query = SteinbrunnGenerator(13).query(7)
+        result = optimize_parametric(query, 4)
+        for theta in result.switching_thetas():
+            assert 0.0 < theta < 1.0
+
+    def test_envelope_smaller_than_frontier(self):
+        """The envelope is a subset of the Pareto frontier (convex hull)."""
+        query = SteinbrunnGenerator(14).query(7)
+        parametric = optimize_parametric(query)
+        frontier = optimize_serial(
+            query,
+            OptimizerSettings(
+                objectives=(Objective.EXECUTION_TIME, Objective.OUTPUT_ROWS),
+                alpha=1.0,
+            ),
+        )
+        assert len(parametric.plans) <= len(frontier.plans)
+        frontier_costs = {plan.cost for plan in frontier.plans}
+        for plan in parametric.plans:
+            assert plan.cost in frontier_costs
+
+    def test_worker_stats_present(self):
+        query = SteinbrunnGenerator(15).query(6)
+        result = optimize_parametric(query, 4)
+        assert result.report.n_partitions == 4
+        assert result.report.network_bytes > 0

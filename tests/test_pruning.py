@@ -1,0 +1,192 @@
+"""Pruning policies: the single point of variation between optimizer flavours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+from repro.cost.pruning import (
+    InterestingOrderPruning,
+    MinCostPruning,
+    ParetoPruning,
+    final_prune,
+    make_pruning,
+)
+from repro.plans.orders import SortOrder
+from repro.plans.plan import ScanPlan
+
+
+def plan(cost, order=None, mask=0b1):
+    """A standalone plan carrying the given cost vector."""
+    return ScanPlan(mask=mask, rows=1.0, cost=tuple(cost), order=order, table=0)
+
+
+def offer(policy, table, cost, order=None, mask=0b11):
+    return policy.consider(table, mask, tuple(cost), order, lambda: plan(cost, order, mask))
+
+
+class TestMinCost:
+    def test_first_always_kept(self):
+        table = {}
+        assert offer(MinCostPruning(), table, [5.0])
+        assert len(table[0b11]) == 1
+
+    def test_cheaper_replaces(self):
+        policy, table = MinCostPruning(), {}
+        offer(policy, table, [5.0])
+        assert offer(policy, table, [3.0])
+        assert table[0b11][0].cost == (3.0,)
+
+    def test_equal_not_kept(self):
+        policy, table = MinCostPruning(), {}
+        offer(policy, table, [5.0])
+        assert not offer(policy, table, [5.0])
+
+    def test_more_expensive_rejected(self):
+        policy, table = MinCostPruning(), {}
+        offer(policy, table, [5.0])
+        assert not offer(policy, table, [7.0])
+        assert table[0b11][0].cost == (5.0,)
+
+    def test_entries_independent_per_mask(self):
+        policy, table = MinCostPruning(), {}
+        offer(policy, table, [5.0], mask=0b011)
+        offer(policy, table, [1.0], mask=0b110)
+        assert table[0b011][0].cost == (5.0,)
+        assert table[0b110][0].cost == (1.0,)
+
+    def test_final_prune_picks_min(self):
+        policy = MinCostPruning()
+        best = policy.final_prune([plan([4.0]), plan([2.0]), plan([9.0])])
+        assert [p.cost for p in best] == [(2.0,)]
+
+    def test_final_prune_empty(self):
+        assert MinCostPruning().final_prune([]) == []
+
+
+class TestInterestingOrders:
+    ORDER = SortOrder(0, "c0")
+
+    def test_keeps_costlier_sorted_plan(self):
+        policy, table = InterestingOrderPruning(), {}
+        offer(policy, table, [5.0], order=None)
+        assert offer(policy, table, [7.0], order=self.ORDER)
+        assert len(table[0b11]) == 2
+
+    def test_cheap_sorted_plan_evicts_unsorted(self):
+        policy, table = InterestingOrderPruning(), {}
+        offer(policy, table, [5.0], order=None)
+        assert offer(policy, table, [3.0], order=self.ORDER)
+        assert len(table[0b11]) == 1
+        assert table[0b11][0].order == self.ORDER
+
+    def test_unsorted_cannot_evict_sorted(self):
+        policy, table = InterestingOrderPruning(), {}
+        offer(policy, table, [5.0], order=self.ORDER)
+        assert offer(policy, table, [3.0], order=None)
+        assert len(table[0b11]) == 2
+
+    def test_costlier_unsorted_rejected(self):
+        policy, table = InterestingOrderPruning(), {}
+        offer(policy, table, [5.0], order=None)
+        assert not offer(policy, table, [9.0], order=None)
+
+    def test_same_order_cheaper_replaces(self):
+        policy, table = InterestingOrderPruning(), {}
+        offer(policy, table, [5.0], order=self.ORDER)
+        assert offer(policy, table, [3.0], order=self.ORDER)
+        assert len(table[0b11]) == 1
+
+    def test_final_prune_ignores_order(self):
+        policy = InterestingOrderPruning()
+        best = policy.final_prune([plan([4.0], self.ORDER), plan([2.0])])
+        assert [p.cost for p in best] == [(2.0,)]
+
+
+class TestParetoExact:
+    def test_incomparable_coexist(self):
+        policy, table = ParetoPruning(1.0), {}
+        offer(policy, table, [1.0, 9.0])
+        assert offer(policy, table, [9.0, 1.0])
+        assert len(table[0b11]) == 2
+
+    def test_dominated_candidate_rejected(self):
+        policy, table = ParetoPruning(1.0), {}
+        offer(policy, table, [1.0, 1.0])
+        assert not offer(policy, table, [2.0, 2.0])
+
+    def test_dominating_candidate_evicts(self):
+        policy, table = ParetoPruning(1.0), {}
+        offer(policy, table, [2.0, 2.0])
+        offer(policy, table, [3.0, 1.0])
+        assert offer(policy, table, [1.0, 1.0])
+        costs = {p.cost for p in table[0b11]}
+        assert costs == {(1.0, 1.0)}
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoPruning(0.9)
+
+
+class TestParetoApproximate:
+    def test_near_duplicate_pruned(self):
+        policy, table = ParetoPruning(2.0), {}
+        offer(policy, table, [1.0, 1.0])
+        assert not offer(policy, table, [1.5, 1.5])
+
+    def test_far_point_kept(self):
+        policy, table = ParetoPruning(2.0), {}
+        offer(policy, table, [1.0, 10.0])
+        assert offer(policy, table, [10.0, 1.0])
+
+    def test_eviction_only_on_exact_dominance(self):
+        policy, table = ParetoPruning(2.0), {}
+        offer(policy, table, [4.0, 1.0])
+        # (3, 2) is alpha-dominated by (4, 1): 4 <= 2*3 and 1 <= 2*2.
+        assert not offer(policy, table, [3.0, 2.0])
+        # (1.5, 3) escapes alpha-dominance (4 > 2*1.5) and is kept; it does
+        # not exactly dominate (4, 1), so both plans stay.
+        assert offer(policy, table, [1.5, 3.0])
+        assert len(table[0b11]) == 2
+
+    def test_respect_orders(self):
+        policy, table = ParetoPruning(1.0, respect_orders=True), {}
+        order = SortOrder(0, "c0")
+        offer(policy, table, [1.0, 1.0], order=None)
+        # Same cost but sorted: must be kept because unsorted cannot cover it.
+        assert offer(policy, table, [1.0, 1.0], order=order)
+
+
+class TestFinalPrune:
+    def test_merges_partitions(self):
+        policy = ParetoPruning(1.0)
+        merged = final_prune(
+            policy,
+            [
+                [plan([1.0, 9.0]), plan([5.0, 5.0])],
+                [plan([9.0, 1.0]), plan([6.0, 6.0])],
+            ],
+        )
+        costs = {p.cost for p in merged}
+        assert costs == {(1.0, 9.0), (5.0, 5.0), (9.0, 1.0)}
+
+
+class TestMakePruning:
+    def test_default_is_min_cost(self):
+        assert isinstance(make_pruning(OptimizerSettings()), MinCostPruning)
+
+    def test_orders(self):
+        settings = OptimizerSettings(consider_orders=True)
+        assert isinstance(make_pruning(settings), InterestingOrderPruning)
+
+    def test_multi_objective(self):
+        settings = OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=3.0)
+        policy = make_pruning(settings)
+        assert isinstance(policy, ParetoPruning)
+        assert policy.alpha == 3.0
+
+    def test_multi_objective_with_orders(self):
+        settings = OptimizerSettings(
+            objectives=MULTI_OBJECTIVE, alpha=1.0, consider_orders=True
+        )
+        assert isinstance(make_pruning(settings), ParetoPruning)

@@ -1,0 +1,152 @@
+"""Randomized comparators: iterated improvement and simulated annealing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.randomized import (
+    iterated_improvement,
+    order_cost,
+    plan_for_order,
+    simulated_annealing,
+)
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.cost.costmodel import CostModel
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture
+def query():
+    return SteinbrunnGenerator(15).query(6)
+
+
+@pytest.fixture
+def model(query):
+    return CostModel(query, OptimizerSettings())
+
+
+class TestPlanForOrder:
+    def test_realizes_requested_order(self, query, model):
+        plan = plan_for_order([3, 1, 4, 0, 2, 5], model)
+        assert plan.join_order() == (3, 1, 4, 0, 2, 5)
+
+    def test_left_deep(self, query, model):
+        assert plan_for_order([0, 1, 2, 3, 4, 5], model).is_left_deep()
+
+    def test_empty_order_rejected(self, model):
+        with pytest.raises(ValueError):
+            plan_for_order([], model)
+
+    def test_order_cost_matches_plan(self, query, model):
+        order = [2, 0, 1, 3, 5, 4]
+        assert order_cost(order, model) == plan_for_order(order, model).cost[0]
+
+    def test_greedy_operator_choice_optimal_per_order(self, query, model):
+        """With additive costs and no order tracking, per-join greedy
+        operator choice is globally optimal for a fixed join order — verify
+        against DP restricted to that order via exhaustive enumeration."""
+        from repro.core.exhaustive import _leftdeep_plans_for_order
+
+        order = [1, 0, 2, 3, 4, 5]
+        exhaustive_best = min(
+            plan.cost[0] for plan in _leftdeep_plans_for_order(order, model)
+        )
+        assert order_cost(order, model) == pytest.approx(exhaustive_best)
+
+
+class TestIteratedImprovement:
+    def test_never_below_optimum(self, query):
+        optimum = best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+        heuristic = iterated_improvement(query, seed=1)
+        assert heuristic.cost[0] >= optimum * (1 - 1e-9)
+
+    def test_finds_optimum_on_small_query(self):
+        query = SteinbrunnGenerator(16).query(4)
+        optimum = best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+        heuristic = iterated_improvement(query, n_restarts=20, seed=3)
+        assert heuristic.cost[0] == pytest.approx(optimum)
+
+    def test_deterministic_by_seed(self, query):
+        a = iterated_improvement(query, seed=7)
+        b = iterated_improvement(query, seed=7)
+        assert a.cost == b.cost
+
+    def test_restart_validation(self, query):
+        with pytest.raises(ValueError):
+            iterated_improvement(query, n_restarts=0)
+
+    def test_more_restarts_no_worse(self, query):
+        few = iterated_improvement(query, n_restarts=1, seed=5)
+        many = iterated_improvement(query, n_restarts=10, seed=5)
+        assert many.cost[0] <= few.cost[0] * (1 + 1e-9)
+
+
+class TestSimulatedAnnealing:
+    def test_never_below_optimum(self, query):
+        optimum = best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+        heuristic = simulated_annealing(query, seed=2)
+        assert heuristic.cost[0] >= optimum * (1 - 1e-9)
+
+    def test_finds_optimum_on_small_query(self):
+        query = SteinbrunnGenerator(19).query(4)
+        optimum = best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+        heuristic = simulated_annealing(query, seed=4)
+        assert heuristic.cost[0] == pytest.approx(optimum)
+
+    def test_deterministic_by_seed(self, query):
+        a = simulated_annealing(query, seed=9)
+        b = simulated_annealing(query, seed=9)
+        assert a.cost == b.cost
+
+    def test_cooling_validation(self, query):
+        with pytest.raises(ValueError):
+            simulated_annealing(query, cooling=1.5)
+
+    def test_returns_valid_left_deep_plan(self, query):
+        plan = simulated_annealing(query, seed=11)
+        assert plan.is_left_deep()
+        assert plan.mask == query.all_tables_mask
+
+
+class TestGreedyOperatorOrdering:
+    def test_returns_full_plan(self, query):
+        from repro.algorithms.randomized import greedy_operator_ordering
+
+        plan = greedy_operator_ordering(query)
+        assert plan.mask == query.all_tables_mask
+
+    def test_never_below_bushy_optimum(self, query):
+        from repro.algorithms.randomized import greedy_operator_ordering
+        from repro.config import PlanSpace
+
+        bushy = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        optimum = best_plan(optimize_serial(query, bushy)).cost[0]
+        plan = greedy_operator_ordering(query, bushy)
+        assert plan.cost[0] >= optimum * (1 - 1e-9)
+
+    def test_deterministic(self, query):
+        from repro.algorithms.randomized import greedy_operator_ordering
+
+        assert (
+            greedy_operator_ordering(query).cost
+            == greedy_operator_ordering(query).cost
+        )
+
+    def test_single_table(self):
+        from repro.algorithms.randomized import greedy_operator_ordering
+        from tests.conftest import make_manual_query
+
+        plan = greedy_operator_ordering(make_manual_query([5]))
+        assert plan.rows == 5.0
+
+    def test_reasonable_quality(self, query):
+        """GOO lands within a couple orders of magnitude of the optimum
+        (its classic behaviour: good, not guaranteed)."""
+        from repro.algorithms.randomized import greedy_operator_ordering
+        from repro.config import PlanSpace
+
+        bushy = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        optimum = best_plan(optimize_serial(query, bushy)).cost[0]
+        plan = greedy_operator_ordering(query, bushy)
+        assert plan.cost[0] <= 100 * optimum

@@ -1,0 +1,58 @@
+"""Randomized-search quality relative to the DP optimum across workloads.
+
+The paper's motivation for parallelizing DP instead of the easily-parallel
+randomized algorithms is the optimality guarantee.  These tests quantify the
+gap: the heuristics are good but not reliably optimal, while DP always is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.randomized import iterated_improvement, simulated_annealing
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
+
+
+def optimum(query):
+    return best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+
+
+class TestHeuristicQuality:
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_ii_within_small_factor_on_stars(self, n):
+        """Star queries: II lands within 10x of optimal (usually at it)."""
+        query = SteinbrunnGenerator(100 + n).query(n, JoinGraphKind.STAR)
+        heuristic = iterated_improvement(query, n_restarts=5, seed=1)
+        assert heuristic.cost[0] <= 10 * optimum(query)
+
+    @pytest.mark.parametrize("kind", [JoinGraphKind.CHAIN, JoinGraphKind.CYCLE])
+    def test_sa_within_small_factor(self, kind):
+        query = SteinbrunnGenerator(200).query(8, kind)
+        heuristic = simulated_annealing(query, seed=2)
+        assert heuristic.cost[0] <= 10 * optimum(query)
+
+    def test_heuristics_not_always_optimal(self):
+        """Across a workload, at least one run misses the optimum — the
+        guarantee gap the paper cites as the reason to parallelize DP."""
+        misses = 0
+        for seed in range(8):
+            query = SteinbrunnGenerator(300 + seed).query(9)
+            weak = iterated_improvement(
+                query, n_restarts=1, max_moves_without_gain=5, seed=seed
+            )
+            if weak.cost[0] > optimum(query) * (1 + 1e-9):
+                misses += 1
+        assert misses >= 1
+
+    def test_dp_always_optimal_on_same_workload(self):
+        from repro.core.exhaustive import min_cost_leftdeep
+
+        for seed in range(4):
+            query = SteinbrunnGenerator(300 + seed).query(6)
+            settings = OptimizerSettings()
+            assert best_plan(optimize_serial(query, settings)).cost[
+                0
+            ] == pytest.approx(min_cost_leftdeep(query, settings))

@@ -1,0 +1,32 @@
+"""The README quickstart, executed verbatim as a guard against doc rot."""
+
+from __future__ import annotations
+
+from repro import (
+    OptimizerSettings,
+    PlanSpace,
+    make_star_query,
+    optimize_mpq,
+    optimize_multi_objective,
+    optimize_serial,
+)
+from repro.core.serial import best_plan
+
+
+def test_readme_quickstart():
+    query = make_star_query(10, seed=1)
+
+    serial = optimize_serial(query)
+    assert best_plan(serial).pretty()
+
+    report = optimize_mpq(query, n_workers=16)
+    assert report.best.cost[0] == best_plan(serial).cost[0]
+    assert report.simulated_time_ms > 0
+    assert report.network_bytes > 0
+    assert report.max_worker_memory_relations > 0
+
+    bushy = optimize_mpq(query, 8, OptimizerSettings(plan_space=PlanSpace.BUSHY))
+    assert bushy.best.cost[0] <= report.best.cost[0] * (1 + 1e-9)
+
+    frontier = optimize_multi_objective(query, 8, alpha=10.0)
+    assert len(frontier.plans) >= 1

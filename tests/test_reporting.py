@@ -1,0 +1,106 @@
+"""ASCII chart rendering and miscellaneous error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ScalingPoint, ScalingSeries
+from repro.bench.reporting import chart_figure, log_chart
+from repro.config import PlanSpace
+from repro.core.constraints import BushyConstraint, LinearConstraint
+from repro.core.partitioning import _constraints_by_group, admissible_join_results
+
+
+def make_series(label, values):
+    points = [
+        ScalingPoint(
+            workers=2**i,
+            time_ms=value,
+            worker_time_ms=value / 2,
+            memory_relations=100 / (i + 1),
+            network_bytes=1000 * (i + 1),
+        )
+        for i, value in enumerate(values)
+    ]
+    return ScalingSeries(label=label, points=points)
+
+
+class TestLogChart:
+    def test_contains_legend_and_axis(self):
+        series = make_series("linear 12", [100, 75, 56, 42])
+        chart = log_chart([series])
+        assert "A = linear 12" in chart
+        assert "workers: 1 .. 8" in chart
+        assert "time_ms vs workers" in chart
+
+    def test_multiple_series_letters(self):
+        a = make_series("mpq", [100, 80, 60])
+        b = make_series("sma", [100, 120, 150])
+        chart = log_chart([a, b])
+        assert "A = mpq" in chart
+        assert "B = sma" in chart
+        assert "B" in chart.splitlines()[1] or any(
+            "B" in line for line in chart.splitlines()
+        )
+
+    def test_decreasing_series_slopes_down(self):
+        series = make_series("down", [1000, 100, 10])
+        lines = log_chart([series], height=6, width=20).splitlines()
+        rows_with_a = [i for i, line in enumerate(lines) if "A" in line and "=" not in line]
+        assert rows_with_a == sorted(rows_with_a)
+        first_col = lines[rows_with_a[0]].index("A")
+        last_col = lines[rows_with_a[-1]].index("A")
+        assert first_col < last_col
+
+    def test_value_selection(self):
+        series = make_series("m", [10, 10, 10])
+        chart = log_chart([series], value="network_bytes")
+        assert "network_bytes vs workers" in chart
+
+    def test_unknown_value_rejected(self):
+        series = make_series("m", [10])
+        with pytest.raises(ValueError, match="unknown value"):
+            log_chart([series], value="latency")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            log_chart([ScalingSeries(label="x", points=[])])
+
+    def test_size_validated(self):
+        series = make_series("m", [10])
+        with pytest.raises(ValueError, match="small"):
+            log_chart([series], height=1)
+
+    def test_chart_figure_panels(self):
+        series = make_series("m", [10, 20])
+        panels = chart_figure([series])
+        assert panels.count("vs workers") == 2
+
+
+class TestConstraintGroupingErrors:
+    def test_two_constraints_same_group(self):
+        with pytest.raises(ValueError, match="multiple constraints"):
+            _constraints_by_group(
+                [(0, 1), (2, 3)],
+                [LinearConstraint(0, 1), LinearConstraint(1, 0)],
+            )
+
+    def test_constraint_across_groups(self):
+        with pytest.raises(ValueError, match="not aligned|does not fit"):
+            _constraints_by_group([(0, 1), (2, 3)], [LinearConstraint(1, 2)])
+
+    def test_bushy_constraint_outside_groups(self):
+        with pytest.raises(ValueError):
+            admissible_join_results(
+                6, (BushyConstraint(x=1, y=2, z=3),), PlanSpace.BUSHY
+            )
+
+
+class TestSmaSingleTable:
+    def test_single_table_no_rounds(self):
+        from repro.algorithms.sma import optimize_sma
+        from tests.conftest import make_manual_query
+
+        report = optimize_sma(make_manual_query([7]), 4)
+        assert report.rounds == []
+        assert report.best.rows == 7.0

@@ -1,0 +1,148 @@
+"""Heterogeneous worker scheduling (paper footnote 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simulator import ClusterModel
+from repro.config import OptimizerSettings
+from repro.core.master import optimize_parallel
+from repro.core.scheduling import (
+    WorkerProfile,
+    assign_partitions,
+    makespan,
+    simulate_heterogeneous_run,
+)
+from repro.query.generator import SteinbrunnGenerator
+
+
+def profiles(*speeds):
+    return [WorkerProfile(name=f"w{i}", speed=s) for i, s in enumerate(speeds)]
+
+
+class TestWorkerProfile:
+    def test_speed_validated(self):
+        with pytest.raises(ValueError):
+            WorkerProfile("bad", speed=0.0)
+        with pytest.raises(ValueError):
+            WorkerProfile("bad", speed=-1.0)
+
+
+class TestAssignPartitions:
+    def test_uniform_split(self):
+        assignment = assign_partitions(8, profiles(1, 1, 1, 1))
+        assert [len(part) for part in assignment] == [2, 2, 2, 2]
+
+    def test_every_partition_once(self):
+        assignment = assign_partitions(16, profiles(3, 1, 2))
+        flat = sorted(pid for partitions in assignment for pid in partitions)
+        assert flat == list(range(16))
+
+    def test_proportional_to_speed(self):
+        assignment = assign_partitions(8, profiles(3, 1))
+        assert len(assignment[0]) == 6
+        assert len(assignment[1]) == 2
+
+    def test_rounding_favours_larger_remainder(self):
+        assignment = assign_partitions(4, profiles(1, 1, 1))
+        counts = sorted(len(part) for part in assignment)
+        assert counts == [1, 1, 2]
+
+    def test_slow_worker_may_get_nothing(self):
+        assignment = assign_partitions(2, profiles(10, 10, 0.01))
+        assert len(assignment[2]) == 0
+
+    def test_single_worker_takes_all(self):
+        assignment = assign_partitions(8, profiles(5))
+        assert assignment == [list(range(8))]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_partitions(0, profiles(1))
+        with pytest.raises(ValueError):
+            assign_partitions(4, [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_partitions=st.integers(min_value=1, max_value=128),
+        speeds=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10
+        ),
+    )
+    def test_complete_and_disjoint(self, n_partitions, speeds):
+        assignment = assign_partitions(n_partitions, profiles(*speeds))
+        flat = sorted(pid for partitions in assignment for pid in partitions)
+        assert flat == list(range(n_partitions))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_partitions=st.integers(min_value=8, max_value=128),
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=4.0), min_size=2, max_size=8
+        ),
+    )
+    def test_near_optimal_makespan(self, n_partitions, speeds):
+        """Proportional assignment is within one partition of the fluid bound."""
+        workers = profiles(*speeds)
+        assignment = assign_partitions(n_partitions, workers)
+        fluid = n_partitions / sum(speed for speed in speeds)
+        worst_unit = max(1.0 / worker.speed for worker in workers)
+        assert makespan(assignment, workers) <= fluid + worst_unit + 1e-9
+
+
+class TestHeterogeneousTiming:
+    @pytest.fixture
+    def run(self):
+        query = SteinbrunnGenerator(77).query(8)
+        result = optimize_parallel(query, 8, OptimizerSettings())
+        return query, result
+
+    def test_faster_worker_finishes_sooner(self, run):
+        query, result = run
+        timing = simulate_heterogeneous_run(
+            ClusterModel(), query, result, profiles(4, 1)
+        )
+        # Worker 0 is 4x faster and owns ~4x the partitions; its compute time
+        # should be within ~2x of worker 1's, far from the 4x-skew of a
+        # uniform split.
+        a, b = timing.worker_compute_s
+        assert max(a, b) / min(a, b) < 2.0
+
+    def test_heterogeneous_beats_uniform_on_skewed_cluster(self, run):
+        """Proportional assignment beats ignoring the speed difference."""
+        query, result = run
+        skewed = profiles(4, 1)
+        proportional = simulate_heterogeneous_run(
+            ClusterModel(), query, result, skewed
+        )
+        # Emulate a uniform split on the same skewed cluster: both workers
+        # get half the partitions, the slow one dominates.
+        uniform = simulate_heterogeneous_run(
+            ClusterModel(), query, result, profiles(1, 1)
+        )
+        slow_uniform = max(
+            timing / 1.0 for timing in uniform.worker_compute_s
+        )  # slow worker runs its half at speed 1
+        assert proportional.workers_done_s < slow_uniform * 4 / 1.5
+
+    def test_network_matches_homogeneous(self, run):
+        query, result = run
+        timing = simulate_heterogeneous_run(
+            ClusterModel(), query, result, profiles(2, 1, 1)
+        )
+        from repro.cluster.simulator import simulate_mpq_run
+
+        homogeneous = simulate_mpq_run(ClusterModel(), query, result)
+        assert timing.network_bytes == homogeneous.network_bytes
+
+    def test_total_decomposition(self, run):
+        query, result = run
+        timing = simulate_heterogeneous_run(
+            ClusterModel(), query, result, profiles(1, 2)
+        )
+        assert timing.total_s == pytest.approx(
+            timing.dispatch_s + timing.workers_done_s + timing.collect_s
+        )
+        assert len(timing.assignment) == 2

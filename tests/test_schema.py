@@ -1,0 +1,99 @@
+"""Schema objects: columns, tables, catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.schema import Catalog, Column, Table
+
+
+class TestColumn:
+    def test_basic(self):
+        column = Column("id", 500)
+        assert column.name == "id"
+        assert column.domain_size == 500
+
+    def test_rejects_zero_domain(self):
+        with pytest.raises(ValueError):
+            Column("id", 0)
+
+    def test_rejects_negative_domain(self):
+        with pytest.raises(ValueError):
+            Column("id", -3)
+
+    def test_frozen(self):
+        column = Column("id", 10)
+        with pytest.raises(AttributeError):
+            column.domain_size = 20
+
+
+class TestTable:
+    def test_basic(self):
+        table = Table("R", 1000, (Column("a", 10),))
+        assert table.cardinality == 1000
+        assert table.row_bytes == 64
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(ValueError):
+            Table("R", -1)
+
+    def test_rejects_nonpositive_row_bytes(self):
+        with pytest.raises(ValueError):
+            Table("R", 10, row_bytes=0)
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            Table("R", 10, (Column("a", 5), Column("a", 6)))
+
+    def test_column_lookup(self):
+        table = Table("R", 10, (Column("a", 5), Column("b", 6)))
+        assert table.column("b").domain_size == 6
+
+    def test_column_lookup_missing(self):
+        table = Table("R", 10, (Column("a", 5),))
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_has_column(self):
+        table = Table("R", 10, (Column("a", 5),))
+        assert table.has_column("a")
+        assert not table.has_column("b")
+
+    def test_zero_cardinality_allowed(self):
+        assert Table("Empty", 0).cardinality == 0
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog()
+        table = Table("R", 10)
+        catalog.add(table)
+        assert catalog.get("R") is table
+
+    def test_add_returns_table(self):
+        catalog = Catalog()
+        table = Table("R", 10)
+        assert catalog.add(table) is table
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add(Table("R", 10))
+        with pytest.raises(ValueError):
+            catalog.add(Table("R", 20))
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            Catalog().get("nope")
+
+    def test_contains(self):
+        catalog = Catalog()
+        catalog.add(Table("R", 10))
+        assert "R" in catalog
+        assert "S" not in catalog
+
+    def test_len(self):
+        catalog = Catalog()
+        assert len(catalog) == 0
+        catalog.add(Table("R", 10))
+        catalog.add(Table("S", 10))
+        assert len(catalog) == 2

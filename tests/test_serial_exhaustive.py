@@ -1,0 +1,115 @@
+"""Serial DP vs brute-force plan enumeration — the ground-truth anchor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.exhaustive import (
+    all_leftdeep_cost_vectors,
+    count_bushy_plans_enumerated,
+    iter_leftdeep_plans,
+    min_cost_bushy,
+    min_cost_leftdeep,
+    n_bushy_trees,
+    n_leftdeep_orders,
+)
+from repro.core.serial import best_plan, optimize_serial
+from repro.cost.costmodel import CostModel
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
+
+
+SEEDS = [1, 2, 3, 4, 5]
+KINDS = [JoinGraphKind.STAR, JoinGraphKind.CHAIN, JoinGraphKind.CYCLE]
+
+
+class TestPlanSpaceSizes:
+    def test_leftdeep_counts(self):
+        assert n_leftdeep_orders(4) == 24
+        assert n_leftdeep_orders(6) == 720
+
+    def test_bushy_tree_counts(self):
+        # n! * Catalan(n-1): 3 tables -> 6 * 2 = 12; 4 -> 24 * 5 = 120.
+        assert n_bushy_trees(3) == 12
+        assert n_bushy_trees(4) == 120
+
+    def test_enumerated_leftdeep_plan_count(self):
+        query = SteinbrunnGenerator(9).query(4)
+        settings = OptimizerSettings(use_all_join_algorithms=False)
+        model = CostModel(query, settings)
+        plans = list(iter_leftdeep_plans(query, model))
+        assert len(plans) == n_leftdeep_orders(4)
+
+    def test_enumerated_bushy_plan_count_single_operator(self):
+        query = SteinbrunnGenerator(9).query(4)
+        settings = OptimizerSettings(use_all_join_algorithms=False)
+        assert count_bushy_plans_enumerated(query, settings) == n_bushy_trees(4)
+
+
+class TestLeftDeepOptimality:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dp_matches_bruteforce_star(self, seed):
+        query = SteinbrunnGenerator(seed).query(5, JoinGraphKind.STAR)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        dp_best = best_plan(optimize_serial(query, settings))
+        assert dp_best.cost[0] == pytest.approx(min_cost_leftdeep(query, settings))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_dp_matches_bruteforce_topologies(self, kind):
+        query = SteinbrunnGenerator(17).query(5, kind)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        dp_best = best_plan(optimize_serial(query, settings))
+        assert dp_best.cost[0] == pytest.approx(min_cost_leftdeep(query, settings))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dp_six_tables(self, seed):
+        query = SteinbrunnGenerator(seed + 100).query(6)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        dp_best = best_plan(optimize_serial(query, settings))
+        assert dp_best.cost[0] == pytest.approx(min_cost_leftdeep(query, settings))
+
+    def test_dp_single_operator(self):
+        query = SteinbrunnGenerator(31).query(5)
+        settings = OptimizerSettings(use_all_join_algorithms=False)
+        dp_best = best_plan(optimize_serial(query, settings))
+        assert dp_best.cost[0] == pytest.approx(min_cost_leftdeep(query, settings))
+
+    def test_dp_plan_is_left_deep(self):
+        query = SteinbrunnGenerator(32).query(6)
+        settings = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+        assert best_plan(optimize_serial(query, settings)).is_left_deep()
+
+
+class TestBushyOptimality:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dp_matches_bruteforce(self, seed):
+        query = SteinbrunnGenerator(seed).query(5)
+        settings = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        dp_best = best_plan(optimize_serial(query, settings))
+        assert dp_best.cost[0] == pytest.approx(min_cost_bushy(query, settings))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_dp_matches_bruteforce_topologies(self, kind):
+        query = SteinbrunnGenerator(18).query(5, kind)
+        settings = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        dp_best = best_plan(optimize_serial(query, settings))
+        assert dp_best.cost[0] == pytest.approx(min_cost_bushy(query, settings))
+
+    def test_bushy_never_worse_than_leftdeep(self):
+        for seed in SEEDS:
+            query = SteinbrunnGenerator(seed).query(6)
+            linear = OptimizerSettings(plan_space=PlanSpace.LINEAR)
+            bushy = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+            linear_best = best_plan(optimize_serial(query, linear)).cost[0]
+            bushy_best = best_plan(optimize_serial(query, bushy)).cost[0]
+            assert bushy_best <= linear_best * (1 + 1e-9)
+
+
+class TestExhaustiveHelpers:
+    def test_cost_vectors_count(self):
+        query = SteinbrunnGenerator(3).query(4)
+        settings = OptimizerSettings(use_all_join_algorithms=False)
+        vectors = all_leftdeep_cost_vectors(query, settings)
+        assert len(vectors) == 24
+        assert all(len(v) == 1 for v in vectors)

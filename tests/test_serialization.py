@@ -1,0 +1,97 @@
+"""Serialization byte model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.serialization import (
+    MEMO_ENTRY_BYTES,
+    MESSAGE_HEADER_BYTES,
+    PER_METRIC_BYTES,
+    PER_PREDICATE_BYTES,
+    PER_TABLE_BYTES,
+    PLAN_NODE_BYTES,
+    SET_ID_BYTES,
+    TASK_HEADER_BYTES,
+    memo_entries_bytes,
+    plan_bytes,
+    plan_node_count,
+    plans_bytes,
+    query_bytes,
+    sma_task_bytes,
+    task_bytes,
+)
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+
+
+@pytest.fixture
+def query():
+    return SteinbrunnGenerator(1).query(6)
+
+
+@pytest.fixture
+def plan(query):
+    return best_plan(optimize_serial(query, OptimizerSettings()))
+
+
+class TestQueryBytes:
+    def test_formula(self, query):
+        expected = (
+            MESSAGE_HEADER_BYTES + 6 * PER_TABLE_BYTES + 5 * PER_PREDICATE_BYTES
+        )
+        assert query_bytes(query) == expected
+
+    def test_grows_with_tables(self):
+        small = query_bytes(SteinbrunnGenerator(1).query(4))
+        large = query_bytes(SteinbrunnGenerator(1).query(8))
+        assert large - small == 4 * (PER_TABLE_BYTES + PER_PREDICATE_BYTES)
+
+    def test_task_adds_header(self, query):
+        assert task_bytes(query) == query_bytes(query) + TASK_HEADER_BYTES
+
+
+class TestPlanBytes:
+    def test_node_count(self, plan):
+        assert plan_node_count(plan) == 2 * 6 - 1
+
+    def test_plan_bytes_formula(self, plan):
+        expected = (
+            MESSAGE_HEADER_BYTES
+            + PLAN_NODE_BYTES * 11
+            + PER_METRIC_BYTES * len(plan.cost)
+        )
+        assert plan_bytes(plan) == expected
+
+    def test_plans_bytes_single_header(self, plan):
+        two = plans_bytes([plan, plan])
+        one = plans_bytes([plan])
+        assert two - one == plan_bytes(plan) - MESSAGE_HEADER_BYTES
+
+    def test_empty_result_still_costs_header(self):
+        assert plans_bytes([]) == MESSAGE_HEADER_BYTES
+
+
+class TestMemoBytes:
+    def test_zero_entries_free(self):
+        assert memo_entries_bytes(0) == 0
+
+    def test_linear_in_entries(self):
+        assert (
+            memo_entries_bytes(100) - memo_entries_bytes(50)
+            == 50 * MEMO_ENTRY_BYTES
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            memo_entries_bytes(-1)
+
+
+class TestSmaTaskBytes:
+    def test_formula(self):
+        assert sma_task_bytes(10) == TASK_HEADER_BYTES + 10 * SET_ID_BYTES
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sma_task_bytes(-1)

@@ -1,0 +1,115 @@
+"""SMA baseline: correctness and the coordination-cost profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.sma import _level_masks, optimize_sma
+from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.util.bitset import popcount
+
+
+@pytest.fixture
+def query():
+    return SteinbrunnGenerator(8).query(7)
+
+
+class TestLevelMasks:
+    def test_counts(self):
+        assert len(_level_masks(6, 2)) == 15
+        assert len(_level_masks(6, 6)) == 1
+
+    def test_sizes(self):
+        assert all(popcount(mask) == 3 for mask in _level_masks(7, 3))
+
+    def test_ascending_order(self):
+        masks = _level_masks(8, 4)
+        assert masks == sorted(masks)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_matches_serial_linear(self, query, workers):
+        serial_cost = best_plan(optimize_serial(query, OptimizerSettings())).cost[0]
+        sma = optimize_sma(query, workers, OptimizerSettings())
+        assert sma.best.cost[0] == pytest.approx(serial_cost)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_matches_serial_bushy(self, workers):
+        query = SteinbrunnGenerator(9).query(6)
+        settings = OptimizerSettings(plan_space=PlanSpace.BUSHY)
+        serial_cost = best_plan(optimize_serial(query, settings)).cost[0]
+        sma = optimize_sma(query, workers, settings)
+        assert sma.best.cost[0] == pytest.approx(serial_cost)
+
+    def test_multi_objective_frontier(self):
+        query = SteinbrunnGenerator(10).query(6)
+        settings = OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=1.0)
+        serial = optimize_serial(query, settings)
+        sma = optimize_sma(query, 4, settings)
+        assert {p.cost for p in sma.plans} == {p.cost for p in serial.plans}
+
+    def test_rejects_zero_workers(self, query):
+        with pytest.raises(ValueError):
+            optimize_sma(query, 0)
+
+
+class TestCoordinationProfile:
+    def test_round_count(self, query):
+        sma = optimize_sma(query, 4)
+        assert len(sma.rounds) == query.n_tables - 1
+
+    def test_round_sizes_cover_levels(self, query):
+        sma = optimize_sma(query, 4)
+        from math import comb
+
+        for round_stats in sma.rounds:
+            assert round_stats.n_sets == comb(query.n_tables, round_stats.size)
+
+    def test_memotable_holds_everything(self, query):
+        sma = optimize_sma(query, 4)
+        assert sma.memotable_entries == (1 << query.n_tables) - 1
+
+    def test_network_grows_with_workers(self, query):
+        """The memotable broadcast makes traffic grow with worker count."""
+        bytes_by_workers = [
+            optimize_sma(query, workers).network_bytes for workers in (1, 2, 4, 8)
+        ]
+        assert bytes_by_workers == sorted(bytes_by_workers)
+        assert bytes_by_workers[-1] > 3 * bytes_by_workers[0]
+
+    def test_network_explodes_vs_mpq(self, query):
+        """Figure 1's headline: SMA ships far more bytes, and its lead grows
+        exponentially with query size (the memotable is exponential in n)."""
+        from repro.algorithms.mpq import optimize_mpq
+
+        sma = optimize_sma(query, 8)
+        mpq = optimize_mpq(query, 8)
+        ratio_small = sma.network_bytes / mpq.network_bytes
+        assert ratio_small > 5
+
+        bigger = SteinbrunnGenerator(8).query(10)
+        ratio_large = (
+            optimize_sma(bigger, 8).network_bytes
+            / optimize_mpq(bigger, 8).network_bytes
+        )
+        assert ratio_large > 3 * ratio_small
+
+    def test_simulated_time_degrades_at_scale(self, query):
+        """Many workers mean more broadcast traffic and higher round cost."""
+        few = optimize_sma(query, 2)
+        many = optimize_sma(query, 64)
+        assert many.simulated_seconds > few.simulated_seconds
+
+    def test_worker_ops_balanced(self, query):
+        sma = optimize_sma(query, 4)
+        for round_stats in sma.rounds:
+            ops = round_stats.worker_plans_considered
+            if max(ops) > 30:  # skew is expected on tiny rounds
+                assert min(ops) > 0
+
+    def test_round_bytes_informational(self, query):
+        sma = optimize_sma(query, 4)
+        assert sum(r.round_bytes for r in sma.rounds) <= sma.network_bytes

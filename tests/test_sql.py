@@ -1,0 +1,177 @@
+"""SQL frontend: parsing, catalog binding, error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_catalog,
+    save_catalog,
+)
+from repro.query.schema import Catalog, Column, Table
+from repro.query.sql import SqlError, parse_sql
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add(
+        Table(
+            "lineitem",
+            60_000,
+            (Column("okey", 15_000), Column("pkey", 2_000)),
+        )
+    )
+    catalog.add(Table("orders", 15_000, (Column("okey", 15_000), Column("ckey", 1_000))))
+    catalog.add(Table("customer", 1_000, (Column("ckey", 1_000),)))
+    catalog.add(Table("part", 2_000, (Column("pkey", 2_000),)))
+    return catalog
+
+
+SQL = (
+    "SELECT * FROM lineitem l, orders o, customer c "
+    "WHERE l.okey = o.okey AND o.ckey = c.ckey"
+)
+
+
+class TestParsing:
+    def test_tables_in_from_order(self, catalog):
+        query = parse_sql(SQL, catalog)
+        assert [t.name for t in query.tables] == ["lineitem", "orders", "customer"]
+
+    def test_predicates_bound(self, catalog):
+        query = parse_sql(SQL, catalog)
+        assert len(query.predicates) == 2
+        first = query.predicates[0]
+        assert (first.left_table, first.left_column) == (0, "okey")
+        assert (first.right_table, first.right_column) == (1, "okey")
+
+    def test_selectivity_from_domains(self, catalog):
+        query = parse_sql(SQL, catalog)
+        assert query.predicates[0].selectivity == pytest.approx(1 / 15_000)
+
+    def test_no_where_clause(self, catalog):
+        query = parse_sql("SELECT * FROM orders, customer", catalog)
+        assert query.n_tables == 2
+        assert query.predicates == ()
+
+    def test_alias_defaults_to_table_name(self, catalog):
+        query = parse_sql(
+            "SELECT * FROM orders, customer WHERE orders.ckey = customer.ckey",
+            catalog,
+        )
+        assert len(query.predicates) == 1
+
+    def test_keywords_case_insensitive(self, catalog):
+        query = parse_sql(
+            "select * from orders o, customer c where o.ckey = c.ckey", catalog
+        )
+        assert query.n_tables == 2
+
+    def test_four_way_join_optimizes(self, catalog):
+        sql = (
+            "SELECT * FROM lineitem l, orders o, customer c, part p "
+            "WHERE l.okey = o.okey AND o.ckey = c.ckey AND l.pkey = p.pkey"
+        )
+        query = parse_sql(sql, catalog)
+        plan = best_plan(optimize_serial(query, OptimizerSettings()))
+        assert plan.mask == query.all_tables_mask
+
+
+class TestErrors:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SqlError, match="unknown table"):
+            parse_sql("SELECT * FROM nope", catalog)
+
+    def test_unknown_alias(self, catalog):
+        with pytest.raises(SqlError, match="alias"):
+            parse_sql(
+                "SELECT * FROM orders o WHERE x.ckey = o.ckey", catalog
+            )
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SqlError, match="column"):
+            parse_sql(
+                "SELECT * FROM orders o, customer c WHERE o.nope = c.ckey",
+                catalog,
+            )
+
+    def test_self_predicate(self, catalog):
+        with pytest.raises(SqlError, match="two tables"):
+            parse_sql(
+                "SELECT * FROM orders o, customer c WHERE o.okey = o.ckey",
+                catalog,
+            )
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(SqlError, match="duplicate"):
+            parse_sql("SELECT * FROM orders o, customer o", catalog)
+
+    def test_select_list_must_be_star(self, catalog):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT okey FROM orders", catalog)
+
+    def test_unsupported_clause(self, catalog):
+        with pytest.raises(SqlError, match="expected WHERE"):
+            parse_sql("SELECT * FROM orders o GROUP BY x", catalog)
+
+    def test_bare_keyword_is_an_alias(self, catalog):
+        """Identifiers after a table name bind as aliases (SQL-style)."""
+        query = parse_sql("SELECT * FROM orders GROUP", catalog)
+        assert query.n_tables == 1
+
+    def test_bad_character(self, catalog):
+        with pytest.raises(SqlError, match="unexpected character"):
+            parse_sql("SELECT * FROM orders; DROP TABLE", catalog)
+
+    def test_truncated(self, catalog):
+        with pytest.raises(SqlError, match="end of query"):
+            parse_sql("SELECT * FROM orders o WHERE o.ckey =", catalog)
+
+
+class TestCatalogIO:
+    def test_roundtrip(self, catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert set(loaded.tables) == set(catalog.tables)
+        assert loaded.get("orders").columns == catalog.get("orders").columns
+
+    def test_dict_roundtrip(self, catalog):
+        clone = catalog_from_dict(catalog_to_dict(catalog))
+        assert clone.get("lineitem").cardinality == 60_000
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            catalog_from_dict({"tables": [{"name": "X"}]})
+
+
+class TestSqlThroughCLI:
+    def test_optimize_sql(self, catalog, tmp_path, capsys):
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        code = main(
+            [
+                "optimize",
+                "--sql", SQL,
+                "--catalog", str(path),
+                "--workers", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "best cost" in out
+
+    def test_sql_without_catalog_rejected(self):
+        with pytest.raises(SystemExit, match="catalog"):
+            main(["optimize", "--sql", "SELECT * FROM x"])
+
+    def test_no_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["optimize"])
