@@ -1,0 +1,133 @@
+"""Service throughput: cold vs warm plan cache, per-query vs persistent pools.
+
+The service layer's two claims, measured:
+
+1. **Warm-cache batch throughput >= 10x cold single-query throughput** — a
+   cache hit costs one fingerprint plus one plan remap, orders of magnitude
+   below the DP it replaces.
+2. **Cached/batched answers are cost-identical to serial optimization** —
+   the cache only ever short-circuits work, never changes it.
+
+It also compares per-query process pools (a fresh pool per optimization,
+the shape of the one-shot :class:`ProcessPoolPartitionExecutor`) against a
+:class:`PersistentProcessPoolExecutor` batching every query onto one warm
+pool — the service-shaped alternative.
+
+Run standalone (``python benchmarks/bench_service_throughput.py``) for a
+report, or under pytest for the assertions.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cluster.executors import (
+    PersistentProcessPoolExecutor,
+    ProcessPoolPartitionExecutor,
+)
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.service import OptimizerService
+
+N_QUERIES = 6
+N_TABLES = 8
+N_WORKERS = 4
+
+
+def make_workload(n_queries: int = N_QUERIES, n_tables: int = N_TABLES, seed: int = 51):
+    generator = SteinbrunnGenerator(seed)
+    return [generator.query(n_tables) for __ in range(n_queries)]
+
+
+def measure_cold_and_warm(queries) -> tuple[float, float, list]:
+    """Seconds for a cold batch (all misses) and a warm batch (all hits)."""
+    with OptimizerService(n_workers=N_WORKERS) as service:
+        started = time.perf_counter()
+        cold_results = service.optimize_batch(queries)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm_results = service.optimize_batch(queries)
+        warm_s = time.perf_counter() - started
+    assert not any(result.cached for result in cold_results)
+    assert all(result.cached for result in warm_results)
+    return cold_s, warm_s, warm_results
+
+
+def measure_per_query_pools(queries) -> float:
+    """Seconds to optimize the workload with a fresh process pool per query."""
+    started = time.perf_counter()
+    for query in queries:
+        executor = ProcessPoolPartitionExecutor(max_workers=N_WORKERS)
+        with OptimizerService(n_workers=N_WORKERS, executor=executor) as service:
+            service.optimize(query)
+    return time.perf_counter() - started
+
+
+def measure_persistent_pool(queries) -> tuple[float, int]:
+    """Seconds for one warm pool serving the whole batch, plus pools started."""
+    with PersistentProcessPoolExecutor(max_workers=N_WORKERS) as executor:
+        with OptimizerService(n_workers=N_WORKERS, executor=executor) as service:
+            started = time.perf_counter()
+            service.optimize_batch(queries)
+            elapsed = time.perf_counter() - started
+        return elapsed, executor.pools_started
+
+
+def test_warm_cache_batch_at_least_10x_cold():
+    queries = make_workload()
+    cold_s, warm_s, __ = measure_cold_and_warm(queries)
+    cold_throughput = len(queries) / cold_s
+    warm_throughput = len(queries) / warm_s
+    assert warm_throughput >= 10 * cold_throughput, (
+        f"warm {warm_throughput:.0f} q/s vs cold {cold_throughput:.0f} q/s"
+    )
+
+
+def test_batch_plans_cost_identical_to_serial():
+    queries = make_workload()
+    with OptimizerService(n_workers=N_WORKERS) as service:
+        cold = service.optimize_batch(queries)
+        warm = service.optimize_batch(queries)
+    for query, cold_result, warm_result in zip(queries, cold, warm):
+        reference = best_plan(optimize_serial(query))
+        assert cold_result.best.cost == reference.cost
+        assert warm_result.best.cost == reference.cost
+
+
+def test_persistent_pool_starts_once_and_beats_per_query_pools():
+    queries = make_workload(n_queries=4)
+    per_query_s = measure_per_query_pools(queries)
+    persistent_s, pools_started = measure_persistent_pool(queries)
+    assert pools_started == 1
+    assert persistent_s < per_query_s, (
+        f"persistent {persistent_s:.3f}s vs per-query {per_query_s:.3f}s"
+    )
+
+
+def main() -> int:
+    queries = make_workload()
+    cold_s, warm_s, __ = measure_cold_and_warm(queries)
+    per_query_s = measure_per_query_pools(queries)
+    persistent_s, pools_started = measure_persistent_pool(queries)
+    n = len(queries)
+    print(f"workload: {n} queries x {N_TABLES} tables, {N_WORKERS} workers each")
+    print(f"cold batch (cache misses):   {cold_s * 1e3:8.1f} ms  "
+          f"({n / cold_s:10.1f} q/s)")
+    print(f"warm batch (cache hits):     {warm_s * 1e3:8.1f} ms  "
+          f"({n / warm_s:10.1f} q/s)")
+    print(f"warm/cold throughput ratio:  {cold_s / warm_s:8.1f}x")
+    print(f"per-query process pools:     {per_query_s * 1e3:8.1f} ms")
+    print(f"persistent pool (batched):   {persistent_s * 1e3:8.1f} ms  "
+          f"({pools_started} pool start)")
+    print(f"pool reuse speedup:          {per_query_s / persistent_s:8.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

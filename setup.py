@@ -1,5 +1,17 @@
-"""Legacy setup shim: lets ``pip install -e .`` work without the wheel package."""
+"""Packaging for the ``repro`` src-layout package (``pip install -e .``)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mpq",
+    version="1.0.0",
+    description=(
+        "Reproduction of Trummer & Koch (PVLDB 2016): massively parallel "
+        "query optimization on shared-nothing architectures, with an "
+        "optimizer-as-a-service layer (plan caching, persistent worker pools)"
+    ),
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -53,9 +53,17 @@ from repro.core import (
 from repro.cluster import (
     ClusterModel,
     NetworkModel,
+    PersistentProcessPoolExecutor,
     ProcessPoolPartitionExecutor,
     SerialPartitionExecutor,
     ThreadPoolPartitionExecutor,
+)
+from repro.service import (
+    OptimizerService,
+    PlanCache,
+    ServiceResult,
+    canonicalize,
+    fingerprint,
 )
 from repro.algorithms import (
     MPQReport,
@@ -106,9 +114,15 @@ __all__ = [
     "usable_partitions",
     "ClusterModel",
     "NetworkModel",
+    "PersistentProcessPoolExecutor",
     "ProcessPoolPartitionExecutor",
     "SerialPartitionExecutor",
     "ThreadPoolPartitionExecutor",
+    "OptimizerService",
+    "PlanCache",
+    "ServiceResult",
+    "canonicalize",
+    "fingerprint",
     "MPQReport",
     "SMAReport",
     "iterated_improvement",

@@ -4,7 +4,10 @@ Commands:
 
 * ``generate`` — write a random Steinbrunn-style query to a JSON file;
 * ``optimize`` — optimize a JSON query with MPQ and print the chosen plan
-  (or Pareto frontier) plus the cluster accounting the paper reports.
+  (or Pareto frontier) plus the cluster accounting the paper reports;
+* ``serve-batch`` — run a batch of query files through the
+  :class:`~repro.service.OptimizerService` (plan cache + warm worker pool)
+  and report per-query plans plus cache statistics.
 
 Examples::
 
@@ -12,6 +15,8 @@ Examples::
     python -m repro optimize query.json --workers 16
     python -m repro optimize query.json --space bushy --workers 8
     python -m repro optimize query.json --objectives time,buffer --alpha 10
+    python -m repro serve-batch q1.json q2.json --workers 8 --repeat 3
+    python -m repro serve-batch q*.json --pool persistent --json
 """
 
 from __future__ import annotations
@@ -73,6 +78,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--orders", action="store_true", help="track interesting orders"
     )
     optimize.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    serve = commands.add_parser(
+        "serve-batch",
+        help="optimize a batch of query files through the caching service",
+    )
+    serve.add_argument("queries", nargs="+", help="query JSON files")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--space",
+        choices=[space.value for space in PlanSpace],
+        default=PlanSpace.LINEAR.value,
+    )
+    serve.add_argument(
+        "--objectives",
+        default="time",
+        help="comma-separated cost metrics: time[,buffer]",
+    )
+    serve.add_argument("--alpha", type=float, default=1.0)
+    serve.add_argument(
+        "--orders", action="store_true", help="track interesting orders"
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the batch this many times (later rounds hit the cache)",
+    )
+    serve.add_argument(
+        "--pool",
+        choices=("serial", "persistent"),
+        default="serial",
+        help="partition executor: in-process serial, or a warm process pool",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="plan-cache capacity"
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     return parser
@@ -153,11 +197,83 @@ def _run_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cluster.executors import PersistentProcessPoolExecutor
+    from repro.service import OptimizerService
+
+    settings = _settings_from_args(args)
+    executor = (
+        PersistentProcessPoolExecutor(max_workers=args.workers)
+        if args.pool == "persistent"
+        else None
+    )
+    queries = [load_query(path) for path in args.queries]
+    rounds = []
+    with OptimizerService(
+        n_workers=args.workers,
+        settings=settings,
+        executor=executor,
+        cache_capacity=args.cache_size,
+    ) as service:
+        for __ in range(max(1, args.repeat)):
+            started = time.perf_counter()
+            results = service.optimize_batch(queries)
+            rounds.append((time.perf_counter() - started, results))
+        stats = service.cache.stats
+    if args.json:
+        payload = {
+            "workers": args.workers,
+            "pool": args.pool,
+            "rounds": [
+                {
+                    "wall_s": wall,
+                    "results": [
+                        {
+                            "query": query.name,
+                            "cached": result.cached,
+                            "fingerprint": result.fingerprint,
+                            "partitions": result.n_partitions,
+                            "best_cost": list(result.best.cost),
+                            "plans": len(result.plans),
+                        }
+                        for query, result in zip(queries, results)
+                    ],
+                }
+                for wall, results in rounds
+            ],
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for round_number, (wall, results) in enumerate(rounds, start=1):
+        print(f"round {round_number}: {len(results)} queries in {wall * 1e3:.1f} ms")
+        for query, result in zip(queries, results):
+            marker = "HIT " if result.cached else "MISS"
+            print(
+                f"  [{marker}] {query.name}: best cost {tuple(result.best.cost)} "
+                f"({result.n_partitions} partitions)"
+            )
+    print(
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate), {stats.evictions} evictions"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "generate":
         return _run_generate(args)
+    if args.command == "serve-batch":
+        return _run_serve_batch(args)
     return _run_optimize(args)
 
 

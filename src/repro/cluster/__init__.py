@@ -19,7 +19,9 @@ from repro.cluster.simulator import (
     worker_compute_seconds,
 )
 from repro.cluster.executors import (
+    PersistentProcessPoolExecutor,
     ProcessPoolPartitionExecutor,
+    RetryingPartitionExecutor,
     SerialPartitionExecutor,
     ThreadPoolPartitionExecutor,
 )
@@ -40,7 +42,9 @@ __all__ = [
     "SimulatedTiming",
     "simulate_mpq_run",
     "worker_compute_seconds",
+    "PersistentProcessPoolExecutor",
     "ProcessPoolPartitionExecutor",
+    "RetryingPartitionExecutor",
     "SerialPartitionExecutor",
     "ThreadPoolPartitionExecutor",
 ]

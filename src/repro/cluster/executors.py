@@ -123,6 +123,11 @@ class ProcessPoolPartitionExecutor:
     (with statistics), the partition ID, the partition count, and the
     optimizer settings.  Results come back as complete partition-optimal
     plans — one round of communication, as in Algorithm 1.
+
+    A fresh pool is created (and torn down) per ``map_partitions`` call —
+    faithful to a one-shot optimization, but the wrong shape for a service
+    optimizing a stream of queries; see
+    :class:`PersistentProcessPoolExecutor`.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
@@ -139,3 +144,89 @@ class ProcessPoolPartitionExecutor:
             max_workers=self._max_workers
         ) as pool:
             return list(pool.map(_run_partition_task, tasks))
+
+
+class PersistentProcessPoolExecutor:
+    """Process-pool executor whose workers stay warm across queries.
+
+    Per-query pool startup costs hundreds of milliseconds — acceptable for
+    one optimization, ruinous for a service.  This executor creates its pool
+    lazily on first use and reuses it for every subsequent call, so a stream
+    of queries pays the fork/spawn tax once.  :meth:`submit_partitions`
+    additionally exposes the underlying futures, letting
+    :meth:`~repro.service.OptimizerService.optimize_batch` interleave
+    partition tasks from *many* concurrent queries onto the one pool instead
+    of serializing query-by-query.
+
+    Observability counters: ``pools_started`` (how many times worker
+    processes were actually spawned — 1 for a healthy service lifetime) and
+    ``tasks_run`` (partition tasks dispatched).  If the pool breaks (a
+    worker was killed), it is discarded and rebuilt once per call — the same
+    pure-task property that powers :class:`RetryingPartitionExecutor`.
+
+    Use as a context manager, or call :meth:`close` when done; a finalizer
+    also shuts the pool down if the executor is garbage collected.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        #: Times a pool of worker processes was (re)started.
+        self.pools_started = 0
+        #: Partition tasks dispatched over this executor's lifetime.
+        self.tasks_run = 0
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._max_workers
+            )
+            self.pools_started += 1
+        return self._pool
+
+    def submit_partitions(
+        self, query: Query, n_partitions: int, settings: OptimizerSettings
+    ) -> list[concurrent.futures.Future]:
+        """Submit all partition tasks for one query; return their futures.
+
+        Does not block: callers batching several queries submit them all
+        first, then gather, so every warm worker stays busy throughout.
+        """
+        pool = self._ensure_pool()
+        self.tasks_run += n_partitions
+        return [
+            pool.submit(
+                _run_partition_task, (query, partition_id, n_partitions, settings)
+            )
+            for partition_id in range(n_partitions)
+        ]
+
+    def map_partitions(
+        self, query: Query, n_partitions: int, settings: OptimizerSettings
+    ) -> list[PartitionResult]:
+        try:
+            return [
+                future.result()
+                for future in self.submit_partitions(query, n_partitions, settings)
+            ]
+        except concurrent.futures.process.BrokenProcessPool:
+            self.close()
+            return [
+                future.result()
+                for future in self.submit_partitions(query, n_partitions, settings)
+            ]
+
+    def close(self) -> None:
+        """Shut the worker pool down; the next use starts a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "PersistentProcessPoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()

@@ -1,0 +1,31 @@
+"""Optimizer-as-a-service: fingerprinting, plan caching, batched serving.
+
+The paper's MPQ makes one optimization fast by fanning its partitions out to
+workers; this package makes a *stream* of optimizations fast by recognizing
+repeated (or isomorphic) queries and keeping worker processes warm between
+requests.  See :class:`OptimizerService` for the front door.
+"""
+
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import (
+    CanonicalForm,
+    canonicalize,
+    fingerprint,
+    fingerprint_canonical,
+)
+from repro.service.remap import invert, remap_mask, remap_plan
+from repro.service.service import OptimizerService, ServiceResult
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "CanonicalForm",
+    "canonicalize",
+    "fingerprint",
+    "fingerprint_canonical",
+    "invert",
+    "remap_mask",
+    "remap_plan",
+    "OptimizerService",
+    "ServiceResult",
+]

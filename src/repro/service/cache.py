@@ -1,0 +1,86 @@
+"""A bounded LRU cache for optimization results, with observable statistics.
+
+The service's working set is whatever queries the traffic repeats; a bounded
+least-recently-used policy keeps the hottest fingerprints resident without
+letting a long tail of one-off queries grow memory without limit.  Hit,
+miss, and eviction counters are first-class: a service operator tunes
+capacity by watching the hit rate, and the benchmark harness asserts on
+them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+Value = TypeVar("Value")
+
+
+@dataclass
+class CacheStats:
+    """Counters since construction (or the last :meth:`PlanCache.clear`)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache(Generic[Value]):
+    """Bounded LRU mapping from query fingerprints to cached results.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used entry
+    once ``capacity`` is exceeded.  ``peek`` reads without touching recency
+    or counters (used by batch deduplication, which should not inflate the
+    hit rate with its own bookkeeping reads).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, Value] = OrderedDict()
+
+    def get(self, key: str) -> Value | None:
+        """Return the cached value (refreshing recency), or ``None`` on miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: str) -> Value | None:
+        """Return the cached value without touching recency or statistics."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: Value) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

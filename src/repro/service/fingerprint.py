@@ -1,0 +1,200 @@
+"""Query canonicalization and fingerprinting for the optimizer service.
+
+A service that caches optimization results needs a cache key that is stable
+under the *accidents* of query construction: the order in which relations are
+listed (their table numbers) carries no semantics, so two queries that differ
+only by a relation permutation must map to the same key.  Table and query
+*names* are likewise excluded — they are aliases, not statistics — while
+everything the optimizer actually consumes (cardinalities, row widths,
+column domains, clustering, predicate endpoints and selectivities, and the
+:class:`~repro.config.OptimizerSettings`) is hashed in.
+
+Canonicalization uses color refinement (1-WL) over the join graph seeded
+with per-table statistic signatures, followed by individualization on
+remaining symmetric classes; the canonical form is the lexicographically
+smallest encoding over all explored branches.  For the symmetric cases where
+the search could explode, branch exploration is capped — capping can only
+cost cache *hits* (two labelings of a pathologically symmetric query may
+canonicalize differently), never correctness: a cache hit requires equal
+canonical encodings, and equal encodings certify that both queries are
+isomorphic to the same canonical query, which is exactly what plan
+remapping (:mod:`repro.service.remap`) relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.config import OptimizerSettings
+from repro.query.query import Query
+from repro.query.schema import Table
+
+#: Maximum individualization branches explored before the canonical search
+#: settles for the best encoding found so far.  Only near-fully-symmetric
+#: queries (identical stats on many clique-connected tables) ever reach it.
+MAX_BRANCHES = 256
+
+
+def _stable_hash(payload: object) -> int:
+    """Deterministic 64-bit hash of a repr-serializable value.
+
+    Python's builtin ``hash`` is randomized per process for strings; the
+    fingerprint must be stable across processes and sessions, so hash the
+    ``repr`` (deterministic for tuples/ints/floats/strings) with sha256.
+    """
+    digest = hashlib.sha256(repr(payload).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _table_signature(table: Table) -> tuple:
+    """Everything the optimizer reads from a table, minus its name."""
+    columns = tuple(sorted((column.name, column.domain_size) for column in table.columns))
+    return (table.cardinality, table.row_bytes, table.clustered_on, columns)
+
+
+def _settings_signature(settings: OptimizerSettings) -> tuple:
+    return (
+        settings.plan_space.value,
+        tuple(objective.value for objective in settings.objectives),
+        settings.alpha,
+        settings.consider_orders,
+        settings.use_all_join_algorithms,
+        settings.parametric,
+    )
+
+
+def _adjacency(query: Query) -> dict[int, list[tuple[tuple, int]]]:
+    """Per-table incident predicate signatures: ``table -> [(edge_sig, other)]``.
+
+    The edge signature is directional (local column first) so that a table's
+    view of a predicate distinguishes its own endpoint from the neighbor's.
+    """
+    incident: dict[int, list[tuple[tuple, int]]] = {i: [] for i in range(query.n_tables)}
+    for predicate in query.predicates:
+        left_sig = (predicate.selectivity, predicate.left_column, predicate.right_column)
+        right_sig = (predicate.selectivity, predicate.right_column, predicate.left_column)
+        incident[predicate.left_table].append((left_sig, predicate.right_table))
+        incident[predicate.right_table].append((right_sig, predicate.left_table))
+    return incident
+
+
+def _refine(colors: list[int], incident: dict[int, list[tuple[tuple, int]]]) -> list[int]:
+    """1-WL color refinement to a fixed point."""
+    n = len(colors)
+    while True:
+        refined = [
+            _stable_hash(
+                (
+                    colors[node],
+                    tuple(sorted((edge_sig, colors[other]) for edge_sig, other in incident[node])),
+                )
+            )
+            for node in range(n)
+        ]
+        if len(set(refined)) == len(set(colors)):
+            return refined
+        colors = refined
+
+
+def _encode(query: Query, numbering: tuple[int, ...]) -> str:
+    """Serialize the query under ``numbering`` (original -> canonical)."""
+    order = sorted(range(query.n_tables), key=lambda original: numbering[original])
+    tables = tuple(_table_signature(query.tables[original]) for original in order)
+    predicates = []
+    for predicate in query.predicates:
+        a = numbering[predicate.left_table]
+        b = numbering[predicate.right_table]
+        if a <= b:
+            predicates.append((a, predicate.left_column, b, predicate.right_column, predicate.selectivity))
+        else:
+            predicates.append((b, predicate.right_column, a, predicate.left_column, predicate.selectivity))
+    return repr((tables, tuple(sorted(predicates))))
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A query's canonical serialization plus the numbering that produced it.
+
+    ``numbering[original_table_number]`` is the table's canonical number.
+    Two queries are join-isomorphic (up to names) iff their ``encoding``
+    strings are equal, and composing one numbering with the inverse of the
+    other maps plans between them (see :func:`repro.service.remap.remap_plan`).
+    """
+
+    encoding: str
+    numbering: tuple[int, ...]
+
+
+def canonicalize(query: Query) -> CanonicalForm:
+    """Compute the relation-permutation-invariant canonical form of ``query``."""
+    incident = _adjacency(query)
+    initial = [_stable_hash(("table", _table_signature(table))) for table in query.tables]
+
+    best: CanonicalForm | None = None
+    branches = 0
+
+    def search(colors: list[int]) -> None:
+        nonlocal best, branches
+        if branches >= MAX_BRANCHES:
+            return
+        colors = _refine(colors, incident)
+        classes: dict[int, list[int]] = {}
+        for node, color in enumerate(colors):
+            classes.setdefault(color, []).append(node)
+        # The target cell must be chosen by a labeling-invariant key (class
+        # size, then the class's color — never original table numbers), or
+        # two labelings of the same query would explore different search
+        # trees and could settle on different canonical forms.
+        ambiguous = sorted(
+            (
+                (color, members)
+                for color, members in classes.items()
+                if len(members) > 1
+            ),
+            key=lambda item: (len(item[1]), item[0]),
+        )
+        if not ambiguous:
+            branches += 1
+            ranked = sorted(range(len(colors)), key=lambda node: colors[node])
+            numbering = [0] * len(colors)
+            for canonical, original in enumerate(ranked):
+                numbering[original] = canonical
+            candidate = CanonicalForm(_encode(query, tuple(numbering)), tuple(numbering))
+            if best is None or candidate.encoding < best.encoding:
+                best = candidate
+            return
+        for node in ambiguous[0][1]:
+            individualized = list(colors)
+            individualized[node] = _stable_hash(("individualized", colors[node]))
+            search(individualized)
+            if branches >= MAX_BRANCHES:
+                return
+
+    search(initial)
+    assert best is not None
+    return best
+
+
+def fingerprint_canonical(
+    canonical: CanonicalForm,
+    settings: OptimizerSettings,
+    n_workers: int | None = None,
+) -> str:
+    """Digest a precomputed canonical form (lets callers canonicalize once)."""
+    payload = repr((canonical.encoding, _settings_signature(settings), n_workers))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def fingerprint(
+    query: Query,
+    settings: OptimizerSettings,
+    n_workers: int | None = None,
+) -> str:
+    """Hex digest identifying ``(query, settings[, n_workers])`` up to relabeling.
+
+    ``n_workers`` participates so that cached per-run accounting (partition
+    count, simulated timing) stays faithful to the request; two requests for
+    the same query at different parallelism are distinct cache entries.
+    """
+    return fingerprint_canonical(canonicalize(query), settings, n_workers)

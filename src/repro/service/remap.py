@@ -1,0 +1,64 @@
+"""Renumbering plan trees between isomorphic queries.
+
+The plan cache stores plans in *canonical* table numbering (see
+:mod:`repro.service.fingerprint`).  Serving a cache hit to a request whose
+query uses a different (but isomorphic) numbering is then a pure relabeling:
+rewrite every table number, bitmask, and sort-order reference through the
+permutation.  Costs, cardinalities, and operator choices are invariant under
+relabeling, so they are copied verbatim — this is what makes a cache hit
+O(plan size) instead of O(DP).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.plans.orders import SortOrder
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.util.bitset import bits
+
+
+def remap_mask(mask: int, mapping: tuple[int, ...]) -> int:
+    """Translate a table-set bitmask through ``mapping[old] = new``."""
+    remapped = 0
+    for table in bits(mask):
+        remapped |= 1 << mapping[table]
+    return remapped
+
+
+def _remap_order(order: SortOrder | None, mapping: tuple[int, ...]) -> SortOrder | None:
+    if order is None:
+        return None
+    return SortOrder(table=mapping[order.table], column=order.column)
+
+
+def remap_plan(plan: Plan, mapping: tuple[int, ...]) -> Plan:
+    """Rebuild ``plan`` with every table number translated through ``mapping``.
+
+    ``mapping`` must be a permutation of ``range(n_tables)`` arising from a
+    query isomorphism; under that assumption the remapped plan is exactly the
+    plan the DP would have produced for the relabeled query.
+    """
+    if isinstance(plan, ScanPlan):
+        return dataclasses.replace(
+            plan,
+            mask=remap_mask(plan.mask, mapping),
+            order=_remap_order(plan.order, mapping),
+            table=mapping[plan.table],
+        )
+    assert isinstance(plan, JoinPlan)
+    return dataclasses.replace(
+        plan,
+        mask=remap_mask(plan.mask, mapping),
+        order=_remap_order(plan.order, mapping),
+        left=remap_plan(plan.left, mapping),
+        right=remap_plan(plan.right, mapping),
+    )
+
+
+def invert(numbering: tuple[int, ...]) -> tuple[int, ...]:
+    """Invert a permutation: ``invert(p)[p[i]] == i``."""
+    inverse = [0] * len(numbering)
+    for source, target in enumerate(numbering):
+        inverse[target] = source
+    return tuple(inverse)

@@ -1,0 +1,301 @@
+"""The optimizer-as-a-service front-end.
+
+:class:`OptimizerService` turns the one-shot :func:`repro.optimize_mpq` into
+a long-lived service suited to heavy query-optimization traffic:
+
+* every request is canonicalized and fingerprinted
+  (:mod:`repro.service.fingerprint`), so repeated — or merely isomorphic —
+  queries are answered from a bounded LRU cache
+  (:mod:`repro.service.cache`) in O(plan size) instead of O(DP);
+* cache misses run the paper's Algorithm 1 on a pluggable executor; with a
+  :class:`~repro.cluster.executors.PersistentProcessPoolExecutor`,
+  :meth:`OptimizerService.optimize_batch` interleaves partition tasks from
+  many concurrent queries onto one warm worker pool, so no query waits for
+  another query's stragglers and no request pays pool startup;
+* cached plans are stored in canonical table numbering and remapped to each
+  requester's numbering on the way out (:mod:`repro.service.remap`), which
+  keeps hits correct even when two clients number the same relations
+  differently.
+
+This is the substrate the ROADMAP's sharding/async directions build on: a
+shard is an ``OptimizerService`` owning a fingerprint range, and an async
+gateway is a thin wrapper over :meth:`optimize_batch`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.cluster.simulator import (
+    DEFAULT_CLUSTER,
+    ClusterModel,
+    SimulatedTiming,
+    simulate_mpq_run,
+)
+from repro.config import DEFAULT_SETTINGS, OptimizerSettings
+from repro.core.constraints import usable_partitions
+from repro.core.master import MasterResult, PartitionExecutor
+from repro.core.worker import PartitionResult
+from repro.cluster.executors import SerialPartitionExecutor
+from repro.cost.pruning import final_prune, make_pruning
+from repro.plans.plan import Plan
+from repro.query.query import Query
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import CanonicalForm, canonicalize, fingerprint_canonical
+from repro.service.remap import invert, remap_plan
+
+
+@dataclass
+class _CacheEntry:
+    """What the cache retains per fingerprint: plans in canonical numbering.
+
+    Storing plans canonically (rather than in the first requester's
+    numbering) makes serving any isomorphic request a single remap; the
+    simulated accounting is that of the original run, which is exactly what
+    an identical request would have measured.
+    """
+
+    canonical_plans: list[Plan]
+    n_partitions: int
+    simulated: SimulatedTiming
+
+
+@dataclass
+class ServiceResult:
+    """One request's answer: plans in the request's own table numbering."""
+
+    plans: list[Plan]
+    n_partitions: int
+    fingerprint: str
+    #: Whether this answer was served from the plan cache.
+    cached: bool
+    #: Simulated cluster accounting of the (possibly cached) optimization run.
+    simulated_time_ms: float
+    network_bytes: int
+
+    @property
+    def best(self) -> Plan:
+        """Cheapest plan by the first metric (the plan a DBMS would run)."""
+        if not self.plans:
+            raise ValueError("optimization produced no plan")
+        return min(self.plans, key=lambda plan: plan.cost[0])
+
+
+class OptimizerService:
+    """A long-lived optimizer serving a stream of queries with plan caching.
+
+    Args:
+        n_workers: default parallelism per query (overridable per call).
+        settings: default :class:`~repro.config.OptimizerSettings`.
+        executor: how partition tasks physically run.  Defaults to the
+            in-process serial executor (deterministic, zero setup); pass a
+            :class:`~repro.cluster.executors.PersistentProcessPoolExecutor`
+            for true parallelism with warm workers — ``optimize_batch`` then
+            batches all queries' partition tasks onto the one pool.
+        cache_capacity: bound on resident cached fingerprints (LRU beyond).
+        cluster: simulated-cluster parameters for the reported accounting.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 8,
+        settings: OptimizerSettings = DEFAULT_SETTINGS,
+        executor: PartitionExecutor | None = None,
+        cache_capacity: int = 256,
+        cluster: ClusterModel = DEFAULT_CLUSTER,
+    ) -> None:
+        self.n_workers = n_workers
+        self.settings = settings
+        self.executor = executor if executor is not None else SerialPartitionExecutor()
+        self.cluster = cluster
+        self.cache: PlanCache[_CacheEntry] = PlanCache(capacity=cache_capacity)
+
+    # ------------------------------------------------------------------ single
+
+    def optimize(
+        self,
+        query: Query,
+        settings: OptimizerSettings | None = None,
+        n_workers: int | None = None,
+    ) -> ServiceResult:
+        """Optimize one query, serving repeated/isomorphic requests from cache."""
+        settings = settings if settings is not None else self.settings
+        workers = n_workers if n_workers is not None else self.n_workers
+        canonical = canonicalize(query)
+        key = fingerprint_canonical(canonical, settings, workers)
+        entry = self.cache.get(key)
+        if entry is not None:
+            return self._serve_hit(entry, canonical, key)
+        partition_results = self.executor.map_partitions(
+            query, usable_partitions(query.n_tables, workers, settings.plan_space), settings
+        )
+        return self._complete_run(query, canonical, key, settings, workers, partition_results)
+
+    # ------------------------------------------------------------------- batch
+
+    def optimize_batch(
+        self,
+        queries: Iterable[Query],
+        settings: OptimizerSettings | None = None,
+        n_workers: int | None = None,
+    ) -> list[ServiceResult]:
+        """Optimize many queries, batching their partition tasks together.
+
+        Lookup order is the input order; duplicate (or isomorphic) queries
+        within the batch are optimized once and the rest served as cache
+        hits.  When the executor exposes ``submit_partitions`` (the
+        persistent pool), *all* missing queries' partition tasks are
+        submitted before any result is awaited, so the warm workers drain
+        one interleaved task queue instead of running query-by-query.
+        """
+        settings = settings if settings is not None else self.settings
+        workers = n_workers if n_workers is not None else self.n_workers
+        requests = list(queries)
+        canonicals = [canonicalize(query) for query in requests]
+        keys = [
+            fingerprint_canonical(canonical, settings, workers)
+            for canonical in canonicals
+        ]
+
+        results: list[ServiceResult | None] = [None] * len(requests)
+        misses: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            entry = self.cache.get(key)
+            if entry is not None:
+                results[index] = self._serve_hit(entry, canonicals[index], key)
+            else:
+                misses.setdefault(key, []).append(index)
+
+        # One representative query per missing fingerprint actually runs.
+        unique = [(key, indices[0]) for key, indices in misses.items()]
+        gathered = self._run_many(
+            [(requests[index], workers, settings) for __, index in unique]
+        )
+        for (key, representative), partition_results in zip(unique, gathered):
+            entry_result = self._complete_run(
+                requests[representative],
+                canonicals[representative],
+                key,
+                settings,
+                workers,
+                partition_results,
+            )
+            results[representative] = entry_result
+            entry = self.cache.peek(key)
+            assert entry is not None
+            for index in misses[key][1:]:
+                # Isomorphic duplicate within the batch: computed once above
+                # and served from the cache.  Its initial lookup counted a
+                # miss (the entry did not exist yet); reclassify it as the
+                # hit it ultimately was, so the operator-facing hit rate
+                # agrees with the ``cached`` flags on the results.
+                self.cache.stats.misses -= 1
+                self.cache.stats.hits += 1
+                results[index] = self._serve_hit(entry, canonicals[index], key)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    # ----------------------------------------------------------------- helpers
+
+    def _run_many(
+        self, tasks: Sequence[tuple[Query, int, OptimizerSettings]]
+    ) -> list[list[PartitionResult]]:
+        """Run several queries' partition tasks, interleaved when possible."""
+        partition_counts = [
+            usable_partitions(query.n_tables, workers, settings.plan_space)
+            for query, workers, settings in tasks
+        ]
+        submit = getattr(self.executor, "submit_partitions", None)
+        if submit is None:
+            return [
+                self.executor.map_partitions(query, n_partitions, settings)
+                for (query, __, settings), n_partitions in zip(tasks, partition_counts)
+            ]
+        futures = [
+            submit(query, n_partitions, settings)
+            for (query, __, settings), n_partitions in zip(tasks, partition_counts)
+        ]
+        try:
+            return [
+                [future.result() for future in query_futures]
+                for query_futures in futures
+            ]
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker died mid-batch; every in-flight future on the broken
+            # pool is lost.  Fall back to query-by-query map_partitions,
+            # which carries the executor's own rebuild-on-break recovery.
+            close = getattr(self.executor, "close", None)
+            if close is not None:
+                close()
+            return [
+                self.executor.map_partitions(query, n_partitions, settings)
+                for (query, __, settings), n_partitions in zip(tasks, partition_counts)
+            ]
+
+    def _complete_run(
+        self,
+        query: Query,
+        canonical: CanonicalForm,
+        key: str,
+        settings: OptimizerSettings,
+        workers: int,
+        partition_results: list[PartitionResult],
+    ) -> ServiceResult:
+        """Final-prune a miss's partition results, cache them, build the answer."""
+        pruning = make_pruning(settings, n_tables=query.n_tables)
+        plans = final_prune(pruning, (result.plans for result in partition_results))
+        master = MasterResult(
+            plans=plans,
+            n_partitions=len(partition_results),
+            requested_workers=workers,
+            partition_results=partition_results,
+        )
+        simulated = simulate_mpq_run(self.cluster, query, master)
+        self.cache.put(
+            key,
+            _CacheEntry(
+                canonical_plans=[
+                    remap_plan(plan, canonical.numbering) for plan in plans
+                ],
+                n_partitions=master.n_partitions,
+                simulated=simulated,
+            ),
+        )
+        return ServiceResult(
+            plans=plans,
+            n_partitions=master.n_partitions,
+            fingerprint=key,
+            cached=False,
+            simulated_time_ms=simulated.total_ms,
+            network_bytes=simulated.network_bytes,
+        )
+
+    def _serve_hit(
+        self, entry: _CacheEntry, canonical: CanonicalForm, key: str
+    ) -> ServiceResult:
+        """Remap a cached entry's canonical plans into the requester's numbering."""
+        mapping = invert(canonical.numbering)
+        return ServiceResult(
+            plans=[remap_plan(plan, mapping) for plan in entry.canonical_plans],
+            n_partitions=entry.n_partitions,
+            fingerprint=key,
+            cached=True,
+            simulated_time_ms=entry.simulated.total_ms,
+            network_bytes=entry.simulated.network_bytes,
+        )
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release executor resources (shuts down a persistent worker pool)."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "OptimizerService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -20,6 +20,12 @@ import statistics
 import sys
 from pathlib import Path
 
+# The tool is run as a standalone script (``python tools/assemble_experiments.py``),
+# so the repository's ``src/`` layout is not on ``sys.path`` automatically.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
 from repro.bench.logparse import (
     extract_blocks,
     network_ratio_summary,
