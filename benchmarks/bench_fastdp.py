@@ -1,0 +1,198 @@
+"""fastdp vs legacy enumeration core: measured speedup on the DP hot path.
+
+Dual-use module:
+
+* **pytest** (how the rest of ``benchmarks/`` runs)::
+
+      PYTHONPATH=src python -m pytest -q benchmarks/bench_fastdp.py
+
+* **script** (the CI benchmark-regression job)::
+
+      PYTHONPATH=src python benchmarks/bench_fastdp.py \
+          --tables 12 --repeats 2 --json BENCH_fastdp.json --min-speedup 1.0
+
+  Exits non-zero if the best observed speedup across topologies falls below
+  ``--min-speedup``, or if the two backends ever disagree on the best plan
+  cost — a benchmark that silently benchmarks a *wrong* optimizer is worse
+  than no benchmark.
+
+The measured quantity is end-to-end serial optimization (identical settings,
+identical queries) under each value of ``OptimizerSettings.backend``; each
+backend takes the minimum over ``--repeats`` runs to suppress scheduler
+noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # script mode: bootstrap the src layout without installation
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the CI script job
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import Backend, OptimizerSettings, PlanSpace
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
+
+#: Topologies of the regression run: the paper's default star, plus the
+#: extremes of join-graph density.
+DEFAULT_TOPOLOGIES = ("chain", "star", "clique")
+
+
+def _time_backend(
+    query, settings: OptimizerSettings, repeats: int
+) -> tuple[float, float]:
+    """(best wall seconds, best-plan first-metric cost) over ``repeats`` runs."""
+    best_wall = float("inf")
+    cost = float("nan")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = optimize_serial(query, settings)
+        elapsed = time.perf_counter() - started
+        best_wall = min(best_wall, elapsed)
+        cost = best_plan(result).cost[0]
+    return best_wall, cost
+
+
+def run_benchmark(
+    n_tables: int = 12,
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    seed: int = 41,
+    repeats: int = 2,
+    plan_space: PlanSpace = PlanSpace.LINEAR,
+) -> dict:
+    """Benchmark both backends on one query per topology; return the report."""
+    rows = []
+    for topology in topologies:
+        query = SteinbrunnGenerator(seed).query(
+            n_tables, JoinGraphKind(topology)
+        )
+        base = OptimizerSettings(plan_space=plan_space)
+        legacy_s, legacy_cost = _time_backend(
+            query, base.replace(backend=Backend.LEGACY), repeats
+        )
+        fastdp_s, fastdp_cost = _time_backend(
+            query, base.replace(backend=Backend.FASTDP), repeats
+        )
+        rows.append(
+            {
+                "topology": topology,
+                "n_tables": n_tables,
+                "plan_space": plan_space.value,
+                "legacy_s": legacy_s,
+                "fastdp_s": fastdp_s,
+                "speedup": legacy_s / fastdp_s if fastdp_s > 0 else float("inf"),
+                "best_cost": legacy_cost,
+                "plans_agree": legacy_cost == fastdp_cost,
+            }
+        )
+    speedups = [row["speedup"] for row in rows]
+    return {
+        "config": {
+            "n_tables": n_tables,
+            "topologies": list(topologies),
+            "seed": seed,
+            "repeats": repeats,
+            "plan_space": plan_space.value,
+        },
+        "results": rows,
+        "max_speedup": max(speedups),
+        "min_speedup": min(speedups),
+        "all_plans_agree": all(row["plans_agree"] for row in rows),
+    }
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_fastdp_speedup_at_12_relations():
+    """Acceptance: ≥1.5× over the legacy worker on at least one topology."""
+    report = run_benchmark(n_tables=12, repeats=1)
+    assert report["all_plans_agree"], report
+    assert report["max_speedup"] >= 1.5, report
+
+
+def test_fastdp_never_changes_the_answer_at_bench_scale():
+    report = run_benchmark(n_tables=10, repeats=1)
+    assert report["all_plans_agree"], report
+
+
+# ------------------------------------------------------------------ script
+
+
+def _print_report(report: dict) -> None:
+    config = report["config"]
+    print(
+        f"fastdp benchmark: {config['n_tables']} tables, "
+        f"{config['plan_space']} space, repeats={config['repeats']}"
+    )
+    for row in report["results"]:
+        agree = "ok" if row["plans_agree"] else "DISAGREE"
+        print(
+            f"  {row['topology']:>6}: legacy {row['legacy_s'] * 1e3:8.1f} ms   "
+            f"fastdp {row['fastdp_s'] * 1e3:8.1f} ms   "
+            f"speedup {row['speedup']:5.2f}x   plans {agree}"
+        )
+    print(
+        f"speedup: max {report['max_speedup']:.2f}x, "
+        f"min {report['min_speedup']:.2f}x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tables", type=int, default=12)
+    parser.add_argument(
+        "--topologies",
+        default=",".join(DEFAULT_TOPOLOGIES),
+        help="comma-separated join-graph kinds",
+    )
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--space",
+        choices=[space.value for space in PlanSpace],
+        default=PlanSpace.LINEAR.value,
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the full report to this file"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail unless the best topology speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        n_tables=args.tables,
+        topologies=tuple(t.strip() for t in args.topologies.split(",") if t.strip()),
+        seed=args.seed,
+        repeats=args.repeats,
+        plan_space=PlanSpace(args.space),
+    )
+    _print_report(report)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["all_plans_agree"]:
+        print("FAIL: backends disagree on best plan cost", file=sys.stderr)
+        return 2
+    if report["max_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: best speedup {report['max_speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

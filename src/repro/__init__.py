@@ -22,6 +22,7 @@ from repro.config import (
     DEFAULT_SETTINGS,
     MULTI_OBJECTIVE,
     SINGLE_OBJECTIVE,
+    Backend,
     Objective,
     OptimizerSettings,
     PlanSpace,
@@ -84,6 +85,7 @@ __all__ = [
     "DEFAULT_SETTINGS",
     "MULTI_OBJECTIVE",
     "SINGLE_OBJECTIVE",
+    "Backend",
     "Objective",
     "OptimizerSettings",
     "PlanSpace",

@@ -26,7 +26,7 @@ import json
 import sys
 
 from repro.algorithms.mpq import optimize_mpq
-from repro.config import Objective, OptimizerSettings, PlanSpace
+from repro.config import Backend, Objective, OptimizerSettings, PlanSpace
 from repro.query.generator import SteinbrunnGenerator
 from repro.query.io import load_query, plan_to_dict, save_query
 from repro.query.query import JoinGraphKind
@@ -78,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--orders", action="store_true", help="track interesting orders"
     )
     optimize.add_argument(
+        "--backend",
+        choices=[backend.value for backend in Backend],
+        default=Backend.LEGACY.value,
+        help="enumeration core: legacy object DP, or the fastdp bitset core",
+    )
+    optimize.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -100,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--alpha", type=float, default=1.0)
     serve.add_argument(
         "--orders", action="store_true", help="track interesting orders"
+    )
+    serve.add_argument(
+        "--backend",
+        choices=[backend.value for backend in Backend],
+        default=Backend.LEGACY.value,
+        help="enumeration core: legacy object DP, or the fastdp bitset core",
     )
     serve.add_argument(
         "--repeat",
@@ -140,6 +152,7 @@ def _settings_from_args(args: argparse.Namespace) -> OptimizerSettings:
         objectives=tuple(objectives),
         alpha=args.alpha,
         consider_orders=args.orders,
+        backend=Backend(args.backend),
     )
 
 

@@ -29,6 +29,34 @@ class PlanSpace(enum.Enum):
         return self.value
 
 
+class Backend(enum.Enum):
+    """Enumeration-core implementations of the worker DP.
+
+    Both backends search exactly the same plan space and produce the same
+    cost frontiers — equivalence is enforced by the differential-testing
+    oracle in :mod:`repro.testing` — they differ only in how the hot path is
+    executed:
+
+    * :attr:`LEGACY` — the original object-based DP in ``repro.core.worker``:
+      one :class:`~repro.plans.plan.Plan` object per stored sub-plan, pruning
+      dispatched through a :class:`~repro.cost.pruning.PruningPolicy`.
+    * :attr:`FASTDP` — the flat enumeration core in ``repro.core.fastdp``:
+      level-wise bitset subset enumeration over precomputed admissible-mask
+      lists, packed cost vectors with back-pointers instead of plan objects,
+      and dominance pruning that short-circuits to a scalar minimum for the
+      single-objective case.  Plan trees are materialized once, at the end.
+
+    Settings the fast core does not support (interesting orders, parametric
+    costs) transparently fall back to :attr:`LEGACY`.
+    """
+
+    LEGACY = "legacy"
+    FASTDP = "fastdp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
 class Objective(enum.Enum):
     """Plan cost metrics.
 
@@ -82,6 +110,8 @@ class OptimizerSettings:
             a parametric cost function ``(1-θ)·cost[0] + θ·cost[1]`` and keep
             exactly the plans optimal for some θ in [0, 1] (lower-envelope
             pruning; see ``repro.algorithms.pqo``).
+        backend: which enumeration core runs the worker DP (see
+            :class:`Backend`).  Accepts the enum or its string value.
     """
 
     plan_space: PlanSpace = PlanSpace.LINEAR
@@ -90,8 +120,11 @@ class OptimizerSettings:
     consider_orders: bool = False
     use_all_join_algorithms: bool = True
     parametric: bool = False
+    backend: Backend = Backend.LEGACY
 
     def __post_init__(self) -> None:
+        if isinstance(self.backend, str):
+            object.__setattr__(self, "backend", Backend(self.backend))
         if not self.objectives:
             raise ValueError("at least one objective is required")
         if len(set(self.objectives)) != len(self.objectives):

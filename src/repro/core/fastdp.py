@@ -1,0 +1,657 @@
+"""Fast DP enumeration core — the ``fastdp`` backend.
+
+A drop-in replacement for the object-based worker DP in
+:mod:`repro.core.worker`, selected via
+:attr:`repro.config.OptimizerSettings.backend`.  It searches exactly the
+same plan space under exactly the same partition constraints and produces
+the same cost frontiers and worker statistics; the differential-testing
+oracle in :mod:`repro.testing` enforces this equivalence plan-for-plan.
+
+What makes it fast:
+
+* **level-wise bitset enumeration** over the precomputed admissible-mask
+  lists of :func:`~repro.core.partitioning.admissible_results_by_size`,
+  with the inner bit loop written against raw ``int`` operations
+  (``mask & -mask``, ``int.bit_count``) instead of generator helpers;
+* **packed flat cost state** — per table set the DP stores plain floats
+  (single objective) or tuples-plus-back-pointers (multiple objectives)
+  rather than :class:`~repro.plans.plan.Plan` objects, so the inner loop
+  allocates no plan nodes, no :class:`~repro.cost.costmodel.JoinCandidate`
+  tuples, and no builder closures;
+* **dominance pruning that short-circuits on the single-objective case** —
+  a scalar ``<`` against the running minimum replaces the
+  :class:`~repro.cost.pruning.PruningPolicy` dispatch, and the
+  multi-objective path inlines (α-)dominance over the kept frontier;
+* **an inlined kernel for the default execution-time metric** that
+  reproduces :class:`~repro.cost.metrics.ExecutionTimeMetric` arithmetic
+  operation-for-operation (same order of float additions), so costs are
+  bit-identical to the legacy backend's.
+
+Plan trees are materialized once, at the end, by walking back-pointers from
+the full table set; every intermediate table set costs two dict stores.
+
+Equivalence contract (checked by ``repro.testing`` and
+``tests/test_fastdp.py``):
+
+* candidates are generated in the legacy order — table sets by level, inner
+  operands in ascending bit order (linear) / ``bushy_operands`` order
+  (bushy), stored sub-plans in insertion order, operators in
+  ``ALL_JOIN_ALGORITHMS`` order — so order-sensitive tie-breaking and
+  α-pruning (α > 1) decisions match the legacy backend exactly;
+* all cost arithmetic either calls the same :class:`~repro.cost.metrics`
+  methods or replicates them literally;
+* :class:`~repro.core.worker.WorkerStats` counters are maintained with the
+  legacy semantics (a split is counted only when both operands have stored
+  plans; a candidate is "kept" exactly when the legacy pruning would have
+  kept it).
+
+Unsupported settings — interesting orders and parametric costs — are not
+silently approximated: :func:`supports` reports them and the worker falls
+back to the legacy backend.
+"""
+
+from __future__ import annotations
+
+import time
+from math import inf, log2
+
+from repro.config import OptimizerSettings, PlanSpace
+from repro.core.constraints import partition_constraints
+from repro.core.partitioning import admissible_results_by_size
+from repro.core.worker import (
+    PartitionResult,
+    WorkerStats,
+    _bushy_groups,
+    bushy_operands,
+    linear_after_masks,
+)
+from repro.cost.costmodel import CostModel
+from repro.cost.metrics import HASH_FACTOR, ExecutionTimeMetric
+from repro.cost.pruning import per_level_alpha
+from repro.plans.operators import ALL_JOIN_ALGORITHMS
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.query import Query
+
+#: Back-pointer of a join entry: (left mask, left entry index, right mask,
+#: right entry index, join algorithm).  Scan entries store the ScanPlan
+#: itself.  Single-objective state drops the indices (one entry per mask).
+
+
+def supports(settings: OptimizerSettings) -> bool:
+    """Whether the fast core can run these settings.
+
+    Interesting orders multiply the per-set entries by sort order and
+    parametric costs need lower-envelope pruning; both stay on the legacy
+    backend (the worker falls back transparently).
+    """
+    return not settings.consider_orders and not settings.parametric
+
+
+def _adjacency_masks(query: Query) -> list[int]:
+    """Per-table bitmask of join-graph neighbours.
+
+    An equality predicate connects disjoint sets ``L``/``R`` iff some table
+    of one side has a neighbour in the other — the O(1)-per-split
+    replacement for building the ``predicates_between`` list when only
+    operator applicability (hash / sort-merge need an equi predicate) is at
+    stake.
+    """
+    adjacency = [0] * query.n_tables
+    for predicate in query.predicates:
+        adjacency[predicate.left_table] |= 1 << predicate.right_table
+        adjacency[predicate.right_table] |= 1 << predicate.left_table
+    return adjacency
+
+
+def _connected(left_mask: int, right_mask: int, adjacency: list[int]) -> bool:
+    """Whether any predicate connects the two disjoint table sets."""
+    smaller, other = (
+        (left_mask, right_mask)
+        if left_mask.bit_count() <= right_mask.bit_count()
+        else (right_mask, left_mask)
+    )
+    while smaller:
+        low = smaller & -smaller
+        smaller ^= low
+        if adjacency[low.bit_length() - 1] & other:
+            return True
+    return False
+
+
+def optimize_partition_fastdp(
+    query: Query,
+    partition_id: int,
+    n_partitions: int,
+    settings: OptimizerSettings,
+) -> PartitionResult:
+    """Optimize one plan-space partition with the fast enumeration core.
+
+    Same contract as :func:`repro.core.worker.optimize_partition`; callers
+    should go through the worker, which dispatches on
+    ``settings.backend`` and falls back to the legacy core for settings
+    :func:`supports` rejects.
+    """
+    if not supports(settings):
+        raise ValueError(
+            "fastdp does not support interesting orders or parametric costs; "
+            "route through repro.core.worker.optimize_partition for fallback"
+        )
+    started = time.perf_counter()
+    n = query.n_tables
+    constraints = partition_constraints(
+        n, partition_id, n_partitions, settings.plan_space
+    )
+    stats = WorkerStats(
+        partition_id=partition_id,
+        n_partitions=n_partitions,
+        n_constraints=len(constraints),
+    )
+    by_size = admissible_results_by_size(n, constraints, settings.plan_space)
+    stats.admissible_results = sum(len(masks) for masks in by_size.values())
+
+    cost_model = CostModel(query, settings)
+    adjacency = _adjacency_masks(query)
+    if settings.is_multi_objective:
+        plans = _run_multi(
+            query, constraints, by_size, cost_model, adjacency, stats
+        )
+    else:
+        plans = _run_single(
+            query, constraints, by_size, cost_model, adjacency, stats
+        )
+    stats.result_plans = len(plans)
+    stats.wall_time_s = time.perf_counter() - started
+    return PartitionResult(plans=plans, stats=stats)
+
+
+# --------------------------------------------------------------------- single
+
+
+def _run_single(
+    query: Query,
+    constraints: tuple,
+    by_size: dict[int, list[int]],
+    cost_model: CostModel,
+    adjacency: list[int],
+    stats: WorkerStats,
+) -> list[Plan]:
+    """Single-objective DP: one float and one back-pointer per table set.
+
+    Pruning short-circuits to a strict ``<`` against the running minimum —
+    exactly the decisions :class:`~repro.cost.pruning.MinCostPruning` makes
+    when fed candidates in the same order (first-generated wins ties).
+    """
+    n = query.n_tables
+    settings = cost_model.settings
+    metric = cost_model.metrics[0]
+    inline_time = type(metric) is ExecutionTimeMetric
+    join_cost = metric.join_cost
+    est_rows = cost_model.cardinality.rows
+    algos_all = settings.use_all_join_algorithms
+    bnl, hash_join, sort_merge = ALL_JOIN_ALGORITHMS
+    hash_factor = HASH_FACTOR
+
+    cost: dict[int, float] = {}
+    back: dict[int, object] = {}
+    rows: dict[int, float] = {}
+    scan_cost = [0.0] * n
+    card = [0.0] * n
+    for table_number in range(n):
+        scan = cost_model.scan_plans(table_number)[0]
+        mask = 1 << table_number
+        cost[mask] = scan.cost[0]
+        back[mask] = scan
+        rows[mask] = scan.rows
+        scan_cost[table_number] = scan.cost[0]
+        card[table_number] = scan.rows
+
+    splits = considered = kept = 0
+    linear = settings.plan_space is PlanSpace.LINEAR
+    if linear:
+        after = linear_after_masks(n, constraints)
+    else:
+        groups = _bushy_groups(n, constraints)
+
+    for size in range(2, n + 1):
+        for mask in by_size.get(size, ()):
+            best = inf
+            best_bp = None
+            out_rows = -1.0
+            if linear:
+                # Admissible splits: peel each bit as the inner operand.
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    inner = low.bit_length() - 1
+                    if after[inner] & mask:
+                        continue
+                    rest = mask ^ low
+                    left_cost = cost.get(rest)
+                    if left_cost is None:
+                        continue
+                    splits += 1
+                    left_rows = rows[rest]
+                    right_rows = card[inner]
+                    base = left_cost + scan_cost[inner]
+                    equi = algos_all and adjacency[inner] & rest
+                    if inline_time:
+                        considered += 1
+                        candidate = base + left_rows * right_rows
+                        if candidate < best:
+                            best = candidate
+                            best_bp = (rest, low, bnl)
+                            kept += 1
+                        if equi:
+                            considered += 2
+                            candidate = base + hash_factor * (
+                                left_rows + right_rows
+                            )
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (rest, low, hash_join)
+                                kept += 1
+                            operator = left_rows + right_rows
+                            operator += left_rows * log2(
+                                left_rows if left_rows > 2.0 else 2.0
+                            )
+                            operator += right_rows * log2(
+                                right_rows if right_rows > 2.0 else 2.0
+                            )
+                            candidate = base + operator
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (rest, low, sort_merge)
+                                kept += 1
+                    else:
+                        if out_rows < 0.0:
+                            out_rows = est_rows(mask)
+                        right_cost = scan_cost[inner]
+                        considered += 1
+                        candidate = join_cost(
+                            left_cost, right_cost, left_rows, right_rows,
+                            out_rows, bnl, False, False,
+                        )
+                        if candidate < best:
+                            best = candidate
+                            best_bp = (rest, low, bnl)
+                            kept += 1
+                        if equi:
+                            considered += 2
+                            candidate = join_cost(
+                                left_cost, right_cost, left_rows, right_rows,
+                                out_rows, hash_join, False, False,
+                            )
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (rest, low, hash_join)
+                                kept += 1
+                            candidate = join_cost(
+                                left_cost, right_cost, left_rows, right_rows,
+                                out_rows, sort_merge, True, True,
+                            )
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (rest, low, sort_merge)
+                                kept += 1
+            else:
+                for left_mask in bushy_operands(mask, groups):
+                    if left_mask == 0 or left_mask == mask:
+                        continue
+                    right_mask = mask ^ left_mask
+                    left_cost = cost.get(left_mask)
+                    if left_cost is None:
+                        continue
+                    right_cost = cost.get(right_mask)
+                    if right_cost is None:
+                        continue
+                    splits += 1
+                    left_rows = rows[left_mask]
+                    right_rows = rows[right_mask]
+                    base = left_cost + right_cost
+                    equi = algos_all and _connected(
+                        left_mask, right_mask, adjacency
+                    )
+                    if inline_time:
+                        considered += 1
+                        candidate = base + left_rows * right_rows
+                        if candidate < best:
+                            best = candidate
+                            best_bp = (left_mask, right_mask, bnl)
+                            kept += 1
+                        if equi:
+                            considered += 2
+                            candidate = base + hash_factor * (
+                                left_rows + right_rows
+                            )
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (left_mask, right_mask, hash_join)
+                                kept += 1
+                            operator = left_rows + right_rows
+                            operator += left_rows * log2(
+                                left_rows if left_rows > 2.0 else 2.0
+                            )
+                            operator += right_rows * log2(
+                                right_rows if right_rows > 2.0 else 2.0
+                            )
+                            candidate = base + operator
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (left_mask, right_mask, sort_merge)
+                                kept += 1
+                    else:
+                        if out_rows < 0.0:
+                            out_rows = est_rows(mask)
+                        considered += 1
+                        candidate = join_cost(
+                            left_cost, right_cost, left_rows, right_rows,
+                            out_rows, bnl, False, False,
+                        )
+                        if candidate < best:
+                            best = candidate
+                            best_bp = (left_mask, right_mask, bnl)
+                            kept += 1
+                        if equi:
+                            considered += 2
+                            candidate = join_cost(
+                                left_cost, right_cost, left_rows, right_rows,
+                                out_rows, hash_join, False, False,
+                            )
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (left_mask, right_mask, hash_join)
+                                kept += 1
+                            candidate = join_cost(
+                                left_cost, right_cost, left_rows, right_rows,
+                                out_rows, sort_merge, True, True,
+                            )
+                            if candidate < best:
+                                best = candidate
+                                best_bp = (left_mask, right_mask, sort_merge)
+                                kept += 1
+            if best_bp is not None:
+                cost[mask] = best
+                back[mask] = best_bp
+                rows[mask] = out_rows if out_rows >= 0.0 else est_rows(mask)
+
+    stats.splits_considered = splits
+    stats.plans_considered = considered
+    stats.plans_kept = kept
+    stats.table_entries = len(cost)
+    stats.stored_plans = len(cost)
+    full_mask = query.all_tables_mask
+    if full_mask not in back:
+        return []
+    return [_build_single(full_mask, cost, back, rows, {})]
+
+
+def _build_single(
+    mask: int,
+    cost: dict[int, float],
+    back: dict[int, object],
+    rows: dict[int, float],
+    memo: dict[int, Plan],
+) -> Plan:
+    """Materialize the stored plan for ``mask`` by walking back-pointers."""
+    plan = memo.get(mask)
+    if plan is not None:
+        return plan
+    pointer = back[mask]
+    if isinstance(pointer, Plan):
+        memo[mask] = pointer
+        return pointer
+    left_mask, right_mask, algorithm = pointer
+    plan = JoinPlan(
+        mask=mask,
+        rows=rows[mask],
+        cost=(cost[mask],),
+        order=None,
+        left=_build_single(left_mask, cost, back, rows, memo),
+        right=_build_single(right_mask, cost, back, rows, memo),
+        algorithm=algorithm,
+    )
+    memo[mask] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------- multi
+
+
+def _run_multi(
+    query: Query,
+    constraints: tuple,
+    by_size: dict[int, list[int]],
+    cost_model: CostModel,
+    adjacency: list[int],
+    stats: WorkerStats,
+) -> list[Plan]:
+    """Multi-objective DP on flat (cost vector, back-pointer) frontiers.
+
+    Replicates :class:`~repro.cost.pruning.ParetoPruning` decisions — reject
+    a candidate some kept entry α-dominates, evict entries the accepted
+    candidate exactly dominates, append — over candidates generated in the
+    legacy order, so kept frontiers (and their order) match the legacy
+    backend even for α > 1, where pruning is order-sensitive.
+    """
+    n = query.n_tables
+    settings = cost_model.settings
+    metrics = cost_model.metrics
+    metric_joins = tuple(metric.join_cost for metric in metrics)
+    est_rows = cost_model.cardinality.rows
+    algos_all = settings.use_all_join_algorithms
+    bnl, hash_join, sort_merge = ALL_JOIN_ALGORITHMS
+    alpha = per_level_alpha(settings.alpha, n)
+    exact = alpha == 1.0
+
+    # entries[mask]: list of (cost vector, back-pointer); back-pointer is the
+    # ScanPlan for singletons, else (left mask, left index, right mask,
+    # right index, algorithm) indexing the operands' finalized entry lists.
+    entries: dict[int, list[tuple[tuple[float, ...], object]]] = {}
+    rows: dict[int, float] = {}
+    card = [0.0] * n
+    for table_number in range(n):
+        scan = cost_model.scan_plans(table_number)[0]
+        mask = 1 << table_number
+        entries[mask] = [(scan.cost, scan)]
+        rows[mask] = scan.rows
+        card[table_number] = scan.rows
+
+    splits = considered = kept = 0
+    linear = settings.plan_space is PlanSpace.LINEAR
+    if linear:
+        after = linear_after_masks(n, constraints)
+    else:
+        groups = _bushy_groups(n, constraints)
+
+    # Operator schedules in legacy generation order; hash and sort-merge
+    # (which sorts both inputs — orders are never tracked here) only when an
+    # equality predicate connects the operands.
+    equi_operators = (
+        (bnl, False),
+        (hash_join, False),
+        (sort_merge, True),
+    )
+    bnl_only = ((bnl, False),)
+
+    def consider(mask: int, candidate: tuple[float, ...], pointer: object) -> None:
+        """Offer one candidate; mirrors ParetoPruning.consider exactly."""
+        nonlocal kept
+        entry = entries.get(mask)
+        if entry is None:
+            entries[mask] = [(candidate, pointer)]
+            kept += 1
+            return
+        if exact:
+            for kept_cost, _pointer in entry:
+                dominates_candidate = True
+                for ours, theirs in zip(kept_cost, candidate):
+                    if ours > theirs:
+                        dominates_candidate = False
+                        break
+                if dominates_candidate:
+                    return
+        else:
+            for kept_cost, _pointer in entry:
+                dominates_candidate = True
+                for ours, theirs in zip(kept_cost, candidate):
+                    if ours > alpha * theirs:
+                        dominates_candidate = False
+                        break
+                if dominates_candidate:
+                    return
+        survivors = []
+        for item in entry:
+            kept_cost = item[0]
+            dominated = True
+            for ours, theirs in zip(candidate, kept_cost):
+                if ours > theirs:
+                    dominated = False
+                    break
+            if not dominated:
+                survivors.append(item)
+        survivors.append((candidate, pointer))
+        entries[mask] = survivors
+        kept += 1
+
+    for size in range(2, n + 1):
+        for mask in by_size.get(size, ()):
+            out_rows = -1.0
+            if linear:
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    inner = low.bit_length() - 1
+                    if after[inner] & mask:
+                        continue
+                    rest = mask ^ low
+                    left_entry = entries.get(rest)
+                    if left_entry is None:
+                        continue
+                    splits += 1
+                    if out_rows < 0.0:
+                        out_rows = est_rows(mask)
+                    left_rows = rows[rest]
+                    right_rows = card[inner]
+                    right_entry = entries[low]
+                    operators = (
+                        equi_operators
+                        if algos_all and adjacency[inner] & rest
+                        else bnl_only
+                    )
+                    for left_index in range(len(left_entry)):
+                        left_cost = left_entry[left_index][0]
+                        for right_index in range(len(right_entry)):
+                            right_cost = right_entry[right_index][0]
+                            for algorithm, sorts in operators:
+                                considered += 1
+                                consider(
+                                    mask,
+                                    tuple(
+                                        join(
+                                            left_cost[i], right_cost[i],
+                                            left_rows, right_rows, out_rows,
+                                            algorithm, sorts, sorts,
+                                        )
+                                        for i, join in enumerate(metric_joins)
+                                    ),
+                                    (rest, left_index, low, right_index, algorithm),
+                                )
+            else:
+                for left_mask in bushy_operands(mask, groups):
+                    if left_mask == 0 or left_mask == mask:
+                        continue
+                    right_mask = mask ^ left_mask
+                    left_entry = entries.get(left_mask)
+                    if left_entry is None:
+                        continue
+                    right_entry = entries.get(right_mask)
+                    if right_entry is None:
+                        continue
+                    splits += 1
+                    if out_rows < 0.0:
+                        out_rows = est_rows(mask)
+                    left_rows = rows[left_mask]
+                    right_rows = rows[right_mask]
+                    operators = (
+                        equi_operators
+                        if algos_all and _connected(left_mask, right_mask, adjacency)
+                        else bnl_only
+                    )
+                    for left_index in range(len(left_entry)):
+                        left_cost = left_entry[left_index][0]
+                        for right_index in range(len(right_entry)):
+                            right_cost = right_entry[right_index][0]
+                            for algorithm, sorts in operators:
+                                considered += 1
+                                consider(
+                                    mask,
+                                    tuple(
+                                        join(
+                                            left_cost[i], right_cost[i],
+                                            left_rows, right_rows, out_rows,
+                                            algorithm, sorts, sorts,
+                                        )
+                                        for i, join in enumerate(metric_joins)
+                                    ),
+                                    (
+                                        left_mask,
+                                        left_index,
+                                        right_mask,
+                                        right_index,
+                                        algorithm,
+                                    ),
+                                )
+            if out_rows >= 0.0 and mask in entries:
+                rows[mask] = out_rows
+
+    stats.splits_considered = splits
+    stats.plans_considered = considered
+    stats.plans_kept = kept
+    stats.table_entries = len(entries)
+    stats.stored_plans = sum(len(entry) for entry in entries.values())
+    full_mask = query.all_tables_mask
+    final = entries.get(full_mask)
+    if not final:
+        return []
+    memo: dict[tuple[int, int], Plan] = {}
+    return [
+        _build_multi(full_mask, index, entries, rows, memo)
+        for index in range(len(final))
+    ]
+
+
+def _build_multi(
+    mask: int,
+    index: int,
+    entries: dict[int, list[tuple[tuple[float, ...], object]]],
+    rows: dict[int, float],
+    memo: dict[tuple[int, int], Plan],
+) -> Plan:
+    """Materialize entry ``index`` of ``mask`` by walking back-pointers.
+
+    Operand indices were recorded against finalized entry lists (strictly
+    smaller table sets are complete before any larger set references them),
+    so they resolve unambiguously here.
+    """
+    key = (mask, index)
+    plan = memo.get(key)
+    if plan is not None:
+        return plan
+    cost, pointer = entries[mask][index]
+    if isinstance(pointer, Plan):
+        memo[key] = pointer
+        return pointer
+    left_mask, left_index, right_mask, right_index, algorithm = pointer
+    plan = JoinPlan(
+        mask=mask,
+        rows=rows[mask],
+        cost=cost,
+        order=None,
+        left=_build_multi(left_mask, left_index, entries, rows, memo),
+        right=_build_multi(right_mask, right_index, entries, rows, memo),
+        algorithm=algorithm,
+    )
+    memo[key] = plan
+    return plan

@@ -24,7 +24,7 @@ from repro.config import DEFAULT_SETTINGS, OptimizerSettings
 from repro.core.constraints import usable_partitions
 from repro.core.worker import PartitionResult, optimize_partition
 from repro.cost.pruning import final_prune, make_pruning
-from repro.plans.plan import Plan
+from repro.plans.plan import Plan, plan_tie_key
 from repro.query.query import Query
 
 
@@ -65,10 +65,14 @@ class MasterResult:
 
     @property
     def best(self) -> Plan:
-        """Cheapest plan by the first metric (the plan a DBMS would run)."""
+        """Cheapest plan by the first metric (the plan a DBMS would run).
+
+        Ties are broken by the deterministic cross-backend rule of
+        :func:`repro.plans.plan.plan_tie_key`, not by generation order.
+        """
         if not self.plans:
             raise ValueError("optimization produced no plan")
-        return min(self.plans, key=lambda plan: plan.cost[0])
+        return min(self.plans, key=plan_tie_key)
 
     @property
     def max_worker_wall_s(self) -> float:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.config import DEFAULT_SETTINGS, OptimizerSettings
 from repro.core.worker import PartitionResult, optimize_partition
-from repro.plans.plan import Plan
+from repro.plans.plan import Plan, plan_tie_key
 from repro.query.query import Query
 
 
@@ -29,7 +29,14 @@ def optimize_serial(
 
 
 def best_plan(result: PartitionResult) -> Plan:
-    """The cheapest plan by the first metric (ties: first generated)."""
+    """The cheapest plan by the first metric, with a deterministic tie rule.
+
+    Ties on the first metric are broken by the remaining cost metrics and
+    then by the structural plan signature
+    (:func:`repro.plans.plan.plan_tie_key`), *never* by generation order —
+    so the selected plan is identical across enumeration backends and
+    across any reordering of the result list.
+    """
     if not result.plans:
         raise ValueError("optimization produced no plan")
-    return min(result.plans, key=lambda plan: plan.cost[0])
+    return min(result.plans, key=plan_tie_key)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.config import OptimizerSettings, PlanSpace
+from repro.config import Backend, OptimizerSettings, PlanSpace
 from repro.core.constraints import (
     BushyConstraint,
     Constraint,
@@ -95,7 +95,23 @@ def optimize_partition(
 
     With ``n_partitions == 1`` this is exactly the classical (serial) DP —
     the baseline the paper computes speedups against.
+
+    ``settings.backend`` selects the enumeration core: this module's
+    object-based DP (:attr:`~repro.config.Backend.LEGACY`), or the flat
+    bitset core in :mod:`repro.core.fastdp`
+    (:attr:`~repro.config.Backend.FASTDP`), which produces identical plans
+    and statistics.  Settings the fast core does not handle (interesting
+    orders, parametric costs) fall back to the legacy core here, so every
+    caller — including the MPQ partition executors shipping this function to
+    worker processes — gets a correct answer for any settings value.
     """
+    if settings.backend is Backend.FASTDP:
+        from repro.core import fastdp
+
+        if fastdp.supports(settings):
+            return fastdp.optimize_partition_fastdp(
+                query, partition_id, n_partitions, settings
+            )
     started = time.perf_counter()
     n = query.n_tables
     constraints = partition_constraints(
@@ -155,6 +171,24 @@ def _consider_joins(
                     stats.plans_kept += 1
 
 
+def linear_after_masks(
+    n_tables: int, constraints: tuple[Constraint, ...]
+) -> list[int]:
+    """``after_masks[u]`` = tables that must be joined after ``u``.
+
+    Table ``u`` cannot be joined last if some constraint ``u ≺ v`` has ``v``
+    inside the join result; ``after_masks[u]`` collects those ``v`` bits so
+    the admissibility check is one AND per candidate split.  Shared by the
+    legacy linear DP below and the fastdp core, so the two backends can
+    never drift on which splits a partition admits.
+    """
+    after_masks = [0] * n_tables
+    for constraint in constraints:
+        assert isinstance(constraint, LinearConstraint)
+        after_masks[constraint.before] |= 1 << constraint.after
+    return after_masks
+
+
 def _run_linear(
     query: Query,
     constraints: tuple[Constraint, ...],
@@ -164,17 +198,9 @@ def _run_linear(
     pruning: PruningPolicy,
     stats: WorkerStats,
 ) -> None:
-    """TrySplits[Linear]: every table may be inner operand unless blocked.
-
-    Table ``u`` cannot be joined last if some constraint ``u ≺ v`` has ``v``
-    inside the join result; ``after_masks[u]`` collects those ``v`` bits so
-    the check is one AND per candidate.
-    """
+    """TrySplits[Linear]: every table may be inner operand unless blocked."""
     n = query.n_tables
-    after_masks = [0] * n
-    for constraint in constraints:
-        assert isinstance(constraint, LinearConstraint)
-        after_masks[constraint.before] |= 1 << constraint.after
+    after_masks = linear_after_masks(n, constraints)
     for size in range(2, n + 1):
         for mask in by_size.get(size, ()):
             for inner in bits(mask):

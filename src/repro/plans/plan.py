@@ -125,6 +125,45 @@ def _fmt_cost(cost: tuple[float, ...]) -> str:
     return "(" + ", ".join(f"{value:.3g}" for value in cost) + ")"
 
 
+def plan_signature(plan: Plan) -> tuple:
+    """A total, backend-independent ordering key for a plan's *structure*.
+
+    Encodes the tree in preorder: ``(0, table, scan algorithm)`` for scans,
+    ``(1, join algorithm, left signature, right signature)`` for joins.
+    Two plans compare equal under this key iff they are structurally
+    identical (same tree shape, operand order, tables, and operators), so
+    sorting by ``(cost, plan_signature(plan))`` is a deterministic total
+    order no matter which enumeration backend — or generation order —
+    produced the plans.  See :func:`plan_tie_key`.
+    """
+    if isinstance(plan, ScanPlan):
+        return (0, plan.table, plan.algorithm.value)
+    assert isinstance(plan, JoinPlan)
+    return (
+        1,
+        plan.algorithm.value,
+        plan_signature(plan.left),
+        plan_signature(plan.right),
+    )
+
+
+def plan_tie_key(plan: Plan) -> tuple:
+    """Sort key implementing the documented cross-backend tie rule.
+
+    "Best plan" selection orders plans by
+
+    1. the first cost metric (the optimization objective),
+    2. the remaining cost metrics, lexicographically,
+    3. the structural :func:`plan_signature`.
+
+    Generation order — which differs between the legacy and fastdp
+    enumeration cores when several plans share the optimal cost — never
+    participates, so every backend (and any shuffling of partition results)
+    selects the same plan.
+    """
+    return (plan.cost[0], plan.cost, plan_signature(plan))
+
+
 def plan_join_count(plan: Plan) -> int:
     """Number of join operators in the plan tree."""
     if isinstance(plan, ScanPlan):

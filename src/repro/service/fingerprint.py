@@ -54,6 +54,10 @@ def _table_signature(table: Table) -> tuple:
 
 
 def _settings_signature(settings: OptimizerSettings) -> tuple:
+    # The backend is part of the signature even though both backends return
+    # equivalent frontiers: the cached entry also carries run statistics
+    # (simulated timing), which are backend-specific, and keeping the key
+    # exact makes backend A/B comparisons through the service meaningful.
     return (
         settings.plan_space.value,
         tuple(objective.value for objective in settings.objectives),
@@ -61,6 +65,7 @@ def _settings_signature(settings: OptimizerSettings) -> tuple:
         settings.consider_orders,
         settings.use_all_join_algorithms,
         settings.parametric,
+        settings.backend.value,
     )
 
 

@@ -40,7 +40,7 @@ from repro.core.master import MasterResult, PartitionExecutor
 from repro.core.worker import PartitionResult
 from repro.cluster.executors import SerialPartitionExecutor
 from repro.cost.pruning import final_prune, make_pruning
-from repro.plans.plan import Plan
+from repro.plans.plan import Plan, plan_tie_key
 from repro.query.query import Query
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import CanonicalForm, canonicalize, fingerprint_canonical
@@ -77,10 +77,15 @@ class ServiceResult:
 
     @property
     def best(self) -> Plan:
-        """Cheapest plan by the first metric (the plan a DBMS would run)."""
+        """Cheapest plan by the first metric (the plan a DBMS would run).
+
+        Ties are broken by the deterministic cross-backend rule of
+        :func:`repro.plans.plan.plan_tie_key` — cached answers therefore
+        pick the same best plan as a fresh run on any backend.
+        """
         if not self.plans:
             raise ValueError("optimization produced no plan")
-        return min(self.plans, key=lambda plan: plan.cost[0])
+        return min(self.plans, key=plan_tie_key)
 
 
 class OptimizerService:

@@ -1,0 +1,241 @@
+"""Unit tests of the fastdp enumeration core and its backend plumbing.
+
+The differential tests prove frontier equivalence; these tests pin the
+stronger drop-in contract — identical worker *statistics* (the raw material
+of the simulated-cluster accounting), identical plan trees for the
+single-objective case, transparent fallback for unsupported settings, and
+the config/CLI/service wiring of ``OptimizerSettings.backend``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MULTI_OBJECTIVE,
+    PARAMETRIC_OBJECTIVES,
+    Backend,
+    Objective,
+    OptimizerSettings,
+    PlanSpace,
+)
+from repro.core import fastdp
+from repro.core.serial import optimize_serial
+from repro.core.worker import optimize_partition
+from repro.plans.plan import plan_signature
+from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
+
+STAT_FIELDS = (
+    "n_constraints",
+    "admissible_results",
+    "splits_considered",
+    "plans_considered",
+    "plans_kept",
+    "table_entries",
+    "stored_plans",
+    "result_plans",
+)
+
+
+def _pair(query, settings, partition_id=0, n_partitions=1):
+    legacy = optimize_partition(
+        query, partition_id, n_partitions, settings.replace(backend=Backend.LEGACY)
+    )
+    fast = optimize_partition(
+        query, partition_id, n_partitions, settings.replace(backend=Backend.FASTDP)
+    )
+    return legacy, fast
+
+
+def _assert_stats_equal(legacy, fast, context=""):
+    for field in STAT_FIELDS:
+        assert getattr(legacy.stats, field) == getattr(fast.stats, field), (
+            f"{context}: WorkerStats.{field} diverged "
+            f"(legacy={getattr(legacy.stats, field)}, "
+            f"fastdp={getattr(fast.stats, field)})"
+        )
+
+
+class TestStatisticsParity:
+    """Every counter the cluster simulator consumes must match exactly."""
+
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_serial_single_objective(self, kind, space):
+        query = SteinbrunnGenerator(seed=21).query(7, kind)
+        legacy, fast = _pair(query, OptimizerSettings(plan_space=space))
+        _assert_stats_equal(legacy, fast, f"{kind.value}/{space.value}")
+
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_serial_multi_objective(self, space):
+        query = SteinbrunnGenerator(seed=22).query(7, JoinGraphKind.STAR)
+        settings = OptimizerSettings(plan_space=space, objectives=MULTI_OBJECTIVE)
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, f"multi/{space.value}")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in fast.plans]
+
+    def test_partitioned_runs(self):
+        query = SteinbrunnGenerator(seed=23).query(8, JoinGraphKind.CYCLE)
+        for n_partitions in (2, 4, 8):
+            for partition_id in range(n_partitions):
+                legacy, fast = _pair(
+                    query,
+                    OptimizerSettings(),
+                    partition_id=partition_id,
+                    n_partitions=n_partitions,
+                )
+                _assert_stats_equal(
+                    legacy, fast, f"partition {partition_id}/{n_partitions}"
+                )
+
+    def test_bnl_only_operator_set(self):
+        query = SteinbrunnGenerator(seed=24).query(6, JoinGraphKind.CHAIN)
+        settings = OptimizerSettings(use_all_join_algorithms=False)
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, "bnl-only")
+        assert legacy.plans[0].cost == fast.plans[0].cost
+
+    def test_single_objective_io_metric_uses_generic_kernel(self):
+        query = SteinbrunnGenerator(seed=25).query(6, JoinGraphKind.STAR)
+        settings = OptimizerSettings(objectives=(Objective.OUTPUT_ROWS,))
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, "io-metric")
+        assert legacy.plans[0].cost == fast.plans[0].cost
+
+
+class TestPlanTreeEquality:
+    """Same decisions in the same order ⇒ bit-identical plan trees."""
+
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    def test_single_objective_trees_identical(self, kind):
+        query = SteinbrunnGenerator(seed=31).query(8, kind)
+        legacy, fast = _pair(query, OptimizerSettings())
+        assert plan_signature(legacy.plans[0]) == plan_signature(fast.plans[0])
+        assert legacy.plans[0].cost == fast.plans[0].cost
+        assert legacy.plans[0].rows == fast.plans[0].rows
+
+    def test_bushy_trees_identical(self):
+        query = SteinbrunnGenerator(seed=32).query(7, JoinGraphKind.CHAIN)
+        legacy, fast = _pair(query, OptimizerSettings(plan_space=PlanSpace.BUSHY))
+        assert plan_signature(legacy.plans[0]) == plan_signature(fast.plans[0])
+
+    def test_multi_objective_frontier_trees_identical_in_order(self):
+        query = SteinbrunnGenerator(seed=33).query(6, JoinGraphKind.STAR)
+        settings = OptimizerSettings(objectives=MULTI_OBJECTIVE)
+        legacy, fast = _pair(query, settings)
+        assert len(legacy.plans) == len(fast.plans)
+        for legacy_plan, fast_plan in zip(legacy.plans, fast.plans):
+            assert plan_signature(legacy_plan) == plan_signature(fast_plan)
+
+
+class TestFallback:
+    """Unsupported settings run on the legacy core — transparently."""
+
+    def test_supports(self):
+        assert fastdp.supports(OptimizerSettings())
+        assert fastdp.supports(OptimizerSettings(objectives=MULTI_OBJECTIVE))
+        assert not fastdp.supports(OptimizerSettings(consider_orders=True))
+        assert not fastdp.supports(
+            OptimizerSettings(objectives=PARAMETRIC_OBJECTIVES, parametric=True)
+        )
+
+    def test_direct_call_rejects_unsupported(self):
+        query = SteinbrunnGenerator(seed=41).query(4, JoinGraphKind.CHAIN)
+        settings = OptimizerSettings(
+            consider_orders=True, backend=Backend.FASTDP
+        )
+        with pytest.raises(ValueError, match="fastdp does not support"):
+            fastdp.optimize_partition_fastdp(query, 0, 1, settings)
+
+    @pytest.mark.parametrize(
+        "settings",
+        [
+            OptimizerSettings(consider_orders=True, backend=Backend.FASTDP),
+            OptimizerSettings(
+                objectives=PARAMETRIC_OBJECTIVES,
+                parametric=True,
+                backend=Backend.FASTDP,
+            ),
+        ],
+        ids=["orders", "parametric"],
+    )
+    def test_worker_falls_back(self, settings):
+        query = SteinbrunnGenerator(seed=42, clustered_tables=True).query(
+            5, JoinGraphKind.STAR
+        )
+        via_fastdp_setting = optimize_partition(query, 0, 1, settings)
+        via_legacy = optimize_partition(
+            query, 0, 1, settings.replace(backend=Backend.LEGACY)
+        )
+        assert sorted(p.cost for p in via_fastdp_setting.plans) == sorted(
+            p.cost for p in via_legacy.plans
+        )
+        assert (
+            via_fastdp_setting.stats.plans_considered
+            == via_legacy.stats.plans_considered
+        )
+
+
+class TestBackendWiring:
+    """Config coercion, MPQ, service cache keys, and the CLI flag."""
+
+    def test_settings_coerce_backend_string(self):
+        assert OptimizerSettings(backend="fastdp").backend is Backend.FASTDP
+        assert OptimizerSettings(backend="legacy").backend is Backend.LEGACY
+
+    def test_settings_reject_unknown_backend(self):
+        with pytest.raises(ValueError):
+            OptimizerSettings(backend="warp-speed")
+
+    def test_mpq_same_best_cost_across_backends(self):
+        from repro.algorithms.mpq import optimize_mpq
+
+        query = SteinbrunnGenerator(seed=43).query(9, JoinGraphKind.STAR)
+        legacy = optimize_mpq(query, 8, OptimizerSettings())
+        fast = optimize_mpq(query, 8, OptimizerSettings(backend=Backend.FASTDP))
+        assert legacy.n_partitions == fast.n_partitions
+        assert legacy.best.cost == fast.best.cost
+        assert plan_signature(legacy.best) == plan_signature(fast.best)
+
+    def test_service_serves_both_backends_with_distinct_fingerprints(self):
+        from repro.service import OptimizerService
+
+        query = SteinbrunnGenerator(seed=44).query(7, JoinGraphKind.CHAIN)
+        with OptimizerService(n_workers=4) as service:
+            legacy = service.optimize(query, OptimizerSettings())
+            fast = service.optimize(
+                query, OptimizerSettings(backend=Backend.FASTDP)
+            )
+            fast_again = service.optimize(
+                query, OptimizerSettings(backend=Backend.FASTDP)
+            )
+        assert legacy.best.cost == fast.best.cost
+        assert legacy.fingerprint != fast.fingerprint
+        assert not fast.cached and fast_again.cached
+        assert fast_again.best.cost == fast.best.cost
+
+    def test_cli_backend_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.query.generator import make_star_query
+        from repro.query.io import save_query
+
+        path = tmp_path / "query.json"
+        save_query(make_star_query(6, seed=9), str(path))
+        assert main(["optimize", str(path), "--backend", "fastdp", "--json"]) == 0
+        fast_payload = json.loads(capsys.readouterr().out)
+        assert main(["optimize", str(path), "--backend", "legacy", "--json"]) == 0
+        legacy_payload = json.loads(capsys.readouterr().out)
+        assert fast_payload["plans"] == legacy_payload["plans"]
+
+    def test_serial_defaults_to_legacy_backend(self):
+        assert OptimizerSettings().backend is Backend.LEGACY
+
+    def test_empty_partition_result_possible(self):
+        """A 1-table query exercises the degenerate no-join path."""
+        query = SteinbrunnGenerator(seed=45).query(1, JoinGraphKind.CHAIN)
+        result = optimize_serial(query, OptimizerSettings(backend=Backend.FASTDP))
+        assert len(result.plans) == 1
+        assert result.plans[0].mask == 1
