@@ -1,5 +1,12 @@
 """fastdp vs legacy enumeration core: measured speedup on the DP hot path.
 
+Three benchmark configurations, matching the query classes the fast core
+covers natively:
+
+* ``plain`` — classical single-objective optimization (the headline run);
+* ``orders`` — interesting-order tracking over clustered tables;
+* ``parametric`` — one-parameter lower-envelope optimization.
+
 Dual-use module:
 
 * **pytest** (how the rest of ``benchmarks/`` runs)::
@@ -9,12 +16,13 @@ Dual-use module:
 * **script** (the CI benchmark-regression job)::
 
       PYTHONPATH=src python benchmarks/bench_fastdp.py \
-          --tables 12 --repeats 2 --json BENCH_fastdp.json --min-speedup 1.0
+          --features plain,orders,parametric --repeats 2 \
+          --json BENCH_fastdp.json --min-speedup 1.0
 
-  Exits non-zero if the best observed speedup across topologies falls below
-  ``--min-speedup``, or if the two backends ever disagree on the best plan
-  cost — a benchmark that silently benchmarks a *wrong* optimizer is worse
-  than no benchmark.
+  Exits non-zero if, for *any* configuration, the best observed speedup
+  across topologies falls below ``--min-speedup``, or if the two backends
+  ever disagree on the best plan cost — a benchmark that silently
+  benchmarks a *wrong* optimizer is worse than no benchmark.
 
 The measured quantity is end-to-end serial optimization (identical settings,
 identical queries) under each value of ``OptimizerSettings.backend``; each
@@ -35,7 +43,12 @@ try:  # script mode: bootstrap the src layout without installation
 except ImportError:  # pragma: no cover - exercised by the CI script job
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.config import Backend, OptimizerSettings, PlanSpace
+from repro.config import (
+    PARAMETRIC_OBJECTIVES,
+    Backend,
+    OptimizerSettings,
+    PlanSpace,
+)
 from repro.core.serial import best_plan, optimize_serial
 from repro.query.generator import SteinbrunnGenerator
 from repro.query.query import JoinGraphKind
@@ -44,44 +57,75 @@ from repro.query.query import JoinGraphKind
 #: extremes of join-graph density.
 DEFAULT_TOPOLOGIES = ("chain", "star", "clique")
 
+#: Benchmark configurations: feature -> (default tables, clustered tables).
+#: Orders multiply per-set entries and parametric pruning pays envelope
+#: arithmetic per candidate, so those configurations use smaller queries to
+#: keep the regression job fast at comparable per-case wall time.
+FEATURES: dict[str, tuple[int, bool]] = {
+    "plain": (12, False),
+    "orders": (11, True),
+    "parametric": (10, False),
+}
+
+
+def _feature_settings(feature: str, plan_space: PlanSpace) -> OptimizerSettings:
+    if feature == "plain":
+        return OptimizerSettings(plan_space=plan_space)
+    if feature == "orders":
+        return OptimizerSettings(plan_space=plan_space, consider_orders=True)
+    if feature == "parametric":
+        return OptimizerSettings(
+            plan_space=plan_space,
+            objectives=PARAMETRIC_OBJECTIVES,
+            parametric=True,
+        )
+    raise ValueError(f"unknown feature {feature!r}; known: {list(FEATURES)}")
+
 
 def _time_backend(
     query, settings: OptimizerSettings, repeats: int
-) -> tuple[float, float]:
-    """(best wall seconds, best-plan first-metric cost) over ``repeats`` runs."""
+) -> tuple[float, float, str]:
+    """Best wall seconds, best-plan cost, and the backend that actually ran."""
     best_wall = float("inf")
     cost = float("nan")
+    backend_used = ""
     for _ in range(repeats):
         started = time.perf_counter()
         result = optimize_serial(query, settings)
         elapsed = time.perf_counter() - started
         best_wall = min(best_wall, elapsed)
         cost = best_plan(result).cost[0]
-    return best_wall, cost
+        backend_used = result.stats.backend_used
+    return best_wall, cost, backend_used
 
 
 def run_benchmark(
-    n_tables: int = 12,
+    n_tables: int | None = None,
     topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
     seed: int = 41,
     repeats: int = 2,
     plan_space: PlanSpace = PlanSpace.LINEAR,
+    feature: str = "plain",
 ) -> dict:
     """Benchmark both backends on one query per topology; return the report."""
+    default_tables, clustered = FEATURES[feature]
+    if n_tables is None:
+        n_tables = default_tables
     rows = []
     for topology in topologies:
-        query = SteinbrunnGenerator(seed).query(
+        query = SteinbrunnGenerator(seed, clustered_tables=clustered).query(
             n_tables, JoinGraphKind(topology)
         )
-        base = OptimizerSettings(plan_space=plan_space)
-        legacy_s, legacy_cost = _time_backend(
+        base = _feature_settings(feature, plan_space)
+        legacy_s, legacy_cost, legacy_ran = _time_backend(
             query, base.replace(backend=Backend.LEGACY), repeats
         )
-        fastdp_s, fastdp_cost = _time_backend(
+        fastdp_s, fastdp_cost, fastdp_ran = _time_backend(
             query, base.replace(backend=Backend.FASTDP), repeats
         )
         rows.append(
             {
+                "feature": feature,
                 "topology": topology,
                 "n_tables": n_tables,
                 "plan_space": plan_space.value,
@@ -90,11 +134,16 @@ def run_benchmark(
                 "speedup": legacy_s / fastdp_s if fastdp_s > 0 else float("inf"),
                 "best_cost": legacy_cost,
                 "plans_agree": legacy_cost == fastdp_cost,
+                # Routing honesty: a fastdp row that secretly ran the legacy
+                # core would report a meaningless 1.0x "speedup".
+                "backends_honest": legacy_ran == "legacy"
+                and fastdp_ran == "fastdp",
             }
         )
     speedups = [row["speedup"] for row in rows]
     return {
         "config": {
+            "feature": feature,
             "n_tables": n_tables,
             "topologies": list(topologies),
             "seed": seed,
@@ -105,6 +154,43 @@ def run_benchmark(
         "max_speedup": max(speedups),
         "min_speedup": min(speedups),
         "all_plans_agree": all(row["plans_agree"] for row in rows),
+        "all_backends_honest": all(row["backends_honest"] for row in rows),
+    }
+
+
+def run_all_features(
+    features: tuple[str, ...],
+    n_tables: int | None = None,
+    topologies: tuple[str, ...] = DEFAULT_TOPOLOGIES,
+    seed: int = 41,
+    repeats: int = 2,
+    plan_space: PlanSpace = PlanSpace.LINEAR,
+) -> dict:
+    """Run every requested configuration; aggregate into one report."""
+    configurations = {
+        feature: run_benchmark(
+            n_tables=n_tables,
+            topologies=topologies,
+            seed=seed,
+            repeats=repeats,
+            plan_space=plan_space,
+            feature=feature,
+        )
+        for feature in features
+    }
+    return {
+        "configurations": configurations,
+        "all_plans_agree": all(
+            report["all_plans_agree"] for report in configurations.values()
+        ),
+        "all_backends_honest": all(
+            report["all_backends_honest"] for report in configurations.values()
+        ),
+        #: The regression gate: every configuration's best topology speedup.
+        "per_feature_max_speedup": {
+            feature: report["max_speedup"]
+            for feature, report in configurations.items()
+        },
     }
 
 
@@ -113,14 +199,32 @@ def run_benchmark(
 
 def test_fastdp_speedup_at_12_relations():
     """Acceptance: ≥1.5× over the legacy worker on at least one topology."""
-    report = run_benchmark(n_tables=12, repeats=1)
+    report = run_benchmark(n_tables=12, repeats=1, feature="plain")
     assert report["all_plans_agree"], report
+    assert report["all_backends_honest"], report
     assert report["max_speedup"] >= 1.5, report
 
 
-def test_fastdp_never_changes_the_answer_at_bench_scale():
-    report = run_benchmark(n_tables=10, repeats=1)
+def test_fastdp_orders_speedup():
+    """Interesting orders run natively and beat the legacy core."""
+    report = run_benchmark(n_tables=10, repeats=1, feature="orders")
     assert report["all_plans_agree"], report
+    assert report["all_backends_honest"], report
+    assert report["max_speedup"] >= 1.0, report
+
+
+def test_fastdp_parametric_speedup():
+    """Parametric envelopes run natively and reach at least legacy parity."""
+    report = run_benchmark(n_tables=9, repeats=1, feature="parametric")
+    assert report["all_plans_agree"], report
+    assert report["all_backends_honest"], report
+    assert report["max_speedup"] >= 1.0, report
+
+
+def test_fastdp_never_changes_the_answer_at_bench_scale():
+    for feature, n_tables in (("plain", 10), ("orders", 9), ("parametric", 8)):
+        report = run_benchmark(n_tables=n_tables, repeats=1, feature=feature)
+        assert report["all_plans_agree"], report
 
 
 # ------------------------------------------------------------------ script
@@ -129,7 +233,7 @@ def test_fastdp_never_changes_the_answer_at_bench_scale():
 def _print_report(report: dict) -> None:
     config = report["config"]
     print(
-        f"fastdp benchmark: {config['n_tables']} tables, "
+        f"fastdp benchmark [{config['feature']}]: {config['n_tables']} tables, "
         f"{config['plan_space']} space, repeats={config['repeats']}"
     )
     for row in report["results"]:
@@ -140,18 +244,30 @@ def _print_report(report: dict) -> None:
             f"speedup {row['speedup']:5.2f}x   plans {agree}"
         )
     print(
-        f"speedup: max {report['max_speedup']:.2f}x, "
+        f"  speedup: max {report['max_speedup']:.2f}x, "
         f"min {report['min_speedup']:.2f}x"
     )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tables", type=int, default=12)
+    parser.add_argument(
+        "--tables",
+        type=int,
+        default=None,
+        help="override per-feature default table counts "
+        f"({ {f: n for f, (n, _c) in FEATURES.items()} })",
+    )
     parser.add_argument(
         "--topologies",
         default=",".join(DEFAULT_TOPOLOGIES),
         help="comma-separated join-graph kinds",
+    )
+    parser.add_argument(
+        "--features",
+        default=",".join(FEATURES),
+        help="comma-separated benchmark configurations "
+        f"(from {list(FEATURES)})",
     )
     parser.add_argument("--seed", type=int, default=41)
     parser.add_argument("--repeats", type=int, default=2)
@@ -167,27 +283,55 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup",
         type=float,
         default=1.0,
-        help="fail unless the best topology speedup reaches this factor",
+        help="fail unless every configuration's best topology speedup "
+        "reaches this factor",
     )
     args = parser.parse_args(argv)
-    report = run_benchmark(
+    features = tuple(f.strip() for f in args.features.split(",") if f.strip())
+    for feature in features:
+        if feature not in FEATURES:
+            parser.error(f"unknown feature {feature!r}; known: {list(FEATURES)}")
+    report = run_all_features(
+        features,
         n_tables=args.tables,
-        topologies=tuple(t.strip() for t in args.topologies.split(",") if t.strip()),
+        topologies=tuple(
+            t.strip() for t in args.topologies.split(",") if t.strip()
+        ),
         seed=args.seed,
         repeats=args.repeats,
         plan_space=PlanSpace(args.space),
     )
-    _print_report(report)
+    for feature_report in report["configurations"].values():
+        _print_report(feature_report)
+    print(
+        "per-feature speedup: "
+        + ", ".join(
+            f"{feature} {speedup:.2f}x"
+            for feature, speedup in report["per_feature_max_speedup"].items()
+        )
+    )
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.json}")
     if not report["all_plans_agree"]:
         print("FAIL: backends disagree on best plan cost", file=sys.stderr)
         return 2
-    if report["max_speedup"] < args.min_speedup:
+    if not report["all_backends_honest"]:
         print(
-            f"FAIL: best speedup {report['max_speedup']:.2f}x "
-            f"< required {args.min_speedup:.2f}x",
+            "FAIL: a run was served by a different backend than requested",
+            file=sys.stderr,
+        )
+        return 3
+    failing = {
+        feature: speedup
+        for feature, speedup in report["per_feature_max_speedup"].items()
+        if speedup < args.min_speedup
+    }
+    if failing:
+        print(
+            "FAIL: configurations below the "
+            f"{args.min_speedup:.2f}x floor: "
+            + ", ".join(f"{f} ({s:.2f}x)" for f, s in failing.items()),
             file=sys.stderr,
         )
         return 1

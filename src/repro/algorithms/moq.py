@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 from repro.algorithms.mpq import MPQReport, optimize_mpq
 from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
-from repro.config import MULTI_OBJECTIVE, OptimizerSettings, PlanSpace
+from repro.config import MULTI_OBJECTIVE, Backend, OptimizerSettings, PlanSpace
 from repro.core.master import PartitionExecutor
 from repro.plans.plan import Plan
 from repro.query.query import Query
@@ -26,17 +26,20 @@ def optimize_multi_objective(
     plan_space: PlanSpace = PlanSpace.LINEAR,
     cluster: ClusterModel = DEFAULT_CLUSTER,
     executor: PartitionExecutor | None = None,
+    backend: Backend = Backend.AUTO,
 ) -> MPQReport:
     """MPQ with the paper's two cost metrics and α-approximate pruning.
 
     The default ``alpha=10`` matches the paper's setting "unless noted
     otherwise"; the returned report's ``plans`` approximate the set of
-    Pareto-optimal plans within guarantee factor α.
+    Pareto-optimal plans within guarantee factor α.  ``backend`` selects
+    the enumeration core (default: the fastest capable one).
     """
     settings = OptimizerSettings(
         plan_space=plan_space,
         objectives=MULTI_OBJECTIVE,
         alpha=alpha,
+        backend=backend,
     )
     return optimize_mpq(query, n_workers, settings, cluster, executor)
 

@@ -46,6 +46,15 @@ class MPQReport:
         return self.result.n_partitions
 
     @property
+    def backend_used(self) -> str:
+        """The enumeration backend that ran the worker DP (observability).
+
+        With ``Backend.AUTO`` this reports what AUTO resolved to — the only
+        way to tell an intended fastdp run from a routing surprise.
+        """
+        return self.result.backend_used
+
+    @property
     def simulated_time_ms(self) -> float:
         """Simulated end-to-end optimization time (paper's "Time" axis)."""
         return self.simulated.total_ms

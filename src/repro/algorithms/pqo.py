@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.algorithms.mpq import MPQReport, optimize_mpq
 from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
-from repro.config import PARAMETRIC_OBJECTIVES, OptimizerSettings, PlanSpace
+from repro.config import PARAMETRIC_OBJECTIVES, Backend, OptimizerSettings, PlanSpace
 from repro.core.master import PartitionExecutor
 from repro.cost.parametric import scalarize, switching_points
 from repro.plans.plan import Plan
@@ -56,12 +56,21 @@ class PQOResult:
         return switching_points([plan.cost for plan in self.plans])
 
 
-def parametric_settings(plan_space: PlanSpace = PlanSpace.LINEAR) -> OptimizerSettings:
-    """Optimizer settings for one-parameter linear parametric optimization."""
+def parametric_settings(
+    plan_space: PlanSpace = PlanSpace.LINEAR,
+    backend: Backend = Backend.AUTO,
+) -> OptimizerSettings:
+    """Optimizer settings for one-parameter linear parametric optimization.
+
+    ``backend`` selects the enumeration core; the default ``AUTO`` resolves
+    to the fastest backend declaring
+    :attr:`repro.core.worker.Capability.PARAMETRIC_COSTS`.
+    """
     return OptimizerSettings(
         plan_space=plan_space,
         objectives=PARAMETRIC_OBJECTIVES,
         parametric=True,
+        backend=backend,
     )
 
 
@@ -71,9 +80,11 @@ def optimize_parametric(
     plan_space: PlanSpace = PlanSpace.LINEAR,
     cluster: ClusterModel = DEFAULT_CLUSTER,
     executor: PartitionExecutor | None = None,
+    backend: Backend = Backend.AUTO,
 ) -> PQOResult:
     """Find plans covering every parameter value, in parallel via MPQ."""
     report = optimize_mpq(
-        query, n_workers, parametric_settings(plan_space), cluster, executor
+        query, n_workers, parametric_settings(plan_space, backend),
+        cluster, executor,
     )
     return PQOResult(report=report)

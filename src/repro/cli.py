@@ -7,7 +7,9 @@ Commands:
   (or Pareto frontier) plus the cluster accounting the paper reports;
 * ``serve-batch`` — run a batch of query files through the
   :class:`~repro.service.OptimizerService` (plan cache + warm worker pool)
-  and report per-query plans plus cache statistics.
+  and report per-query plans plus cache statistics;
+* ``backends`` — print the registered enumeration backends and their
+  declared capability matrix (what ``--backend auto`` chooses from).
 
 Examples::
 
@@ -15,8 +17,10 @@ Examples::
     python -m repro optimize query.json --workers 16
     python -m repro optimize query.json --space bushy --workers 8
     python -m repro optimize query.json --objectives time,buffer --alpha 10
+    python -m repro optimize query.json --orders --backend legacy
     python -m repro serve-batch q1.json q2.json --workers 8 --repeat 3
     python -m repro serve-batch q*.json --pool persistent --json
+    python -m repro backends --json
 """
 
 from __future__ import annotations
@@ -80,8 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--backend",
         choices=[backend.value for backend in Backend],
-        default=Backend.LEGACY.value,
-        help="enumeration core: legacy object DP, or the fastdp bitset core",
+        default=Backend.AUTO.value,
+        help="enumeration core: auto (fastest capable, default), the "
+        "legacy object DP, or the fastdp bitset core",
     )
     optimize.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
@@ -110,8 +115,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backend",
         choices=[backend.value for backend in Backend],
-        default=Backend.LEGACY.value,
-        help="enumeration core: legacy object DP, or the fastdp bitset core",
+        default=Backend.AUTO.value,
+        help="enumeration core: auto (fastest capable, default), the "
+        "legacy object DP, or the fastdp bitset core",
     )
     serve.add_argument(
         "--repeat",
@@ -129,6 +135,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256, help="plan-cache capacity"
     )
     serve.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    backends = commands.add_parser(
+        "backends",
+        help="list registered enumeration backends and their capabilities",
+    )
+    backends.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     return parser
@@ -187,6 +201,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
         payload = {
             "query": query.name,
             "partitions": report.n_partitions,
+            "backend_used": report.backend_used,
             "simulated_time_ms": report.simulated_time_ms,
             "network_bytes": report.network_bytes,
             "max_worker_memory_relations": report.max_worker_memory_relations,
@@ -199,6 +214,7 @@ def _run_optimize(args: argparse.Namespace) -> int:
         f"partitions: {report.n_partitions} "
         f"(requested {args.workers} workers, {settings.plan_space} space)"
     )
+    print(f"backend: {report.backend_used} (requested {args.backend})")
     print(f"simulated time: {report.simulated_time_ms:.2f} ms")
     print(f"network: {report.network_bytes:,} bytes")
     print(f"max worker memory: {report.max_worker_memory_relations} relations")
@@ -248,6 +264,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                             "cached": result.cached,
                             "fingerprint": result.fingerprint,
                             "partitions": result.n_partitions,
+                            "backend_used": result.backend_used,
                             "best_cost": list(result.best.cost),
                             "plans": len(result.plans),
                         }
@@ -271,12 +288,41 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             marker = "HIT " if result.cached else "MISS"
             print(
                 f"  [{marker}] {query.name}: best cost {tuple(result.best.cost)} "
-                f"({result.n_partitions} partitions)"
+                f"({result.n_partitions} partitions, "
+                f"backend {result.backend_used})"
             )
     print(
         f"cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate), {stats.evictions} evictions"
     )
+    return 0
+
+
+def _run_backends(args: argparse.Namespace) -> int:
+    from repro.core.worker import capability_matrix, registered_backends
+
+    descriptors = registered_backends()
+    matrix = capability_matrix()
+    if args.json:
+        payload = {
+            descriptor.name: {
+                "speed_rank": descriptor.speed_rank,
+                "capabilities": matrix[descriptor.name],
+            }
+            for descriptor in descriptors
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("registered enumeration backends (AUTO picks the first capable):")
+    for descriptor in descriptors:
+        declared = ", ".join(
+            name
+            for name, declared_flag in matrix[descriptor.name].items()
+            if declared_flag
+        )
+        print(
+            f"  {descriptor.name:>8} (rank {descriptor.speed_rank}): {declared}"
+        )
     return 0
 
 
@@ -287,6 +333,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_generate(args)
     if args.command == "serve-batch":
         return _run_serve_batch(args)
+    if args.command == "backends":
+        return _run_backends(args)
     return _run_optimize(args)
 
 

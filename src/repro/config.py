@@ -32,7 +32,7 @@ class PlanSpace(enum.Enum):
 class Backend(enum.Enum):
     """Enumeration-core implementations of the worker DP.
 
-    Both backends search exactly the same plan space and produce the same
+    Every backend searches exactly the same plan space and produces the same
     cost frontiers — equivalence is enforced by the differential-testing
     oracle in :mod:`repro.testing` — they differ only in how the hot path is
     executed:
@@ -42,16 +42,25 @@ class Backend(enum.Enum):
       dispatched through a :class:`~repro.cost.pruning.PruningPolicy`.
     * :attr:`FASTDP` — the flat enumeration core in ``repro.core.fastdp``:
       level-wise bitset subset enumeration over precomputed admissible-mask
-      lists, packed cost vectors with back-pointers instead of plan objects,
-      and dominance pruning that short-circuits to a scalar minimum for the
-      single-objective case.  Plan trees are materialized once, at the end.
+      lists, packed cost/order-id/back-pointer state instead of plan
+      objects, and dominance pruning that short-circuits to a scalar minimum
+      for the single-objective case.  Covers interesting orders (interned
+      order ids) and parametric costs (lower-envelope frontiers) natively;
+      plan trees are materialized once, at the end.
+    * :attr:`AUTO` — not a core of its own: the dispatch in
+      :mod:`repro.core.worker` resolves it to the fastest *registered*
+      backend whose declared capabilities cover the settings (see
+      :class:`repro.core.worker.EnumerationBackend`).  This is the default.
 
-    Settings the fast core does not support (interesting orders, parametric
-    costs) transparently fall back to :attr:`LEGACY`.
+    Explicitly requesting a backend that does not declare the capabilities a
+    settings value needs is an error — there is no silent fallback; the
+    backend that actually ran is recorded in
+    :attr:`repro.core.worker.WorkerStats.backend_used`.
     """
 
     LEGACY = "legacy"
     FASTDP = "fastdp"
+    AUTO = "auto"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -111,7 +120,10 @@ class OptimizerSettings:
             exactly the plans optimal for some θ in [0, 1] (lower-envelope
             pruning; see ``repro.algorithms.pqo``).
         backend: which enumeration core runs the worker DP (see
-            :class:`Backend`).  Accepts the enum or its string value.
+            :class:`Backend`).  Accepts the enum or its string value.  The
+            default :attr:`Backend.AUTO` resolves to the fastest registered
+            backend capable of the settings — ``fastdp`` for everything this
+            package ships.
     """
 
     plan_space: PlanSpace = PlanSpace.LINEAR
@@ -120,7 +132,7 @@ class OptimizerSettings:
     consider_orders: bool = False
     use_all_join_algorithms: bool = True
     parametric: bool = False
-    backend: Backend = Backend.LEGACY
+    backend: Backend = Backend.AUTO
 
     def __post_init__(self) -> None:
         if isinstance(self.backend, str):

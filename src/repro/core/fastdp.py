@@ -30,6 +30,23 @@ What makes it fast:
 Plan trees are materialized once, at the end, by walking back-pointers from
 the full table set; every intermediate table set costs two dict stores.
 
+Full query-class coverage (no legacy fallback):
+
+* **interesting orders** — flat per-(table set, order) entries keyed by an
+  *interned* order id (:class:`~repro.plans.orders.OrderInterner`), with
+  :func:`~repro.plans.orders.order_satisfies` compiled to one indexed load
+  in a precomputed boolean table; the sort keys of a split come from a
+  bit-peeling replication of ``Query.predicates_between``'s scan order, so
+  the chosen sort-merge key is byte-identical to the legacy backend's;
+* **parametric costs** — piecewise-linear lower-envelope frontiers stored
+  in the same packed (cost vector, back-pointer) lists, pruned with the
+  single-objective dominance short-circuit generalized to parameter
+  intervals: a kept line that bounds the candidate at both θ-endpoints
+  rejects it before any envelope arithmetic runs; the exact envelope tests
+  (:func:`~repro.cost.parametric.needed_on_envelope`,
+  :func:`~repro.cost.parametric.envelope_filter`) are shared with the
+  legacy pruning policy, so keep/evict decisions cannot drift.
+
 Equivalence contract (checked by ``repro.testing`` and
 ``tests/test_fastdp.py``):
 
@@ -45,9 +62,10 @@ Equivalence contract (checked by ``repro.testing`` and
   plans; a candidate is "kept" exactly when the legacy pruning would have
   kept it).
 
-Unsupported settings — interesting orders and parametric costs — are not
-silently approximated: :func:`supports` reports them and the worker falls
-back to the legacy backend.
+The module self-registers with the backend registry of
+:mod:`repro.core.worker`, declaring the full capability set
+(:data:`CAPABILITIES`), so :attr:`~repro.config.Backend.AUTO` resolves here
+for every settings value.
 """
 
 from __future__ import annotations
@@ -55,20 +73,25 @@ from __future__ import annotations
 import time
 from math import inf, log2
 
-from repro.config import OptimizerSettings, PlanSpace
+from repro.config import Backend, OptimizerSettings, PlanSpace
 from repro.core.constraints import partition_constraints
 from repro.core.partitioning import admissible_results_by_size
 from repro.core.worker import (
+    ALL_CAPABILITIES,
+    EnumerationBackend,
     PartitionResult,
     WorkerStats,
     _bushy_groups,
     bushy_operands,
     linear_after_masks,
+    register_backend,
 )
 from repro.cost.costmodel import CostModel
 from repro.cost.metrics import HASH_FACTOR, ExecutionTimeMetric
+from repro.cost.parametric import envelope_filter, needed_on_envelope
 from repro.cost.pruning import per_level_alpha
 from repro.plans.operators import ALL_JOIN_ALGORITHMS
+from repro.plans.orders import UNSORTED, OrderInterner, SortOrder
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
 from repro.query.query import Query
 
@@ -76,15 +99,9 @@ from repro.query.query import Query
 #: right entry index, join algorithm).  Scan entries store the ScanPlan
 #: itself.  Single-objective state drops the indices (one entry per mask).
 
-
-def supports(settings: OptimizerSettings) -> bool:
-    """Whether the fast core can run these settings.
-
-    Interesting orders multiply the per-set entries by sort order and
-    parametric costs need lower-envelope pruning; both stay on the legacy
-    backend (the worker falls back transparently).
-    """
-    return not settings.consider_orders and not settings.parametric
+#: The capability set this core declares to the backend registry: every
+#: query class the optimizer settings can express.
+CAPABILITIES = ALL_CAPABILITIES
 
 
 def _adjacency_masks(query: Query) -> list[int]:
@@ -127,15 +144,10 @@ def optimize_partition_fastdp(
     """Optimize one plan-space partition with the fast enumeration core.
 
     Same contract as :func:`repro.core.worker.optimize_partition`; callers
-    should go through the worker, which dispatches on
-    ``settings.backend`` and falls back to the legacy core for settings
-    :func:`supports` rejects.
+    normally go through the worker, whose registry dispatches on
+    ``settings.backend`` (this core declares every capability, so it is
+    eligible for any settings value).
     """
-    if not supports(settings):
-        raise ValueError(
-            "fastdp does not support interesting orders or parametric costs; "
-            "route through repro.core.worker.optimize_partition for fallback"
-        )
     started = time.perf_counter()
     n = query.n_tables
     constraints = partition_constraints(
@@ -145,14 +157,24 @@ def optimize_partition_fastdp(
         partition_id=partition_id,
         n_partitions=n_partitions,
         n_constraints=len(constraints),
+        backend_used=Backend.FASTDP.value,
     )
     by_size = admissible_results_by_size(n, constraints, settings.plan_space)
     stats.admissible_results = sum(len(masks) for masks in by_size.values())
 
     cost_model = CostModel(query, settings)
     adjacency = _adjacency_masks(query)
-    if settings.is_multi_objective:
-        plans = _run_multi(
+    if settings.parametric:
+        plans = _run_frontier(
+            query, constraints, by_size, cost_model, adjacency, stats,
+            parametric=True,
+        )
+    elif settings.is_multi_objective:
+        plans = _run_frontier(
+            query, constraints, by_size, cost_model, adjacency, stats
+        )
+    elif settings.consider_orders:
+        plans = _run_single_orders(
             query, constraints, by_size, cost_model, adjacency, stats
         )
     else:
@@ -162,6 +184,92 @@ def optimize_partition_fastdp(
     stats.result_plans = len(plans)
     stats.wall_time_s = time.perf_counter() - started
     return PartitionResult(plans=plans, stats=stats)
+
+
+# -------------------------------------------------------------------- orders
+
+
+def _intern_query_orders(query: Query) -> OrderInterner:
+    """Intern every sort order that can appear while optimizing ``query``.
+
+    Two sources, exhaustively: clustered-index scan orders of base tables,
+    and the endpoint columns of equality predicates (the only orders
+    sort-merge joins can produce).  Interning everything upfront keeps the
+    compiled satisfies table complete and the id assignment deterministic.
+    """
+    interner = OrderInterner()
+    for table_number, table in enumerate(query.tables):
+        if table.clustered_on is not None:
+            interner.intern(SortOrder(table_number, table.clustered_on))
+    for predicate in query.predicates:
+        interner.intern(SortOrder(predicate.left_table, predicate.left_column))
+        interner.intern(SortOrder(predicate.right_table, predicate.right_column))
+    return interner
+
+
+def _predicate_records(
+    query: Query, interner: OrderInterner
+) -> list[list[tuple[int, int, int, int]]]:
+    """Per-table incident predicates as (left bit, right bit, key ids).
+
+    ``records[t]`` lists, in the per-table insertion order of
+    ``Query.predicates_of``, one ``(left_bit, right_bit, left_key_id,
+    right_key_id)`` tuple per predicate incident to ``t`` — the flat form
+    :func:`_first_connecting` scans to replicate
+    ``Query.predicates_between``'s result order without building predicate
+    lists per split.
+    """
+    records: list[list[tuple[int, int, int, int]]] = []
+    for table_number in range(query.n_tables):
+        rows = []
+        for predicate in query.predicates_of(table_number):
+            rows.append(
+                (
+                    1 << predicate.left_table,
+                    1 << predicate.right_table,
+                    interner.id_of(
+                        SortOrder(predicate.left_table, predicate.left_column)
+                    ),
+                    interner.id_of(
+                        SortOrder(predicate.right_table, predicate.right_column)
+                    ),
+                )
+            )
+        records.append(rows)
+    return records
+
+
+def _first_connecting(
+    left_mask: int,
+    right_mask: int,
+    records: list[list[tuple[int, int, int, int]]],
+) -> tuple[int, int] | None:
+    """Sort-key ids ``(left key, right key)`` of the first connecting predicate.
+
+    Replicates ``Query.predicates_between(left, right)[0]`` exactly: scan
+    the *smaller* operand's tables in ascending bit order, each table's
+    incident predicates in insertion order, and orient the first connecting
+    predicate's endpoint keys to the (left, right) operand sides — the
+    orientation ``CostModel._split_keys`` applies.  ``None`` when no
+    predicate connects the operands (then only BNL applies anyway).
+    """
+    smaller = (
+        left_mask
+        if left_mask.bit_count() <= right_mask.bit_count()
+        else right_mask
+    )
+    while smaller:
+        low = smaller & -smaller
+        smaller ^= low
+        for left_bit, right_bit, left_key, right_key in records[
+            low.bit_length() - 1
+        ]:
+            if left_bit & left_mask:
+                if right_bit & right_mask:
+                    return left_key, right_key
+            elif left_bit & right_mask and right_bit & left_mask:
+                return right_key, left_key
+    return None
 
 
 # --------------------------------------------------------------------- single
@@ -415,10 +523,10 @@ def _build_single(
     return plan
 
 
-# ---------------------------------------------------------------------- multi
+# ------------------------------------------------------------- single+orders
 
 
-def _run_multi(
+def _run_single_orders(
     query: Query,
     constraints: tuple,
     by_size: dict[int, list[int]],
@@ -426,36 +534,59 @@ def _run_multi(
     adjacency: list[int],
     stats: WorkerStats,
 ) -> list[Plan]:
-    """Multi-objective DP on flat (cost vector, back-pointer) frontiers.
+    """Single-objective DP over flat per-(table set, order) cost entries.
 
-    Replicates :class:`~repro.cost.pruning.ParetoPruning` decisions — reject
-    a candidate some kept entry α-dominates, evict entries the accepted
-    candidate exactly dominates, append — over candidates generated in the
-    legacy order, so kept frontiers (and their order) match the legacy
-    backend even for α > 1, where pruning is order-sensitive.
+    Entries are ``(cost, order id, back-pointer)`` tuples; the pruning loop
+    replicates :class:`~repro.cost.pruning.InterestingOrderPruning` decision
+    for decision, with ``order_satisfies`` compiled to the interner's
+    boolean ``sat[produced][required]`` table — one indexed load instead of
+    a dataclass comparison per kept entry.
     """
     n = query.n_tables
     settings = cost_model.settings
-    metrics = cost_model.metrics
-    metric_joins = tuple(metric.join_cost for metric in metrics)
+    metric = cost_model.metrics[0]
+    inline_time = type(metric) is ExecutionTimeMetric
+    join_cost = metric.join_cost
     est_rows = cost_model.cardinality.rows
     algos_all = settings.use_all_join_algorithms
     bnl, hash_join, sort_merge = ALL_JOIN_ALGORITHMS
-    alpha = per_level_alpha(settings.alpha, n)
-    exact = alpha == 1.0
+    hash_factor = HASH_FACTOR
 
-    # entries[mask]: list of (cost vector, back-pointer); back-pointer is the
-    # ScanPlan for singletons, else (left mask, left index, right mask,
-    # right index, algorithm) indexing the operands' finalized entry lists.
-    entries: dict[int, list[tuple[tuple[float, ...], object]]] = {}
+    interner = _intern_query_orders(query)
+    sat = interner.satisfies_table()
+    records = _predicate_records(query, interner)
+
+    # entries[mask]: list of (cost, order id, back-pointer); scans store the
+    # ScanPlan itself as pointer, joins the 5-tuple described at module top.
+    entries: dict[int, list[tuple[float, int, object]]] = {}
     rows: dict[int, float] = {}
-    card = [0.0] * n
+
+    def consider(mask: int, cost: float, order_id: int, pointer: object) -> bool:
+        """InterestingOrderPruning.consider on flat entries; True iff kept."""
+        entry = entries.get(mask)
+        if entry is None:
+            entries[mask] = [(cost, order_id, pointer)]
+            return True
+        for kept_cost, kept_oid, _pointer in entry:
+            if kept_cost <= cost and sat[kept_oid][order_id]:
+                return False
+        entry[:] = [
+            item
+            for item in entry
+            if not (cost <= item[0] and sat[order_id][item[1]])
+        ]
+        entry.append((cost, order_id, pointer))
+        return True
+
     for table_number in range(n):
-        scan = cost_model.scan_plans(table_number)[0]
-        mask = 1 << table_number
-        entries[mask] = [(scan.cost, scan)]
-        rows[mask] = scan.rows
-        card[table_number] = scan.rows
+        for scan in cost_model.scan_plans(table_number):
+            consider(
+                1 << table_number,
+                scan.cost[0],
+                interner.id_of(scan.order),
+                scan,
+            )
+            rows[1 << table_number] = scan.rows
 
     splits = considered = kept = 0
     linear = settings.plan_space is PlanSpace.LINEAR
@@ -464,60 +595,11 @@ def _run_multi(
     else:
         groups = _bushy_groups(n, constraints)
 
-    # Operator schedules in legacy generation order; hash and sort-merge
-    # (which sorts both inputs — orders are never tracked here) only when an
-    # equality predicate connects the operands.
-    equi_operators = (
-        (bnl, False),
-        (hash_join, False),
-        (sort_merge, True),
-    )
-    bnl_only = ((bnl, False),)
-
-    def consider(mask: int, candidate: tuple[float, ...], pointer: object) -> None:
-        """Offer one candidate; mirrors ParetoPruning.consider exactly."""
-        nonlocal kept
-        entry = entries.get(mask)
-        if entry is None:
-            entries[mask] = [(candidate, pointer)]
-            kept += 1
-            return
-        if exact:
-            for kept_cost, _pointer in entry:
-                dominates_candidate = True
-                for ours, theirs in zip(kept_cost, candidate):
-                    if ours > theirs:
-                        dominates_candidate = False
-                        break
-                if dominates_candidate:
-                    return
-        else:
-            for kept_cost, _pointer in entry:
-                dominates_candidate = True
-                for ours, theirs in zip(kept_cost, candidate):
-                    if ours > alpha * theirs:
-                        dominates_candidate = False
-                        break
-                if dominates_candidate:
-                    return
-        survivors = []
-        for item in entry:
-            kept_cost = item[0]
-            dominated = True
-            for ours, theirs in zip(candidate, kept_cost):
-                if ours > theirs:
-                    dominated = False
-                    break
-            if not dominated:
-                survivors.append(item)
-        survivors.append((candidate, pointer))
-        entries[mask] = survivors
-        kept += 1
-
     for size in range(2, n + 1):
         for mask in by_size.get(size, ()):
             out_rows = -1.0
             if linear:
+                splits_iter = []
                 remaining = mask
                 while remaining:
                     low = remaining & -remaining
@@ -525,84 +607,458 @@ def _run_multi(
                     inner = low.bit_length() - 1
                     if after[inner] & mask:
                         continue
-                    rest = mask ^ low
-                    left_entry = entries.get(rest)
-                    if left_entry is None:
-                        continue
-                    splits += 1
-                    if out_rows < 0.0:
-                        out_rows = est_rows(mask)
-                    left_rows = rows[rest]
-                    right_rows = card[inner]
-                    right_entry = entries[low]
-                    operators = (
-                        equi_operators
-                        if algos_all and adjacency[inner] & rest
-                        else bnl_only
-                    )
-                    for left_index in range(len(left_entry)):
-                        left_cost = left_entry[left_index][0]
-                        for right_index in range(len(right_entry)):
-                            right_cost = right_entry[right_index][0]
-                            for algorithm, sorts in operators:
-                                considered += 1
-                                consider(
-                                    mask,
-                                    tuple(
-                                        join(
-                                            left_cost[i], right_cost[i],
-                                            left_rows, right_rows, out_rows,
-                                            algorithm, sorts, sorts,
-                                        )
-                                        for i, join in enumerate(metric_joins)
-                                    ),
-                                    (rest, left_index, low, right_index, algorithm),
-                                )
+                    splits_iter.append((mask ^ low, low))
             else:
+                splits_iter = []
                 for left_mask in bushy_operands(mask, groups):
                     if left_mask == 0 or left_mask == mask:
                         continue
-                    right_mask = mask ^ left_mask
-                    left_entry = entries.get(left_mask)
-                    if left_entry is None:
-                        continue
-                    right_entry = entries.get(right_mask)
-                    if right_entry is None:
-                        continue
-                    splits += 1
-                    if out_rows < 0.0:
-                        out_rows = est_rows(mask)
-                    left_rows = rows[left_mask]
-                    right_rows = rows[right_mask]
-                    operators = (
-                        equi_operators
-                        if algos_all and _connected(left_mask, right_mask, adjacency)
-                        else bnl_only
-                    )
-                    for left_index in range(len(left_entry)):
-                        left_cost = left_entry[left_index][0]
-                        for right_index in range(len(right_entry)):
-                            right_cost = right_entry[right_index][0]
-                            for algorithm, sorts in operators:
-                                considered += 1
-                                consider(
-                                    mask,
-                                    tuple(
-                                        join(
-                                            left_cost[i], right_cost[i],
-                                            left_rows, right_rows, out_rows,
-                                            algorithm, sorts, sorts,
-                                        )
-                                        for i, join in enumerate(metric_joins)
-                                    ),
-                                    (
-                                        left_mask,
-                                        left_index,
-                                        right_mask,
-                                        right_index,
-                                        algorithm,
-                                    ),
+                    splits_iter.append((left_mask, mask ^ left_mask))
+            for left_mask, right_mask in splits_iter:
+                left_entry = entries.get(left_mask)
+                if left_entry is None:
+                    continue
+                right_entry = entries.get(right_mask)
+                if right_entry is None:
+                    continue
+                splits += 1
+                left_rows = rows[left_mask]
+                right_rows = rows[right_mask]
+                equi = algos_all and _connected(
+                    left_mask, right_mask, adjacency
+                )
+                if equi:
+                    keys = _first_connecting(left_mask, right_mask, records)
+                    sm_left, sm_right = keys
+                if not inline_time and out_rows < 0.0:
+                    out_rows = est_rows(mask)
+                for left_index in range(len(left_entry)):
+                    left_item = left_entry[left_index]
+                    left_cost = left_item[0]
+                    left_oid = left_item[1]
+                    for right_index in range(len(right_entry)):
+                        right_item = right_entry[right_index]
+                        right_cost = right_item[0]
+                        right_oid = right_item[1]
+                        base = left_cost + right_cost
+                        if inline_time:
+                            considered += 1
+                            candidate = base + left_rows * right_rows
+                            if consider(
+                                mask,
+                                candidate,
+                                UNSORTED,
+                                (left_mask, left_index, right_mask,
+                                 right_index, bnl),
+                            ):
+                                kept += 1
+                            if equi:
+                                considered += 2
+                                candidate = base + hash_factor * (
+                                    left_rows + right_rows
                                 )
+                                if consider(
+                                    mask,
+                                    candidate,
+                                    UNSORTED,
+                                    (left_mask, left_index, right_mask,
+                                     right_index, hash_join),
+                                ):
+                                    kept += 1
+                                operator = left_rows + right_rows
+                                if left_oid != sm_left:
+                                    operator += left_rows * log2(
+                                        left_rows if left_rows > 2.0 else 2.0
+                                    )
+                                if right_oid != sm_right:
+                                    operator += right_rows * log2(
+                                        right_rows if right_rows > 2.0 else 2.0
+                                    )
+                                if consider(
+                                    mask,
+                                    base + operator,
+                                    sm_left,
+                                    (left_mask, left_index, right_mask,
+                                     right_index, sort_merge),
+                                ):
+                                    kept += 1
+                        else:
+                            considered += 1
+                            candidate = join_cost(
+                                left_cost, right_cost, left_rows, right_rows,
+                                out_rows, bnl, False, False,
+                            )
+                            if consider(
+                                mask,
+                                candidate,
+                                UNSORTED,
+                                (left_mask, left_index, right_mask,
+                                 right_index, bnl),
+                            ):
+                                kept += 1
+                            if equi:
+                                considered += 2
+                                candidate = join_cost(
+                                    left_cost, right_cost, left_rows,
+                                    right_rows, out_rows, hash_join,
+                                    False, False,
+                                )
+                                if consider(
+                                    mask,
+                                    candidate,
+                                    UNSORTED,
+                                    (left_mask, left_index, right_mask,
+                                     right_index, hash_join),
+                                ):
+                                    kept += 1
+                                candidate = join_cost(
+                                    left_cost, right_cost, left_rows,
+                                    right_rows, out_rows, sort_merge,
+                                    left_oid != sm_left,
+                                    right_oid != sm_right,
+                                )
+                                if consider(
+                                    mask,
+                                    candidate,
+                                    sm_left,
+                                    (left_mask, left_index, right_mask,
+                                     right_index, sort_merge),
+                                ):
+                                    kept += 1
+            if mask in entries:
+                rows[mask] = out_rows if out_rows >= 0.0 else est_rows(mask)
+
+    stats.splits_considered = splits
+    stats.plans_considered = considered
+    stats.plans_kept = kept
+    stats.table_entries = len(entries)
+    stats.stored_plans = sum(len(entry) for entry in entries.values())
+    full_mask = query.all_tables_mask
+    final = entries.get(full_mask)
+    if not final:
+        return []
+    memo: dict[tuple[int, int], Plan] = {}
+    return [
+        _build_single_orders(full_mask, index, entries, rows, interner, memo)
+        for index in range(len(final))
+    ]
+
+
+def _build_single_orders(
+    mask: int,
+    index: int,
+    entries: dict[int, list[tuple[float, int, object]]],
+    rows: dict[int, float],
+    interner: OrderInterner,
+    memo: dict[tuple[int, int], Plan],
+) -> Plan:
+    """Materialize entry ``index`` of ``mask`` with its interned order."""
+    key = (mask, index)
+    plan = memo.get(key)
+    if plan is not None:
+        return plan
+    cost, order_id, pointer = entries[mask][index]
+    if isinstance(pointer, Plan):
+        memo[key] = pointer
+        return pointer
+    left_mask, left_index, right_mask, right_index, algorithm = pointer
+    plan = JoinPlan(
+        mask=mask,
+        rows=rows[mask],
+        cost=(cost,),
+        order=interner.order_of(order_id),
+        left=_build_single_orders(
+            left_mask, left_index, entries, rows, interner, memo
+        ),
+        right=_build_single_orders(
+            right_mask, right_index, entries, rows, interner, memo
+        ),
+        algorithm=algorithm,
+    )
+    memo[key] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------- multi
+
+
+def _run_frontier(
+    query: Query,
+    constraints: tuple,
+    by_size: dict[int, list[int]],
+    cost_model: CostModel,
+    adjacency: list[int],
+    stats: WorkerStats,
+    parametric: bool = False,
+) -> list[Plan]:
+    """Frontier DP on flat (cost vector, order id, back-pointer) entries.
+
+    One kernel, three pruning disciplines selected once up front:
+
+    * **exact / α Pareto** — replicates
+      :class:`~repro.cost.pruning.ParetoPruning` decisions (reject a
+      candidate some kept entry α-dominates *and* whose order covers it,
+      evict entries the accepted candidate exactly dominates and covers,
+      append) over candidates generated in the legacy order, so kept
+      frontiers and their order match the legacy backend even for α > 1,
+      where pruning is order-sensitive;
+    * **parametric** (``parametric=True``) — replicates
+      :class:`~repro.cost.pruning.ParametricPruning` with the exact shared
+      envelope tests, preceded by a dominance short-circuit generalized to
+      parameter intervals: a kept line below the candidate at both
+      θ-endpoints bounds it for every θ ∈ [0, 1], so the candidate is
+      rejected before any crossing-point arithmetic.
+
+    Interesting orders ride on interned ids: when orders are not tracked
+    every entry carries :data:`~repro.plans.orders.UNSORTED` and the
+    compiled satisfies table degenerates to "always", leaving pure cost
+    dominance — the no-orders fast path costs two index loads, not a
+    branch per comparison.
+    """
+    n = query.n_tables
+    settings = cost_model.settings
+    metrics = cost_model.metrics
+    metric_joins = tuple(metric.join_cost for metric in metrics)
+    est_rows = cost_model.cardinality.rows
+    algos_all = settings.use_all_join_algorithms
+    bnl, hash_join, sort_merge = ALL_JOIN_ALGORITHMS
+    track_orders = settings.consider_orders
+    alpha = per_level_alpha(settings.alpha, n)
+    exact = alpha == 1.0
+
+    interner = _intern_query_orders(query)
+    sat = interner.satisfies_table()
+    records = _predicate_records(query, interner)
+
+    # entries[mask]: list of (cost vector, order id, back-pointer); the
+    # back-pointer is the ScanPlan for singletons, else (left mask, left
+    # index, right mask, right index, algorithm) indexing the operands'
+    # finalized entry lists.
+    entries: dict[int, list[tuple[tuple[float, ...], int, object]]] = {}
+    rows: dict[int, float] = {}
+
+    if parametric:
+
+        def consider(
+            mask: int,
+            candidate: tuple[float, ...],
+            order_id: int,
+            pointer: object,
+        ) -> bool:
+            """ParametricPruning.consider; True iff the candidate was kept."""
+            entry = entries.get(mask)
+            if entry is None:
+                entries[mask] = [(candidate, order_id, pointer)]
+                return True
+            at_zero, at_one = candidate
+            kept_costs = []
+            for item in entry:
+                kept_cost = item[0]
+                if kept_cost[0] <= at_zero and kept_cost[1] <= at_one:
+                    # The kept line bounds the candidate's at both ends of
+                    # the parameter interval, hence everywhere on it; the
+                    # envelope test below could only confirm the rejection.
+                    return False
+                kept_costs.append(kept_cost)
+            if not needed_on_envelope(candidate, kept_costs):
+                return False
+            candidates = [*entry, (candidate, order_id, pointer)]
+            keep = envelope_filter([item[0] for item in candidates])
+            entries[mask] = [candidates[index] for index in keep]
+            return len(candidates) - 1 in keep
+
+    elif exact:
+
+        def consider(
+            mask: int,
+            candidate: tuple[float, ...],
+            order_id: int,
+            pointer: object,
+        ) -> bool:
+            """ParetoPruning.consider (α = 1); True iff kept."""
+            entry = entries.get(mask)
+            if entry is None:
+                entries[mask] = [(candidate, order_id, pointer)]
+                return True
+            for kept_cost, kept_oid, _pointer in entry:
+                if sat[kept_oid][order_id]:
+                    dominates_candidate = True
+                    for ours, theirs in zip(kept_cost, candidate):
+                        if ours > theirs:
+                            dominates_candidate = False
+                            break
+                    if dominates_candidate:
+                        return False
+            survivors = []
+            for item in entry:
+                dominated = sat[order_id][item[1]]
+                if dominated:
+                    kept_cost = item[0]
+                    for ours, theirs in zip(candidate, kept_cost):
+                        if ours > theirs:
+                            dominated = False
+                            break
+                if not dominated:
+                    survivors.append(item)
+            survivors.append((candidate, order_id, pointer))
+            entries[mask] = survivors
+            return True
+
+    else:
+
+        def consider(
+            mask: int,
+            candidate: tuple[float, ...],
+            order_id: int,
+            pointer: object,
+        ) -> bool:
+            """ParetoPruning.consider (α > 1); True iff kept."""
+            entry = entries.get(mask)
+            if entry is None:
+                entries[mask] = [(candidate, order_id, pointer)]
+                return True
+            for kept_cost, kept_oid, _pointer in entry:
+                if sat[kept_oid][order_id]:
+                    dominates_candidate = True
+                    for ours, theirs in zip(kept_cost, candidate):
+                        if ours > alpha * theirs:
+                            dominates_candidate = False
+                            break
+                    if dominates_candidate:
+                        return False
+            survivors = []
+            for item in entry:
+                dominated = sat[order_id][item[1]]
+                if dominated:
+                    kept_cost = item[0]
+                    for ours, theirs in zip(candidate, kept_cost):
+                        if ours > theirs:
+                            dominated = False
+                            break
+                if not dominated:
+                    survivors.append(item)
+            survivors.append((candidate, order_id, pointer))
+            entries[mask] = survivors
+            return True
+
+    for table_number in range(n):
+        mask = 1 << table_number
+        for scan in cost_model.scan_plans(table_number):
+            consider(mask, scan.cost, interner.id_of(scan.order), scan)
+            rows[mask] = scan.rows
+
+    splits = considered = kept = 0
+    linear = settings.plan_space is PlanSpace.LINEAR
+    if linear:
+        after = linear_after_masks(n, constraints)
+    else:
+        groups = _bushy_groups(n, constraints)
+
+    for size in range(2, n + 1):
+        for mask in by_size.get(size, ()):
+            out_rows = -1.0
+            if linear:
+                splits_iter = []
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    inner = low.bit_length() - 1
+                    if after[inner] & mask:
+                        continue
+                    splits_iter.append((mask ^ low, low))
+            else:
+                splits_iter = []
+                for left_mask in bushy_operands(mask, groups):
+                    if left_mask == 0 or left_mask == mask:
+                        continue
+                    splits_iter.append((left_mask, mask ^ left_mask))
+            for left_mask, right_mask in splits_iter:
+                left_entry = entries.get(left_mask)
+                if left_entry is None:
+                    continue
+                right_entry = entries.get(right_mask)
+                if right_entry is None:
+                    continue
+                splits += 1
+                if out_rows < 0.0:
+                    out_rows = est_rows(mask)
+                left_rows = rows[left_mask]
+                right_rows = rows[right_mask]
+                equi = algos_all and _connected(
+                    left_mask, right_mask, adjacency
+                )
+                # Sort-merge flags: without order tracking both inputs are
+                # always sorted (the legacy cost model's _is_sorted is
+                # False); with tracking they depend on each operand entry's
+                # own order versus the split's sort keys.
+                sm_left = sm_right = UNSORTED
+                if equi and track_orders:
+                    sm_left, sm_right = _first_connecting(
+                        left_mask, right_mask, records
+                    )
+                for left_index in range(len(left_entry)):
+                    left_item = left_entry[left_index]
+                    left_cost = left_item[0]
+                    for right_index in range(len(right_entry)):
+                        right_item = right_entry[right_index]
+                        right_cost = right_item[0]
+                        considered += 1
+                        if consider(
+                            mask,
+                            tuple(
+                                join(
+                                    left_cost[i], right_cost[i],
+                                    left_rows, right_rows, out_rows,
+                                    bnl, False, False,
+                                )
+                                for i, join in enumerate(metric_joins)
+                            ),
+                            UNSORTED,
+                            (left_mask, left_index, right_mask,
+                             right_index, bnl),
+                        ):
+                            kept += 1
+                        if not equi:
+                            continue
+                        considered += 2
+                        if consider(
+                            mask,
+                            tuple(
+                                join(
+                                    left_cost[i], right_cost[i],
+                                    left_rows, right_rows, out_rows,
+                                    hash_join, False, False,
+                                )
+                                for i, join in enumerate(metric_joins)
+                            ),
+                            UNSORTED,
+                            (left_mask, left_index, right_mask,
+                             right_index, hash_join),
+                        ):
+                            kept += 1
+                        if track_orders:
+                            sort_left = left_item[1] != sm_left
+                            sort_right = right_item[1] != sm_right
+                            sm_order = sm_left
+                        else:
+                            sort_left = sort_right = True
+                            sm_order = UNSORTED
+                        if consider(
+                            mask,
+                            tuple(
+                                join(
+                                    left_cost[i], right_cost[i],
+                                    left_rows, right_rows, out_rows,
+                                    sort_merge, sort_left, sort_right,
+                                )
+                                for i, join in enumerate(metric_joins)
+                            ),
+                            sm_order,
+                            (left_mask, left_index, right_mask,
+                             right_index, sort_merge),
+                        ):
+                            kept += 1
             if out_rows >= 0.0 and mask in entries:
                 rows[mask] = out_rows
 
@@ -617,16 +1073,17 @@ def _run_multi(
         return []
     memo: dict[tuple[int, int], Plan] = {}
     return [
-        _build_multi(full_mask, index, entries, rows, memo)
+        _build_frontier(full_mask, index, entries, rows, interner, memo)
         for index in range(len(final))
     ]
 
 
-def _build_multi(
+def _build_frontier(
     mask: int,
     index: int,
-    entries: dict[int, list[tuple[tuple[float, ...], object]]],
+    entries: dict[int, list[tuple[tuple[float, ...], int, object]]],
     rows: dict[int, float],
+    interner: OrderInterner,
     memo: dict[tuple[int, int], Plan],
 ) -> Plan:
     """Materialize entry ``index`` of ``mask`` by walking back-pointers.
@@ -639,7 +1096,7 @@ def _build_multi(
     plan = memo.get(key)
     if plan is not None:
         return plan
-    cost, pointer = entries[mask][index]
+    cost, order_id, pointer = entries[mask][index]
     if isinstance(pointer, Plan):
         memo[key] = pointer
         return pointer
@@ -648,10 +1105,26 @@ def _build_multi(
         mask=mask,
         rows=rows[mask],
         cost=cost,
-        order=None,
-        left=_build_multi(left_mask, left_index, entries, rows, memo),
-        right=_build_multi(right_mask, right_index, entries, rows, memo),
+        order=interner.order_of(order_id),
+        left=_build_frontier(
+            left_mask, left_index, entries, rows, interner, memo
+        ),
+        right=_build_frontier(
+            right_mask, right_index, entries, rows, interner, memo
+        ),
         algorithm=algorithm,
     )
     memo[key] = plan
     return plan
+
+
+# The fast core declares the full capability set — after this module, no
+# settings value routes to the legacy core unless explicitly requested.
+register_backend(
+    EnumerationBackend(
+        backend=Backend.FASTDP,
+        capabilities=CAPABILITIES,
+        speed_rank=10,
+        loader=lambda: optimize_partition_fastdp,
+    )
+)

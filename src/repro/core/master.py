@@ -75,6 +75,22 @@ class MasterResult:
         return min(self.plans, key=plan_tie_key)
 
     @property
+    def backend_used(self) -> str:
+        """Name of the enumeration backend that ran the partitions.
+
+        Joins distinct names with ``+`` in the (pathological) case where
+        partitions report different backends — surfacing the disagreement
+        beats hiding it.  Empty when no partition results are attached
+        (e.g. synthetic results in tests).
+        """
+        names: list[str] = []
+        for result in self.partition_results:
+            name = result.stats.backend_used
+            if name and name not in names:
+                names.append(name)
+        return "+".join(names)
+
+    @property
     def max_worker_wall_s(self) -> float:
         """Slowest partition's wall-clock ("W-Time" in the paper's figures)."""
         return max(result.stats.wall_time_s for result in self.partition_results)

@@ -24,6 +24,11 @@ def optimize_serial(
     Equivalent to Selinger's algorithm for linear plan spaces and to
     DP over all subsets (Vance & Maier) for bushy plan spaces; for multiple
     objectives it is the serial multi-objective DP of Trummer & Koch.
+
+    The enumeration core is chosen by ``settings.backend`` through the
+    worker's capability registry (the default ``AUTO`` resolves to the
+    fastest capable backend); the core that ran is recorded in
+    ``result.stats.backend_used``.
     """
     return optimize_partition(query, partition_id=0, n_partitions=1, settings=settings)
 

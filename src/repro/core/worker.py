@@ -18,8 +18,10 @@ Two split-enumeration strategies, as in the paper:
 
 from __future__ import annotations
 
+import enum
 import time
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from repro.config import Backend, OptimizerSettings, PlanSpace
 from repro.core.constraints import (
@@ -65,6 +67,11 @@ class WorkerStats:
     #: Plans returned to the master (1, or the partition's Pareto frontier).
     result_plans: int = 0
     wall_time_s: float = 0.0
+    #: Name of the enumeration backend that actually ran this partition
+    #: (``"legacy"``/``"fastdp"``).  Makes a routing decision observable end
+    #: to end: a run that silently landed on a slower core is
+    #: distinguishable from one that used the requested backend.
+    backend_used: str = ""
 
 
 @dataclass
@@ -73,6 +80,175 @@ class PartitionResult:
 
     plans: list[Plan]
     stats: WorkerStats
+
+
+# ------------------------------------------------------------------- backends
+
+
+class Capability(enum.Flag):
+    """Optimizer features an enumeration backend can declare support for.
+
+    :func:`required_capabilities` derives the needed set from an
+    :class:`~repro.config.OptimizerSettings`; dispatch refuses to route
+    settings to a backend whose declaration does not cover them, so a core
+    can never be handed a query class it would silently approximate.
+    """
+
+    #: Pareto frontiers over several cost metrics (incl. α-approximation).
+    MULTI_OBJECTIVE = enum.auto()
+    #: Selinger interesting orders: one best plan per (table set, order).
+    INTERESTING_ORDERS = enum.auto()
+    #: Parametric costs: lower-envelope pruning over ``(1-θ)·a + θ·b``.
+    PARAMETRIC_COSTS = enum.auto()
+    #: Bushy plan spaces (admissible-split generation per Algorithm 5).
+    BUSHY_SPACE = enum.auto()
+
+
+#: Everything a backend can currently be asked to do.
+ALL_CAPABILITIES = (
+    Capability.MULTI_OBJECTIVE
+    | Capability.INTERESTING_ORDERS
+    | Capability.PARAMETRIC_COSTS
+    | Capability.BUSHY_SPACE
+)
+
+
+def required_capabilities(settings: OptimizerSettings) -> Capability:
+    """The capability set a backend must declare to run these settings."""
+    needed = Capability(0)
+    if settings.is_multi_objective:
+        needed |= Capability.MULTI_OBJECTIVE
+    if settings.consider_orders:
+        needed |= Capability.INTERESTING_ORDERS
+    if settings.parametric:
+        needed |= Capability.PARAMETRIC_COSTS
+    if settings.plan_space is PlanSpace.BUSHY:
+        needed |= Capability.BUSHY_SPACE
+    return needed
+
+
+#: A backend's entry point: same contract as :func:`optimize_partition`.
+PartitionRunner = Callable[
+    ["Query", int, int, OptimizerSettings], "PartitionResult"
+]
+
+
+@dataclass(frozen=True)
+class EnumerationBackend:
+    """A registered enumeration core: identity, capabilities, entry point.
+
+    ``speed_rank`` orders backends for :attr:`~repro.config.Backend.AUTO`
+    resolution — lower ranks win among the capable.  ``loader`` is called
+    lazily so registering a backend does not import its (possibly heavy)
+    module; the resolved runner is cached after the first call.
+    """
+
+    backend: Backend
+    capabilities: Capability
+    #: AUTO picks the capable backend with the smallest rank.
+    speed_rank: int
+    loader: Callable[[], PartitionRunner]
+    _runner: list = field(default_factory=list, repr=False, compare=False)
+
+    @property
+    def name(self) -> str:
+        """The backend's wire name (the :class:`Backend` enum value)."""
+        return self.backend.value
+
+    def supports(self, settings: OptimizerSettings) -> bool:
+        """Whether the declared capabilities cover these settings."""
+        needed = required_capabilities(settings)
+        return needed & self.capabilities == needed
+
+    def missing(self, settings: OptimizerSettings) -> Capability:
+        """The capabilities these settings need but this backend lacks."""
+        return required_capabilities(settings) & ~self.capabilities
+
+    def run(
+        self,
+        query: Query,
+        partition_id: int,
+        n_partitions: int,
+        settings: OptimizerSettings,
+    ) -> PartitionResult:
+        """Run one partition on this backend (resolving the runner lazily)."""
+        if not self._runner:
+            self._runner.append(self.loader())
+        return self._runner[0](query, partition_id, n_partitions, settings)
+
+
+_BACKEND_REGISTRY: dict[Backend, EnumerationBackend] = {}
+
+
+def register_backend(descriptor: EnumerationBackend) -> None:
+    """Register (or replace) an enumeration backend.
+
+    Re-registration under the same :class:`~repro.config.Backend` key
+    replaces the previous descriptor — the hook tests and future backends
+    use to swap in instrumented cores.
+    """
+    if descriptor.backend is Backend.AUTO:
+        raise ValueError("AUTO is a resolution rule, not a registrable backend")
+    _BACKEND_REGISTRY[descriptor.backend] = descriptor
+
+
+def registered_backends() -> tuple[EnumerationBackend, ...]:
+    """All registered backends, fastest (lowest rank) first."""
+    _ensure_builtin_backends()
+    return tuple(
+        sorted(_BACKEND_REGISTRY.values(), key=lambda d: d.speed_rank)
+    )
+
+
+def capability_matrix() -> dict[str, dict[str, bool]]:
+    """``{backend name: {capability name: declared}}`` — the README matrix."""
+    return {
+        descriptor.name: {
+            capability.name.lower(): bool(capability & descriptor.capabilities)
+            for capability in Capability
+        }
+        for descriptor in registered_backends()
+    }
+
+
+def _ensure_builtin_backends() -> None:
+    """Import-register the built-in cores that self-register on import."""
+    if Backend.FASTDP not in _BACKEND_REGISTRY:
+        from repro.core import fastdp  # noqa: F401  (registers itself)
+
+
+def resolve_backend(settings: OptimizerSettings) -> EnumerationBackend:
+    """The backend that will run these settings.
+
+    :attr:`~repro.config.Backend.AUTO` resolves to the fastest capable
+    registered backend.  An explicitly requested backend must declare every
+    needed capability — routing around an incapable core silently would make
+    a fallback indistinguishable from the requested run, which is exactly
+    the failure mode ``WorkerStats.backend_used`` exists to rule out.
+    """
+    _ensure_builtin_backends()
+    if settings.backend is Backend.AUTO:
+        capable = [
+            descriptor
+            for descriptor in _BACKEND_REGISTRY.values()
+            if descriptor.supports(settings)
+        ]
+        if not capable:
+            raise ValueError(
+                f"no registered backend supports "
+                f"{required_capabilities(settings)!r}"
+            )
+        return min(capable, key=lambda descriptor: descriptor.speed_rank)
+    descriptor = _BACKEND_REGISTRY.get(settings.backend)
+    if descriptor is None:
+        raise ValueError(f"backend {settings.backend.value!r} is not registered")
+    if not descriptor.supports(settings):
+        raise ValueError(
+            f"backend {descriptor.name!r} does not declare "
+            f"{descriptor.missing(settings)!r}; use Backend.AUTO to pick a "
+            f"capable backend"
+        )
+    return descriptor
 
 
 @dataclass
@@ -96,22 +272,34 @@ def optimize_partition(
     With ``n_partitions == 1`` this is exactly the classical (serial) DP —
     the baseline the paper computes speedups against.
 
-    ``settings.backend`` selects the enumeration core: this module's
-    object-based DP (:attr:`~repro.config.Backend.LEGACY`), or the flat
-    bitset core in :mod:`repro.core.fastdp`
-    (:attr:`~repro.config.Backend.FASTDP`), which produces identical plans
-    and statistics.  Settings the fast core does not handle (interesting
-    orders, parametric costs) fall back to the legacy core here, so every
-    caller — including the MPQ partition executors shipping this function to
-    worker processes — gets a correct answer for any settings value.
+    ``settings.backend`` selects the enumeration core from the backend
+    registry (:func:`resolve_backend`): the object-based DP of this module
+    (:attr:`~repro.config.Backend.LEGACY`), the flat bitset core of
+    :mod:`repro.core.fastdp` (:attr:`~repro.config.Backend.FASTDP`), or —
+    the default — :attr:`~repro.config.Backend.AUTO`, which picks the
+    fastest backend whose declared :class:`Capability` set covers the
+    settings.  All backends produce identical plans and statistics; the one
+    that ran is recorded in ``stats.backend_used``.  This function is the
+    single task the MPQ partition executors ship to worker processes.
     """
-    if settings.backend is Backend.FASTDP:
-        from repro.core import fastdp
+    descriptor = resolve_backend(settings)
+    result = descriptor.run(query, partition_id, n_partitions, settings)
+    # The cores stamp backend_used themselves — the stamp reports what
+    # actually ran, not what the registry *meant* to run, so a descriptor
+    # whose loader routes elsewhere is observable.  Only fill in the name
+    # for third-party runners that left it empty.
+    if not result.stats.backend_used:
+        result.stats.backend_used = descriptor.name
+    return result
 
-        if fastdp.supports(settings):
-            return fastdp.optimize_partition_fastdp(
-                query, partition_id, n_partitions, settings
-            )
+
+def _optimize_partition_legacy(
+    query: Query,
+    partition_id: int,
+    n_partitions: int,
+    settings: OptimizerSettings,
+) -> PartitionResult:
+    """The object-based reference DP (the ``legacy`` backend's entry point)."""
     started = time.perf_counter()
     n = query.n_tables
     constraints = partition_constraints(
@@ -121,6 +309,7 @@ def optimize_partition(
         partition_id=partition_id,
         n_partitions=n_partitions,
         n_constraints=len(constraints),
+        backend_used=Backend.LEGACY.value,
     )
     by_size = admissible_results_by_size(n, constraints, settings.plan_space)
     stats.admissible_results = sum(len(masks) for masks in by_size.values())
@@ -315,3 +504,17 @@ def naive_bushy_operands(mask: int, constraints: tuple[Constraint, ...]) -> list
         if left_ok and right_ok:
             operands.append(left_mask)
     return operands
+
+
+# The reference core registers here; the fastdp core self-registers from
+# repro.core.fastdp (imported on first resolution), declaring the same full
+# capability set with a better speed rank — so AUTO resolves to fastdp for
+# every settings value while LEGACY stays selectable for differential runs.
+register_backend(
+    EnumerationBackend(
+        backend=Backend.LEGACY,
+        capabilities=ALL_CAPABILITIES,
+        speed_rank=100,
+        loader=lambda: _optimize_partition_legacy,
+    )
+)

@@ -33,3 +33,68 @@ def order_satisfies(produced: SortOrder | None, required: SortOrder | None) -> b
     if required is None:
         return True
     return produced == required
+
+
+#: Interned id of the "no order" state.  Guaranteed to be ``0`` so backends
+#: can test "unsorted" with a plain integer comparison.
+UNSORTED = 0
+
+
+class OrderInterner:
+    """Bijective mapping between sort orders and dense small integers.
+
+    Flat enumeration backends cannot afford a :class:`SortOrder` object
+    comparison (two attribute loads plus dataclass ``__eq__``) per DP
+    candidate.  Interning every order that can appear for a query — scan
+    orders of clustered tables plus the endpoint columns of equality
+    predicates — turns order bookkeeping into integer arithmetic, and
+    compiles :func:`order_satisfies` down to one indexed load in a
+    precomputed boolean table (:meth:`satisfies_table`).
+
+    Id ``0`` is always :data:`UNSORTED` (``None``); real orders receive ids
+    in first-interned order, so the numbering is deterministic for a fixed
+    interning sequence.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[SortOrder | None, int] = {None: UNSORTED}
+        self._orders: list[SortOrder | None] = [None]
+
+    def intern(self, order: SortOrder | None) -> int:
+        """Id of ``order``, assigning the next dense id on first sight."""
+        existing = self._ids.get(order)
+        if existing is not None:
+            return existing
+        assigned = len(self._orders)
+        self._ids[order] = assigned
+        self._orders.append(order)
+        return assigned
+
+    def id_of(self, order: SortOrder | None) -> int:
+        """Id of an already-interned order (KeyError for unknown orders)."""
+        return self._ids[order]
+
+    def order_of(self, order_id: int) -> SortOrder | None:
+        """The :class:`SortOrder` behind an interned id (``None`` for 0)."""
+        return self._orders[order_id]
+
+    def __len__(self) -> int:
+        return len(self._orders)
+
+    def satisfies_table(self) -> list[list[bool]]:
+        """``table[produced_id][required_id]`` ⇔ ``order_satisfies(p, r)``.
+
+        The compiled form of :func:`order_satisfies` over every interned
+        order: row ``p`` answers "does a plan sorted as ``p`` satisfy
+        requirement ``r``" for all ``r`` with two index operations and no
+        branches.  Intern every order *before* compiling; the table does not
+        grow with later :meth:`intern` calls.
+        """
+        n = len(self._orders)
+        return [
+            [
+                order_satisfies(self._orders[produced], self._orders[required])
+                for required in range(n)
+            ]
+            for produced in range(n)
+        ]

@@ -54,10 +54,15 @@ def _table_signature(table: Table) -> tuple:
 
 
 def _settings_signature(settings: OptimizerSettings) -> tuple:
-    # The backend is part of the signature even though both backends return
+    # The backend is part of the signature even though all backends return
     # equivalent frontiers: the cached entry also carries run statistics
     # (simulated timing), which are backend-specific, and keeping the key
     # exact makes backend A/B comparisons through the service meaningful.
+    # AUTO is hashed as the backend it *resolves* to, so a request with the
+    # default AUTO and one explicitly naming the same core share an entry —
+    # the execution, not the spelling, keys the cache.
+    from repro.core.worker import resolve_backend
+
     return (
         settings.plan_space.value,
         tuple(objective.value for objective in settings.objectives),
@@ -65,7 +70,7 @@ def _settings_signature(settings: OptimizerSettings) -> tuple:
         settings.consider_orders,
         settings.use_all_join_algorithms,
         settings.parametric,
-        settings.backend.value,
+        resolve_backend(settings).backend.value,
     )
 
 

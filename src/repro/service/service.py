@@ -60,6 +60,9 @@ class _CacheEntry:
     canonical_plans: list[Plan]
     n_partitions: int
     simulated: SimulatedTiming
+    #: Enumeration backend that computed the cached plans; replayed on hits
+    #: so a cached answer stays attributable to the core that produced it.
+    backend_used: str = ""
 
 
 @dataclass
@@ -74,6 +77,9 @@ class ServiceResult:
     #: Simulated cluster accounting of the (possibly cached) optimization run.
     simulated_time_ms: float
     network_bytes: int
+    #: Enumeration backend that produced the plans (for a cache hit: the
+    #: backend of the original run).  Empty only for hand-built results.
+    backend_used: str = ""
 
     @property
     def best(self) -> Plan:
@@ -266,6 +272,7 @@ class OptimizerService:
                 ],
                 n_partitions=master.n_partitions,
                 simulated=simulated,
+                backend_used=master.backend_used,
             ),
         )
         return ServiceResult(
@@ -275,6 +282,7 @@ class OptimizerService:
             cached=False,
             simulated_time_ms=simulated.total_ms,
             network_bytes=simulated.network_bytes,
+            backend_used=master.backend_used,
         )
 
     def _serve_hit(
@@ -289,6 +297,7 @@ class OptimizerService:
             cached=True,
             simulated_time_ms=entry.simulated.total_ms,
             network_bytes=entry.simulated.network_bytes,
+            backend_used=entry.backend_used,
         )
 
     # --------------------------------------------------------------- lifecycle

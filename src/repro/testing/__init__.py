@@ -8,7 +8,9 @@ backends" section of the README for how to vet a new backend.
 from repro.testing.differential import (
     DEFAULT_BACKENDS,
     EXHAUSTIVE_MAX_TABLES,
+    ORACLE_FEATURES,
     ORACLE_OBJECTIVE_SETS,
+    BackendRoutingError,
     FrontierMismatch,
     FrontierSignature,
     OracleOutcome,
@@ -21,7 +23,9 @@ from repro.testing.differential import (
 __all__ = [
     "DEFAULT_BACKENDS",
     "EXHAUSTIVE_MAX_TABLES",
+    "ORACLE_FEATURES",
     "ORACLE_OBJECTIVE_SETS",
+    "BackendRoutingError",
     "FrontierMismatch",
     "FrontierSignature",
     "OracleOutcome",

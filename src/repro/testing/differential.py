@@ -20,6 +20,16 @@ table subset, and raises a :class:`FrontierMismatch` that names the subset,
 the shrunken query, and every backend's frontier on it — the analogue of a
 provenance explanation for "why do these optimizers diverge?".
 
+For parametric settings frontiers are canonicalized with the *lower
+envelope* instead of Pareto dominance: the DP keeps exactly the plans
+optimal for some θ, which is a strict subset of the Pareto frontier, so the
+comparable signature is the envelope of each backend's returned cost lines.
+
+The oracle also verifies *routing*: a named DP backend must actually run —
+``WorkerStats.backend_used`` is checked against the requested backend and a
+:class:`BackendRoutingError` is raised on any silent substitution, so "zero
+legacy fallbacks" is a property the sweeps enforce, not an assumption.
+
 Typical use::
 
     from repro.testing import assert_equivalent_frontiers
@@ -29,10 +39,14 @@ Typical use::
     outcome = run_differential_oracle(n_queries=200, seed=0)
     assert not outcome.failures
 
-Adding a new backend safely: implement it behind
-:attr:`repro.config.OptimizerSettings.backend` (or as a plain callable),
-then add it to the ``backends`` tuple of the property tests in
-``tests/test_differential.py`` — the oracle takes care of the rest.
+    # Include interesting orders and parametric costs in the sweep:
+    run_differential_oracle(n_queries=200, features=("plain", "orders", "parametric"))
+
+Adding a new backend safely: register an
+:class:`repro.core.worker.EnumerationBackend` declaring its capabilities
+(or pass a plain callable here), then add it to the ``backends`` tuple of
+the property tests in ``tests/test_differential.py`` — the oracle takes
+care of the rest.
 """
 
 from __future__ import annotations
@@ -42,10 +56,17 @@ import random
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.config import Backend, Objective, OptimizerSettings, PlanSpace
+from repro.config import (
+    PARAMETRIC_OBJECTIVES,
+    Backend,
+    Objective,
+    OptimizerSettings,
+    PlanSpace,
+)
 from repro.core.exhaustive import iter_bushy_plans, iter_leftdeep_plans
 from repro.core.serial import optimize_serial
 from repro.cost.costmodel import CostModel
+from repro.cost.parametric import envelope_filter
 from repro.cost.pareto import pareto_filter
 from repro.query.generator import SteinbrunnGenerator
 from repro.query.query import JoinGraphKind, Query
@@ -65,10 +86,25 @@ BackendSpec = str | Callable[[Query, OptimizerSettings], Iterable[Sequence[float
 EXHAUSTIVE_MAX_TABLES = {PlanSpace.LINEAR: 6, PlanSpace.BUSHY: 5}
 
 
+class BackendRoutingError(AssertionError):
+    """A named DP backend did not actually run the request.
+
+    Raised when ``WorkerStats.backend_used`` disagrees with the backend the
+    oracle asked for — the observable form of a silent fallback, which would
+    make a differential comparison vacuous (both sides running the same
+    core trivially agree).
+    """
+
+
 def _dp_cost_vectors(
     query: Query, settings: OptimizerSettings, backend: Backend
 ) -> list[tuple[float, ...]]:
     result = optimize_serial(query, settings.replace(backend=backend))
+    if result.stats.backend_used != backend.value:
+        raise BackendRoutingError(
+            f"requested backend {backend.value!r} but "
+            f"{result.stats.backend_used!r} ran {query.name!r}"
+        )
     return [plan.cost for plan in result.plans]
 
 
@@ -121,18 +157,35 @@ def _resolve(spec: BackendSpec) -> tuple[str, Callable]:
         ) from None
 
 
+def _canonical_signature(
+    vectors: Iterable[Sequence[float]], settings: OptimizerSettings
+) -> FrontierSignature:
+    """Canonicalize a backend's final cost vectors into a comparable set.
+
+    Pareto filtering for ordinary (single/multi-objective) settings; for
+    parametric settings the *lower envelope*, because the parametric DP
+    keeps exactly the θ-optimal plans — a strict subset of the Pareto
+    frontier — and the exhaustive backend's full plan list must be reduced
+    by the same rule to compare meaningfully.
+    """
+    if settings.parametric:
+        flat = [tuple(vector) for vector in vectors]
+        return tuple(sorted(flat[index] for index in envelope_filter(flat)))
+    return tuple(sorted(pareto_filter(vectors)))
+
+
 def frontier(
     query: Query, settings: OptimizerSettings, backend: BackendSpec
 ) -> FrontierSignature:
-    """The exact Pareto frontier of ``backend``'s final plans, sorted.
+    """The canonical frontier of ``backend``'s final plans, sorted.
 
     For the DP backends the returned plans already form the frontier when
-    ``alpha == 1``; applying :func:`~repro.cost.pareto.pareto_filter`
-    uniformly also canonicalizes the exhaustive backend's full plan list
-    and de-duplicates equal-cost plans, so signatures compare exactly.
+    ``alpha == 1``; applying :func:`_canonical_signature` uniformly also
+    canonicalizes the exhaustive backend's full plan list and de-duplicates
+    equal-cost plans, so signatures compare exactly.
     """
     _name, runner = _resolve(backend)
-    return tuple(sorted(pareto_filter(runner(query, settings))))
+    return _canonical_signature(runner(query, settings), settings)
 
 
 class FrontierMismatch(AssertionError):
@@ -216,7 +269,7 @@ def _frontiers_disagree(
 ) -> dict[str, FrontierSignature] | None:
     """All backends' frontiers if they disagree, else None."""
     frontiers = {
-        name: tuple(sorted(pareto_filter(runner(query, settings))))
+        name: _canonical_signature(runner(query, settings), settings)
         for name, runner in resolved
     }
     reference = next(iter(frontiers.values()))
@@ -306,6 +359,14 @@ ORACLE_OBJECTIVE_SETS: tuple[tuple[Objective, ...], ...] = (
     ),
 )
 
+#: Query-class features a sweep can cycle through.  ``plain`` is classical
+#: optimization under the cycled objective sets; ``orders`` switches on
+#: interesting-order tracking (over clustered tables, so sorted scans
+#: exist); ``parametric`` optimizes the one-parameter cost function over
+#: :data:`~repro.config.PARAMETRIC_OBJECTIVES` (the objective-set dimension
+#: is fixed by definition there).
+ORACLE_FEATURES: tuple[str, ...] = ("plain", "orders", "parametric")
+
 
 @dataclass
 class OracleOutcome:
@@ -331,20 +392,29 @@ def run_differential_oracle(
     objective_sets: Sequence[tuple[Objective, ...]] = ORACLE_OBJECTIVE_SETS,
     plan_spaces: Sequence[PlanSpace] = (PlanSpace.LINEAR, PlanSpace.BUSHY),
     backends: Sequence[BackendSpec] = DEFAULT_BACKENDS,
+    features: Sequence[str] = ("plain",),
     fail_fast: bool = False,
 ) -> OracleOutcome:
     """Sweep seeded random queries through :func:`assert_equivalent_frontiers`.
 
     Query shapes cycle deterministically through ``kinds`` × sizes ×
-    ``objective_sets`` × ``plan_spaces`` (seeded by ``seed``), so a failing
-    case reproduces from the same arguments.  Sizes respect
-    :data:`EXHAUSTIVE_MAX_TABLES` whenever the exhaustive backend is in the
-    comparison set.
+    ``objective_sets`` × ``plan_spaces`` × ``features`` (seeded by
+    ``seed``), so a failing case reproduces from the same arguments.  Sizes
+    respect :data:`EXHAUSTIVE_MAX_TABLES` whenever the exhaustive backend is
+    in the comparison set.  ``features`` selects query classes from
+    :data:`ORACLE_FEATURES` — ``orders`` cases generate clustered tables so
+    sorted scans participate, and ``parametric`` cases fix the objective
+    vector to :data:`~repro.config.PARAMETRIC_OBJECTIVES`.
     """
     rng = random.Random(seed)
     low, high = table_range
     if low > high:
         raise ValueError(f"table_range low {low} exceeds high {high}")
+    for feature in features:
+        if feature not in ORACLE_FEATURES:
+            raise ValueError(
+                f"unknown feature {feature!r}; known: {list(ORACLE_FEATURES)}"
+            )
     include_exhaustive = "exhaustive" in backends
     if include_exhaustive:
         for plan_space in plan_spaces:
@@ -358,26 +428,48 @@ def run_differential_oracle(
                 )
     outcome = OracleOutcome()
     for index in range(n_queries):
-        # Mixed-radix counter over (kind, objectives, plan space): every
-        # len(kinds)·len(objective_sets)·len(plan_spaces) consecutive cases
-        # cover the full cross product — no pair of dimensions can lock in
-        # phase the way parallel modular counters would.
+        # Mixed-radix counter over (kind, objectives, plan space, feature):
+        # every len(kinds)·len(objective_sets)·len(plan_spaces)·len(features)
+        # consecutive cases cover the full cross product — no pair of
+        # dimensions can lock in phase the way parallel modular counters
+        # would.
         kind = kinds[index % len(kinds)]
         objectives = objective_sets[(index // len(kinds)) % len(objective_sets)]
         plan_space = plan_spaces[
             (index // (len(kinds) * len(objective_sets))) % len(plan_spaces)
         ]
+        feature = features[
+            (index // (len(kinds) * len(objective_sets) * len(plan_spaces)))
+            % len(features)
+        ]
         cap = high
         if include_exhaustive:
             cap = min(cap, EXHAUSTIVE_MAX_TABLES[plan_space])
         n_tables = rng.randint(low, max(low, cap))
-        settings = OptimizerSettings(plan_space=plan_space, objectives=objectives)
-        query = SteinbrunnGenerator(seed=rng.randrange(1 << 30)).query(
-            n_tables, kind, name=f"oracle-{index}-{kind.value}-{n_tables}"
-        )
+        if feature == "orders":
+            settings = OptimizerSettings(
+                plan_space=plan_space,
+                objectives=objectives,
+                consider_orders=True,
+            )
+        elif feature == "parametric":
+            settings = OptimizerSettings(
+                plan_space=plan_space,
+                objectives=PARAMETRIC_OBJECTIVES,
+                parametric=True,
+            )
+        else:
+            settings = OptimizerSettings(
+                plan_space=plan_space, objectives=objectives
+            )
+        query = SteinbrunnGenerator(
+            seed=rng.randrange(1 << 30),
+            clustered_tables=feature == "orders",
+        ).query(n_tables, kind, name=f"oracle-{index}-{kind.value}-{n_tables}")
         outcome.case_log.append(
             f"{query.name}: space={plan_space.value} "
-            f"objectives={[o.value for o in objectives]}"
+            f"objectives={[o.value for o in settings.objectives]} "
+            f"feature={feature}"
         )
         try:
             assert_equivalent_frontiers(query, settings, backends)

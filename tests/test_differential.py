@@ -14,6 +14,7 @@ import pytest
 
 from repro.config import (
     MULTI_OBJECTIVE,
+    PARAMETRIC_OBJECTIVES,
     Backend,
     Objective,
     OptimizerSettings,
@@ -23,7 +24,9 @@ from repro.core.serial import best_plan, optimize_serial
 from repro.query.generator import SteinbrunnGenerator
 from repro.query.query import JoinGraphKind
 from repro.testing import (
+    ORACLE_FEATURES,
     ORACLE_OBJECTIVE_SETS,
+    BackendRoutingError,
     FrontierMismatch,
     assert_equivalent_frontiers,
     frontier,
@@ -32,9 +35,13 @@ from repro.testing import (
 )
 from repro.testing.differential import _legacy_backend
 
-#: The two sweeps must add up to the acceptance bar of the oracle.
+#: The plain sweeps must add up to the acceptance bar of the oracle; the
+#: feature sweeps below add interesting-order and parametric coverage on
+#: top (the acceptance criterion requires 200+ cases *including* those).
 LINEAR_SWEEP_QUERIES = 120
 BUSHY_SWEEP_QUERIES = 80
+ORDERS_SWEEP_QUERIES = 72
+PARAMETRIC_SWEEP_QUERIES = 48
 assert LINEAR_SWEEP_QUERIES + BUSHY_SWEEP_QUERIES >= 200
 
 THREE_OBJECTIVES = (
@@ -80,6 +87,51 @@ class TestOracleSweeps:
             assert kind.value in log
         for objectives in ORACLE_OBJECTIVE_SETS:
             assert str([o.value for o in objectives]) in log
+
+    def test_orders_sweep(self):
+        """Interesting orders across all topologies, objective counts, spaces."""
+        outcome = run_differential_oracle(
+            n_queries=ORDERS_SWEEP_QUERIES,
+            seed=10,
+            table_range=(3, 4),
+            features=("orders",),
+        )
+        assert outcome.cases_run == ORDERS_SWEEP_QUERIES
+        assert outcome.passed, "\n\n".join(str(f) for f in outcome.failures)
+        assert all("feature=orders" in line for line in outcome.case_log)
+
+    def test_parametric_sweep(self):
+        """Parametric costs: envelopes must match exactly across backends."""
+        outcome = run_differential_oracle(
+            n_queries=PARAMETRIC_SWEEP_QUERIES,
+            seed=11,
+            table_range=(3, 4),
+            features=("parametric",),
+        )
+        assert outcome.cases_run == PARAMETRIC_SWEEP_QUERIES
+        assert outcome.passed, "\n\n".join(str(f) for f in outcome.failures)
+        assert all("feature=parametric" in line for line in outcome.case_log)
+
+    def test_mixed_feature_sweep_cycles_all_features(self):
+        """One full mixed-radix period covers plain, orders, and parametric."""
+        period = (
+            len(JoinGraphKind)
+            * len(ORACLE_OBJECTIVE_SETS)
+            * len((PlanSpace.LINEAR, PlanSpace.BUSHY))
+            * len(ORACLE_FEATURES)
+        )
+        outcome = run_differential_oracle(
+            n_queries=period,
+            seed=12,
+            table_range=(3, 3),
+            features=ORACLE_FEATURES,
+            backends=("legacy", "fastdp"),
+        )
+        assert outcome.passed
+        for feature in ORACLE_FEATURES:
+            assert any(
+                f"feature={feature}" in line for line in outcome.case_log
+            ), f"sweep never exercises {feature}"
 
     def test_default_sweep_crosses_topology_with_plan_space(self):
         """No (kind, plan space) pair may be structurally untestable."""
@@ -132,6 +184,30 @@ class TestExplicitTopologies:
             ),
         )
 
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_interesting_orders_all_backends_agree(self, kind, space):
+        query = SteinbrunnGenerator(seed=97, clustered_tables=True).query(
+            4, kind
+        )
+        assert_equivalent_frontiers(
+            query,
+            OptimizerSettings(plan_space=space, consider_orders=True),
+        )
+
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_parametric_all_backends_agree(self, kind, space):
+        query = SteinbrunnGenerator(seed=96).query(4, kind)
+        assert_equivalent_frontiers(
+            query,
+            OptimizerSettings(
+                plan_space=space,
+                objectives=PARAMETRIC_OBJECTIVES,
+                parametric=True,
+            ),
+        )
+
 
 class TestLargerQueriesWithoutExhaustive:
     """fastdp vs legacy at sizes exhaustive enumeration cannot reach."""
@@ -151,6 +227,28 @@ class TestLargerQueriesWithoutExhaustive:
             query,
             OptimizerSettings(
                 plan_space=PlanSpace.BUSHY, objectives=MULTI_OBJECTIVE
+            ),
+            backends=("legacy", "fastdp"),
+        )
+
+    @pytest.mark.parametrize("kind", [JoinGraphKind.CHAIN, JoinGraphKind.CYCLE])
+    def test_orders_at_scale(self, kind):
+        query = SteinbrunnGenerator(seed=9, clustered_tables=True).query(
+            9, kind
+        )
+        assert_equivalent_frontiers(
+            query,
+            OptimizerSettings(consider_orders=True),
+            backends=("legacy", "fastdp"),
+        )
+
+    @pytest.mark.parametrize("kind", [JoinGraphKind.STAR, JoinGraphKind.CLIQUE])
+    def test_parametric_at_scale(self, kind):
+        query = SteinbrunnGenerator(seed=9).query(8, kind)
+        assert_equivalent_frontiers(
+            query,
+            OptimizerSettings(
+                objectives=PARAMETRIC_OBJECTIVES, parametric=True
             ),
             backends=("legacy", "fastdp"),
         )
@@ -248,6 +346,30 @@ class TestOracleMachinery:
         query = SteinbrunnGenerator(seed=13).query(3, JoinGraphKind.CHAIN)
         with pytest.raises(ValueError, match="unknown backend"):
             frontier(query, OptimizerSettings(), "quantum")
+
+    def test_unknown_feature_name(self):
+        with pytest.raises(ValueError, match="unknown feature"):
+            run_differential_oracle(n_queries=1, features=("quantum",))
+
+    def test_silent_backend_substitution_raises_routing_error(self):
+        """A backend that routes to a different core must not pass silently."""
+        from repro.core import worker
+        from repro.core.worker import EnumerationBackend
+
+        impostor = EnumerationBackend(
+            backend=Backend.FASTDP,
+            capabilities=worker.ALL_CAPABILITIES,
+            speed_rank=10,
+            loader=lambda: worker._optimize_partition_legacy,
+        )
+        original = worker._BACKEND_REGISTRY[Backend.FASTDP]
+        worker.register_backend(impostor)
+        try:
+            query = SteinbrunnGenerator(seed=13).query(3, JoinGraphKind.CHAIN)
+            with pytest.raises(BackendRoutingError, match="fastdp"):
+                frontier(query, OptimizerSettings(), "fastdp")
+        finally:
+            worker.register_backend(original)
 
     def test_needs_two_backends(self):
         query = SteinbrunnGenerator(seed=13).query(3, JoinGraphKind.CHAIN)

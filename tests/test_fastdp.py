@@ -2,9 +2,11 @@
 
 The differential tests prove frontier equivalence; these tests pin the
 stronger drop-in contract — identical worker *statistics* (the raw material
-of the simulated-cluster accounting), identical plan trees for the
-single-objective case, transparent fallback for unsupported settings, and
-the config/CLI/service wiring of ``OptimizerSettings.backend``.
+of the simulated-cluster accounting), identical plan trees (including
+interesting-order and parametric settings, which the fast core handles
+natively), the capability-declaring backend registry with its ``AUTO``
+resolution, ``backend_used`` observability end to end, and the
+config/CLI/service wiring of ``OptimizerSettings.backend``.
 """
 
 from __future__ import annotations
@@ -21,7 +23,16 @@ from repro.config import (
 )
 from repro.core import fastdp
 from repro.core.serial import optimize_serial
-from repro.core.worker import optimize_partition
+from repro.core.worker import (
+    ALL_CAPABILITIES,
+    Capability,
+    EnumerationBackend,
+    capability_matrix,
+    optimize_partition,
+    registered_backends,
+    required_capabilities,
+    resolve_backend,
+)
 from repro.plans.plan import plan_signature
 from repro.query.generator import SteinbrunnGenerator
 from repro.query.query import JoinGraphKind
@@ -103,6 +114,70 @@ class TestStatisticsParity:
         _assert_stats_equal(legacy, fast, "io-metric")
         assert legacy.plans[0].cost == fast.plans[0].cost
 
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    @pytest.mark.parametrize("clustered", [False, True], ids=["flat", "clustered"])
+    def test_interesting_orders(self, space, clustered):
+        query = SteinbrunnGenerator(
+            seed=26, clustered_tables=clustered
+        ).query(6, JoinGraphKind.CYCLE)
+        settings = OptimizerSettings(plan_space=space, consider_orders=True)
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, f"orders/{space.value}/{clustered}")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in fast.plans]
+        assert [p.order for p in legacy.plans] == [p.order for p in fast.plans]
+
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_multi_objective_with_orders(self, space):
+        query = SteinbrunnGenerator(seed=27, clustered_tables=True).query(
+            6, JoinGraphKind.CHAIN
+        )
+        settings = OptimizerSettings(
+            plan_space=space, objectives=MULTI_OBJECTIVE, consider_orders=True
+        )
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, f"multi-orders/{space.value}")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in fast.plans]
+        assert [p.order for p in legacy.plans] == [p.order for p in fast.plans]
+
+    def test_multi_objective_orders_alpha_approximate(self):
+        """α > 1 with orders: pruning is order-sensitive; must still match."""
+        query = SteinbrunnGenerator(seed=28, clustered_tables=True).query(
+            7, JoinGraphKind.STAR
+        )
+        settings = OptimizerSettings(
+            objectives=MULTI_OBJECTIVE, consider_orders=True, alpha=10.0
+        )
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, "multi-orders-alpha")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in fast.plans]
+
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_parametric(self, space):
+        query = SteinbrunnGenerator(seed=29).query(6, JoinGraphKind.STAR)
+        settings = OptimizerSettings(
+            plan_space=space, objectives=PARAMETRIC_OBJECTIVES, parametric=True
+        )
+        legacy, fast = _pair(query, settings)
+        _assert_stats_equal(legacy, fast, f"parametric/{space.value}")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in fast.plans]
+
+    def test_orders_partitioned_runs(self):
+        query = SteinbrunnGenerator(seed=30, clustered_tables=True).query(
+            8, JoinGraphKind.CYCLE
+        )
+        settings = OptimizerSettings(consider_orders=True)
+        for n_partitions in (2, 8):
+            for partition_id in range(n_partitions):
+                legacy, fast = _pair(
+                    query,
+                    settings,
+                    partition_id=partition_id,
+                    n_partitions=n_partitions,
+                )
+                _assert_stats_equal(
+                    legacy, fast, f"orders partition {partition_id}/{n_partitions}"
+                )
+
 
 class TestPlanTreeEquality:
     """Same decisions in the same order ⇒ bit-identical plan trees."""
@@ -128,53 +203,188 @@ class TestPlanTreeEquality:
         for legacy_plan, fast_plan in zip(legacy.plans, fast.plans):
             assert plan_signature(legacy_plan) == plan_signature(fast_plan)
 
-
-class TestFallback:
-    """Unsupported settings run on the legacy core — transparently."""
-
-    def test_supports(self):
-        assert fastdp.supports(OptimizerSettings())
-        assert fastdp.supports(OptimizerSettings(objectives=MULTI_OBJECTIVE))
-        assert not fastdp.supports(OptimizerSettings(consider_orders=True))
-        assert not fastdp.supports(
-            OptimizerSettings(objectives=PARAMETRIC_OBJECTIVES, parametric=True)
+    def test_orders_frontier_trees_identical_in_order(self):
+        query = SteinbrunnGenerator(seed=34, clustered_tables=True).query(
+            6, JoinGraphKind.CHAIN
         )
+        settings = OptimizerSettings(consider_orders=True)
+        legacy, fast = _pair(query, settings)
+        assert len(legacy.plans) == len(fast.plans)
+        for legacy_plan, fast_plan in zip(legacy.plans, fast.plans):
+            assert plan_signature(legacy_plan) == plan_signature(fast_plan)
+            assert legacy_plan.order == fast_plan.order
 
-    def test_direct_call_rejects_unsupported(self):
-        query = SteinbrunnGenerator(seed=41).query(4, JoinGraphKind.CHAIN)
+    def test_parametric_envelope_trees_identical_in_order(self):
+        query = SteinbrunnGenerator(seed=35).query(6, JoinGraphKind.CYCLE)
         settings = OptimizerSettings(
-            consider_orders=True, backend=Backend.FASTDP
+            objectives=PARAMETRIC_OBJECTIVES, parametric=True
         )
-        with pytest.raises(ValueError, match="fastdp does not support"):
-            fastdp.optimize_partition_fastdp(query, 0, 1, settings)
+        legacy, fast = _pair(query, settings)
+        assert len(legacy.plans) == len(fast.plans)
+        for legacy_plan, fast_plan in zip(legacy.plans, fast.plans):
+            assert plan_signature(legacy_plan) == plan_signature(fast_plan)
+
+
+class TestCapabilityRegistry:
+    """The capability-declaring backend architecture and AUTO resolution."""
+
+    def test_fastdp_declares_everything(self):
+        assert fastdp.CAPABILITIES == ALL_CAPABILITIES
+        matrix = capability_matrix()
+        assert set(matrix) == {"legacy", "fastdp"}
+        for row in matrix.values():
+            assert all(row.values()), matrix
+
+    def test_required_capabilities_derivation(self):
+        assert required_capabilities(OptimizerSettings()) == Capability(0)
+        assert (
+            required_capabilities(OptimizerSettings(consider_orders=True))
+            == Capability.INTERESTING_ORDERS
+        )
+        needed = required_capabilities(
+            OptimizerSettings(
+                plan_space=PlanSpace.BUSHY,
+                objectives=PARAMETRIC_OBJECTIVES,
+                parametric=True,
+            )
+        )
+        assert Capability.PARAMETRIC_COSTS in needed
+        assert Capability.BUSHY_SPACE in needed
+        assert Capability.MULTI_OBJECTIVE in needed
+        assert Capability.INTERESTING_ORDERS not in needed
 
     @pytest.mark.parametrize(
         "settings",
         [
-            OptimizerSettings(consider_orders=True, backend=Backend.FASTDP),
+            OptimizerSettings(),
+            OptimizerSettings(consider_orders=True),
+            OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=10.0),
             OptimizerSettings(
-                objectives=PARAMETRIC_OBJECTIVES,
-                parametric=True,
-                backend=Backend.FASTDP,
+                objectives=PARAMETRIC_OBJECTIVES, parametric=True
             ),
         ],
-        ids=["orders", "parametric"],
+        ids=["plain", "orders", "multi-alpha", "parametric"],
     )
-    def test_worker_falls_back(self, settings):
-        query = SteinbrunnGenerator(seed=42, clustered_tables=True).query(
-            5, JoinGraphKind.STAR
+    def test_auto_resolves_to_fastdp_for_every_query_class(self, settings):
+        assert settings.backend is Backend.AUTO
+        assert resolve_backend(settings).backend is Backend.FASTDP
+
+    def test_explicit_backends_resolve_to_themselves(self):
+        for backend in (Backend.LEGACY, Backend.FASTDP):
+            settings = OptimizerSettings(
+                consider_orders=True, backend=backend
+            )
+            assert resolve_backend(settings).backend is backend
+
+    def test_incapable_explicit_backend_is_an_error_not_a_fallback(self):
+        """Requesting a backend that lacks a capability must fail loudly."""
+        from repro.core import worker
+
+        limited = EnumerationBackend(
+            backend=Backend.FASTDP,
+            capabilities=ALL_CAPABILITIES & ~Capability.INTERESTING_ORDERS,
+            speed_rank=10,
+            loader=lambda: fastdp.optimize_partition_fastdp,
         )
-        via_fastdp_setting = optimize_partition(query, 0, 1, settings)
-        via_legacy = optimize_partition(
-            query, 0, 1, settings.replace(backend=Backend.LEGACY)
+        original = worker._BACKEND_REGISTRY[Backend.FASTDP]
+        worker.register_backend(limited)
+        try:
+            settings = OptimizerSettings(
+                consider_orders=True, backend=Backend.FASTDP
+            )
+            with pytest.raises(ValueError, match="INTERESTING_ORDERS"):
+                resolve_backend(settings)
+            # AUTO routes around the gap instead of failing.
+            auto = resolve_backend(settings.replace(backend=Backend.AUTO))
+            assert auto.backend is Backend.LEGACY
+        finally:
+            worker.register_backend(original)
+
+    def test_registered_backends_sorted_by_speed_rank(self):
+        ranks = [d.speed_rank for d in registered_backends()]
+        assert ranks == sorted(ranks)
+        assert registered_backends()[0].backend is Backend.FASTDP
+
+    def test_auto_is_not_registrable(self):
+        from repro.core import worker
+
+        with pytest.raises(ValueError, match="AUTO"):
+            worker.register_backend(
+                EnumerationBackend(
+                    backend=Backend.AUTO,
+                    capabilities=ALL_CAPABILITIES,
+                    speed_rank=1,
+                    loader=lambda: fastdp.optimize_partition_fastdp,
+                )
+            )
+
+
+class TestBackendUsedObservability:
+    """backend_used is recorded per partition and surfaced at every layer."""
+
+    def test_worker_stats_record_backend(self):
+        query = SteinbrunnGenerator(seed=50).query(5, JoinGraphKind.CHAIN)
+        auto = optimize_partition(query, 0, 1, OptimizerSettings())
+        assert auto.stats.backend_used == "fastdp"
+        legacy = optimize_partition(
+            query, 0, 1, OptimizerSettings(backend=Backend.LEGACY)
         )
-        assert sorted(p.cost for p in via_fastdp_setting.plans) == sorted(
-            p.cost for p in via_legacy.plans
+        assert legacy.stats.backend_used == "legacy"
+
+    def test_master_result_surfaces_backend(self):
+        from repro.core.master import optimize_parallel
+
+        query = SteinbrunnGenerator(seed=51).query(7, JoinGraphKind.STAR)
+        result = optimize_parallel(query, 4, OptimizerSettings())
+        assert result.backend_used == "fastdp"
+        assert all(
+            r.stats.backend_used == "fastdp" for r in result.partition_results
         )
-        assert (
-            via_fastdp_setting.stats.plans_considered
-            == via_legacy.stats.plans_considered
+
+    def test_mpq_report_surfaces_backend(self):
+        from repro.algorithms.mpq import optimize_mpq
+
+        query = SteinbrunnGenerator(seed=52).query(6, JoinGraphKind.CYCLE)
+        report = optimize_mpq(
+            query, 2, OptimizerSettings(backend=Backend.LEGACY)
         )
+        assert report.backend_used == "legacy"
+
+    def test_service_result_surfaces_backend_and_replays_it_on_hits(self):
+        from repro.service import OptimizerService
+
+        query = SteinbrunnGenerator(seed=53).query(6, JoinGraphKind.CHAIN)
+        with OptimizerService(n_workers=2) as service:
+            fresh = service.optimize(query)
+            hit = service.optimize(query)
+        assert not fresh.cached and hit.cached
+        assert fresh.backend_used == "fastdp"
+        assert hit.backend_used == "fastdp"
+
+    def test_serve_batch_json_reports_backend(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.query.generator import make_chain_query
+        from repro.query.io import save_query
+
+        path = tmp_path / "query.json"
+        save_query(make_chain_query(5, seed=3), str(path))
+        assert main(["serve-batch", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        result = payload["rounds"][0]["results"][0]
+        assert result["backend_used"] == "fastdp"
+
+    def test_cli_backends_command_lists_matrix(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"legacy", "fastdp"}
+        assert payload["fastdp"]["capabilities"]["interesting_orders"]
+        assert payload["fastdp"]["capabilities"]["parametric_costs"]
 
 
 class TestBackendWiring:
@@ -183,6 +393,7 @@ class TestBackendWiring:
     def test_settings_coerce_backend_string(self):
         assert OptimizerSettings(backend="fastdp").backend is Backend.FASTDP
         assert OptimizerSettings(backend="legacy").backend is Backend.LEGACY
+        assert OptimizerSettings(backend="auto").backend is Backend.AUTO
 
     def test_settings_reject_unknown_backend(self):
         with pytest.raises(ValueError):
@@ -203,7 +414,9 @@ class TestBackendWiring:
 
         query = SteinbrunnGenerator(seed=44).query(7, JoinGraphKind.CHAIN)
         with OptimizerService(n_workers=4) as service:
-            legacy = service.optimize(query, OptimizerSettings())
+            legacy = service.optimize(
+                query, OptimizerSettings(backend=Backend.LEGACY)
+            )
             fast = service.optimize(
                 query, OptimizerSettings(backend=Backend.FASTDP)
             )
@@ -214,6 +427,19 @@ class TestBackendWiring:
         assert legacy.fingerprint != fast.fingerprint
         assert not fast.cached and fast_again.cached
         assert fast_again.best.cost == fast.best.cost
+
+    def test_service_auto_and_explicit_fastdp_share_cache_entries(self):
+        """AUTO is fingerprinted as the backend it resolves to."""
+        from repro.service import OptimizerService
+
+        query = SteinbrunnGenerator(seed=46).query(6, JoinGraphKind.STAR)
+        with OptimizerService(n_workers=2) as service:
+            via_auto = service.optimize(query, OptimizerSettings())
+            via_explicit = service.optimize(
+                query, OptimizerSettings(backend=Backend.FASTDP)
+            )
+        assert via_auto.fingerprint == via_explicit.fingerprint
+        assert not via_auto.cached and via_explicit.cached
 
     def test_cli_backend_flag(self, tmp_path, capsys):
         import json
@@ -230,8 +456,9 @@ class TestBackendWiring:
         legacy_payload = json.loads(capsys.readouterr().out)
         assert fast_payload["plans"] == legacy_payload["plans"]
 
-    def test_serial_defaults_to_legacy_backend(self):
-        assert OptimizerSettings().backend is Backend.LEGACY
+    def test_default_backend_is_auto_resolving_to_fastdp(self):
+        assert OptimizerSettings().backend is Backend.AUTO
+        assert resolve_backend(OptimizerSettings()).backend is Backend.FASTDP
 
     def test_empty_partition_result_possible(self):
         """A 1-table query exercises the degenerate no-join path."""

@@ -18,16 +18,24 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import MULTI_OBJECTIVE, Backend, OptimizerSettings, PlanSpace
+from repro.config import (
+    MULTI_OBJECTIVE,
+    PARAMETRIC_OBJECTIVES,
+    Backend,
+    OptimizerSettings,
+    PlanSpace,
+)
 from repro.core.serial import best_plan, optimize_serial
 from repro.core.worker import PartitionResult, WorkerStats
 from repro.plans.plan import plan_signature, plan_tie_key
 from repro.query.generator import (
+    SteinbrunnGenerator,
     make_chain_query,
     make_clique_query,
     make_cycle_query,
     make_star_query,
 )
+from repro.query.query import JoinGraphKind
 
 BACKENDS = [Backend.LEGACY, Backend.FASTDP]
 
@@ -101,6 +109,111 @@ def test_bushy_golden_plan(backend):
     plan = best_plan(optimize_serial(query, settings))
     assert plan.cost[0] == pytest.approx(BUSHY_GOLDEN_COST, rel=1e-12)
     assert plan_signature(plan) == BUSHY_GOLDEN_SIGNATURE
+
+
+#: chain-6 seed 13 over clustered tables, interesting orders on: the full
+#: per-order frontier at the final table set — (first-metric cost, output
+#: order rendered as str or None) in stored order — and the best plan.
+ORDERS_GOLDEN_FRONTIER = [
+    (10778022908424.549, None),
+    (394846880051123.06, "T1.c0"),
+    (2.3556122884843844e16, "T0.c0"),
+    (1250064738706076.2, "T1.c1"),
+    (1.4121503692576332e16, "T2.c1"),
+    (9.383302999321702e17, "T3.c1"),
+    (1680172263749727.0, "T4.c1"),
+]
+ORDERS_GOLDEN_BEST_ORDER = (5, 4, 3, 2, 1, 0)
+ORDERS_GOLDEN_BEST_COST = 10778022908424.549
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+def test_interesting_orders_golden_frontier(backend):
+    """Pin the multi-(mask, order) frontier, not just the best plan."""
+    query = SteinbrunnGenerator(seed=13, clustered_tables=True).query(
+        6, JoinGraphKind.CHAIN
+    )
+    settings = OptimizerSettings(consider_orders=True, backend=backend)
+    result = optimize_serial(query, settings)
+    got = [
+        (plan.cost[0], str(plan.order) if plan.order else None)
+        for plan in result.plans
+    ]
+    assert len(got) == len(ORDERS_GOLDEN_FRONTIER)
+    for (got_cost, got_order), (want_cost, want_order) in zip(
+        got, ORDERS_GOLDEN_FRONTIER
+    ):
+        assert got_cost == pytest.approx(want_cost, rel=1e-12)
+        assert got_order == want_order
+    best = best_plan(result)
+    assert best.join_order() == ORDERS_GOLDEN_BEST_ORDER
+    assert best.cost[0] == pytest.approx(ORDERS_GOLDEN_BEST_COST, rel=1e-12)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+def test_interesting_orders_tie_rule_ignores_frontier_order(backend):
+    """plan_tie_key decides among per-order plans, not generation order."""
+    query = SteinbrunnGenerator(seed=13, clustered_tables=True).query(
+        6, JoinGraphKind.CHAIN
+    )
+    settings = OptimizerSettings(consider_orders=True, backend=backend)
+    result = optimize_serial(query, settings)
+    stats = WorkerStats(partition_id=0, n_partitions=1, n_constraints=0)
+    reversed_result = PartitionResult(
+        plans=list(reversed(result.plans)), stats=stats
+    )
+    assert plan_signature(best_plan(result)) == plan_signature(
+        best_plan(reversed_result)
+    )
+
+
+#: clique-7 seed 16, parametric (time, io): the lower envelope — two lines
+#: crossing once inside (0, 1) — with the θ ranges each plan wins.
+PARAMETRIC_GOLDEN_ENVELOPE = [
+    (4935954.915994024, 3333047.9299950195),
+    (4943874.5140040405, 3328847.095003367),
+]
+PARAMETRIC_GOLDEN_SWITCH = 0.6534088352227998
+PARAMETRIC_GOLDEN_ORDERS = {
+    (4935954.915994024, 3333047.9299950195): (1, 0, 2, 4, 5, 6, 3),
+    (4943874.5140040405, 3328847.095003367): (1, 0, 2, 3, 4, 5, 6),
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+def test_parametric_golden_envelope(backend):
+    from repro.cost.parametric import switching_points
+
+    query = SteinbrunnGenerator(seed=16).query(7, JoinGraphKind.CLIQUE)
+    settings = OptimizerSettings(
+        objectives=PARAMETRIC_OBJECTIVES, parametric=True, backend=backend
+    )
+    result = optimize_serial(query, settings)
+    envelope = sorted(plan.cost for plan in result.plans)
+    assert len(envelope) == len(PARAMETRIC_GOLDEN_ENVELOPE)
+    for got, want in zip(envelope, sorted(PARAMETRIC_GOLDEN_ENVELOPE)):
+        assert got == pytest.approx(want, rel=1e-12)
+    points = switching_points([plan.cost for plan in result.plans])
+    assert len(points) == 1
+    assert points[0] == pytest.approx(PARAMETRIC_GOLDEN_SWITCH, rel=1e-9)
+    for plan in result.plans:
+        assert plan.join_order() == PARAMETRIC_GOLDEN_ORDERS[plan.cost]
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+def test_parametric_golden_theta_selection(backend):
+    """best_plan_for picks each envelope line on its side of the switch."""
+    from repro.algorithms.pqo import optimize_parametric
+
+    query = SteinbrunnGenerator(seed=16).query(7, JoinGraphKind.CLIQUE)
+    result = optimize_parametric(query, backend=backend)
+    time_heavy = result.best_plan_for(0.0)
+    io_heavy = result.best_plan_for(1.0)
+    assert time_heavy.cost == pytest.approx(PARAMETRIC_GOLDEN_ENVELOPE[0])
+    assert io_heavy.cost == pytest.approx(PARAMETRIC_GOLDEN_ENVELOPE[1])
+    assert result.switching_thetas() == [
+        pytest.approx(PARAMETRIC_GOLDEN_SWITCH, rel=1e-9)
+    ]
 
 
 class TestDeterministicTieBreaking:
