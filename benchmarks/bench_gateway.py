@@ -1,0 +1,316 @@
+"""Sharded gateway vs a single service under concurrent clients.
+
+The gateway's claim, measured: when many clients race the same cold
+fingerprints, in-flight coalescing (singleflight) turns N duplicate DP
+enumerations into one, so **concurrent-client throughput through the
+gateway is at least that of a single bare** :class:`OptimizerService`
+serving the same threads.  The workload is deliberately adversarial for an
+uncoalesced service — every client submits the same unique queries in the
+same order, so all clients miss each fingerprint nearly simultaneously —
+because that is exactly the thundering-herd shape a production cache sees
+after a restart.
+
+Also verified while measuring (a benchmark that silently benchmarks a wrong
+optimizer is worse than no benchmark):
+
+* every request's best-plan cost equals serial optimization;
+* the gateway performed **exactly one** DP run per unique fingerprint
+  (counted both by its own counters and by the shard executors).
+
+Dual-use module:
+
+* **pytest** (how the rest of ``benchmarks/`` runs)::
+
+      PYTHONPATH=src python -m pytest -q benchmarks/bench_gateway.py
+
+* **script** (the CI benchmark-regression job)::
+
+      PYTHONPATH=src python benchmarks/bench_gateway.py \
+          --repeats 2 --json BENCH_gateway.json --min-speedup 1.0
+
+  Exits non-zero if gateway throughput falls below ``--min-speedup`` times
+  the single-service baseline, if any plan diverges from serial, or if the
+  gateway ran more than one optimization for any fingerprint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:  # script mode: bootstrap the src layout without installation
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the CI script job
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.executors import SerialPartitionExecutor
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.service import OptimizerService, ShardedOptimizerGateway
+
+N_THREADS = 8
+N_UNIQUE = 4
+#: 9-table queries make each DP run long enough (a few ms) that concurrent
+#: cold clients genuinely pile up on the same fingerprint — the regime the
+#: coalescing claim is about.  Smaller queries finish before the herd forms
+#: and measure only lock overhead.
+N_TABLES = 9
+N_WORKERS = 4
+N_SHARDS = 4
+
+
+class CountingSerialExecutor(SerialPartitionExecutor):
+    """Serial executor counting DP runs (``map_partitions`` invocations)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def map_partitions(self, query, n_partitions, settings):
+        with self._lock:
+            self.calls += 1
+        return super().map_partitions(query, n_partitions, settings)
+
+
+def make_workload(n_unique: int = N_UNIQUE, n_tables: int = N_TABLES, seed: int = 61):
+    generator = SteinbrunnGenerator(seed)
+    return [generator.query(n_tables) for __ in range(n_unique)]
+
+
+def _drive_concurrently(submit, queries, n_threads: int):
+    """Every thread submits the whole workload; returns (wall_s, results)."""
+    results: list[list] = [[] for __ in range(n_threads)]
+    errors: list[BaseException | None] = [None] * n_threads
+    barrier = threading.Barrier(n_threads + 1)
+
+    def client(index: int) -> None:
+        barrier.wait()
+        try:
+            results[index] = [submit(query) for query in queries]
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors[index] = error
+
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    for error in errors:
+        if error is not None:
+            raise error
+    return wall_s, results
+
+
+def measure_single_service(queries, n_threads: int = N_THREADS):
+    """Concurrent clients against one bare (uncoalesced) OptimizerService."""
+    executor = CountingSerialExecutor()
+    with OptimizerService(n_workers=N_WORKERS, executor=executor) as service:
+        wall_s, results = _drive_concurrently(service.optimize, queries, n_threads)
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": n_threads * len(queries) / wall_s,
+        "optimizations": executor.calls,
+        "results": results,
+    }
+
+
+def measure_gateway(queries, n_threads: int = N_THREADS, n_shards: int = N_SHARDS):
+    """The same concurrent clients through the sharded coalescing gateway."""
+    executors: list[CountingSerialExecutor] = []
+
+    def factory():
+        executor = CountingSerialExecutor()
+        executors.append(executor)
+        return executor
+
+    with ShardedOptimizerGateway(
+        n_shards=n_shards, n_workers=N_WORKERS, executor_factory=factory
+    ) as gateway:
+        wall_s, results = _drive_concurrently(gateway.optimize, queries, n_threads)
+        stats = gateway.stats()
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": n_threads * len(queries) / wall_s,
+        "optimizations": stats.optimizations,
+        "executor_runs": sum(executor.calls for executor in executors),
+        "coalesced": stats.coalesced,
+        "peak_in_flight": stats.peak_in_flight,
+        "hit_rate": stats.hit_rate,
+        "results": results,
+    }
+
+
+def _plans_agree(queries, measured) -> bool:
+    references = [best_plan(optimize_serial(query)).cost for query in queries]
+    return all(
+        result.best.cost == reference
+        for per_thread in measured["results"]
+        for result, reference in zip(per_thread, references)
+    )
+
+
+def run_benchmark(
+    n_threads: int = N_THREADS,
+    n_unique: int = N_UNIQUE,
+    n_tables: int = N_TABLES,
+    n_shards: int = N_SHARDS,
+    seed: int = 61,
+    repeats: int = 2,
+) -> dict:
+    """Best-of-``repeats`` cold-start comparison; returns the full report."""
+    queries = make_workload(n_unique, n_tables, seed)
+    single_best = None
+    gateway_best = None
+    plans_agree = True
+    one_run_per_fingerprint = True
+    for __ in range(repeats):
+        single = measure_single_service(queries, n_threads)
+        gateway = measure_gateway(queries, n_threads, n_shards)
+        plans_agree = (
+            plans_agree
+            and _plans_agree(queries, single)
+            and _plans_agree(queries, gateway)
+        )
+        one_run_per_fingerprint = one_run_per_fingerprint and (
+            gateway["optimizations"] == n_unique
+            and gateway["executor_runs"] == n_unique
+        )
+        if single_best is None or single["wall_s"] < single_best["wall_s"]:
+            single_best = single
+        if gateway_best is None or gateway["wall_s"] < gateway_best["wall_s"]:
+            gateway_best = gateway
+    assert single_best is not None and gateway_best is not None
+    single_best = {k: v for k, v in single_best.items() if k != "results"}
+    gateway_best = {k: v for k, v in gateway_best.items() if k != "results"}
+    return {
+        "config": {
+            "n_threads": n_threads,
+            "n_unique_queries": n_unique,
+            "n_tables": n_tables,
+            "n_shards": n_shards,
+            "n_workers": N_WORKERS,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "single_service": single_best,
+        "gateway": gateway_best,
+        "speedup": single_best["wall_s"] / gateway_best["wall_s"],
+        "plans_agree": plans_agree,
+        "one_run_per_fingerprint": one_run_per_fingerprint,
+        # How many duplicate DP runs the herd forced on the bare service
+        # (n_unique is the floor; anything above it is wasted work the
+        # gateway's coalescing avoids by construction).
+        "single_service_duplicate_runs": single_best["optimizations"] - n_unique,
+    }
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_gateway_throughput_at_least_single_service():
+    """Acceptance: the gateway serves the thundering herd no slower than a
+    bare service, with every plan still agreeing with serial DP."""
+    report = run_benchmark(repeats=2)
+    assert report["plans_agree"], report
+    assert report["one_run_per_fingerprint"], report
+    assert report["speedup"] >= 1.0, report
+
+
+def test_gateway_coalesces_the_herd():
+    report = run_benchmark(repeats=1)
+    gateway = report["gateway"]
+    assert gateway["optimizations"] == N_UNIQUE, report
+    assert gateway["coalesced"] + gateway["hit_rate"] > 0, report
+
+
+# ------------------------------------------------------------------ script
+
+
+def _print_report(report: dict) -> None:
+    config = report["config"]
+    single = report["single_service"]
+    gateway = report["gateway"]
+    print(
+        f"gateway benchmark: {config['n_threads']} client threads x "
+        f"{config['n_unique_queries']} unique {config['n_tables']}-table "
+        f"queries, {config['n_shards']} shards, repeats={config['repeats']}"
+    )
+    print(
+        f"  single service: {single['wall_s'] * 1e3:8.1f} ms  "
+        f"({single['throughput_qps']:8.1f} req/s, "
+        f"{single['optimizations']} DP runs)"
+    )
+    print(
+        f"  gateway:        {gateway['wall_s'] * 1e3:8.1f} ms  "
+        f"({gateway['throughput_qps']:8.1f} req/s, "
+        f"{gateway['optimizations']} DP runs, "
+        f"{gateway['coalesced']} coalesced)"
+    )
+    print(
+        f"  speedup {report['speedup']:5.2f}x   "
+        f"duplicate runs avoided: {report['single_service_duplicate_runs']}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threads", type=int, default=N_THREADS)
+    parser.add_argument("--uniques", type=int, default=N_UNIQUE)
+    parser.add_argument("--tables", type=int, default=N_TABLES)
+    parser.add_argument("--shards", type=int, default=N_SHARDS)
+    parser.add_argument("--seed", type=int, default=61)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--json", default=None, help="write the full report to this file"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail unless gateway throughput reaches this multiple of the "
+        "single-service baseline",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        n_threads=args.threads,
+        n_unique=args.uniques,
+        n_tables=args.tables,
+        n_shards=args.shards,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    _print_report(report)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["plans_agree"]:
+        print("FAIL: a concurrent answer diverged from serial DP", file=sys.stderr)
+        return 2
+    if not report["one_run_per_fingerprint"]:
+        print(
+            "FAIL: the gateway ran more than one optimization for a "
+            "fingerprint (coalescing broken)",
+            file=sys.stderr,
+        )
+        return 3
+    if report["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: gateway speedup {report['speedup']:.2f}x below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

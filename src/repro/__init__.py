@@ -60,9 +60,11 @@ from repro.cluster import (
     ThreadPoolPartitionExecutor,
 )
 from repro.service import (
+    GatewayStats,
     OptimizerService,
     PlanCache,
     ServiceResult,
+    ShardedOptimizerGateway,
     canonicalize,
     fingerprint,
 )
@@ -120,9 +122,11 @@ __all__ = [
     "ProcessPoolPartitionExecutor",
     "SerialPartitionExecutor",
     "ThreadPoolPartitionExecutor",
+    "GatewayStats",
     "OptimizerService",
     "PlanCache",
     "ServiceResult",
+    "ShardedOptimizerGateway",
     "canonicalize",
     "fingerprint",
     "MPQReport",

@@ -7,7 +7,11 @@ Commands:
   (or Pareto frontier) plus the cluster accounting the paper reports;
 * ``serve-batch`` — run a batch of query files through the
   :class:`~repro.service.OptimizerService` (plan cache + warm worker pool)
-  and report per-query plans plus cache statistics;
+  and report per-query plans plus cache statistics; with ``--shards N``
+  (N > 1) the batch is served by a
+  :class:`~repro.service.ShardedOptimizerGateway` — fingerprint-range
+  routing to N independent shards, driven by ``--gateway-threads`` request
+  handlers, with in-flight coalescing and aggregated gateway statistics;
 * ``backends`` — print the registered enumeration backends and their
   declared capability matrix (what ``--backend auto`` chooses from).
 
@@ -20,6 +24,7 @@ Examples::
     python -m repro optimize query.json --orders --backend legacy
     python -m repro serve-batch q1.json q2.json --workers 8 --repeat 3
     python -m repro serve-batch q*.json --pool persistent --json
+    python -m repro serve-batch q*.json --shards 4 --gateway-threads 8
     python -m repro backends --json
 """
 
@@ -135,6 +140,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256, help="plan-cache capacity"
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through a sharded gateway with this many independent "
+        "OptimizerService shards (1 = a single service, the default)",
+    )
+    serve.add_argument(
+        "--gateway-threads",
+        type=int,
+        default=None,
+        help="request-handler threads driving the gateway's per-shard "
+        "sub-batches (default: one per shard; requires --shards > 1)",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -230,31 +249,58 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     import time
 
     from repro.cluster.executors import PersistentProcessPoolExecutor
-    from repro.service import OptimizerService
+    from repro.service import OptimizerService, ShardedOptimizerGateway
 
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.gateway_threads is not None and args.shards < 2:
+        raise SystemExit("--gateway-threads requires --shards > 1")
     settings = _settings_from_args(args)
-    executor = (
-        PersistentProcessPoolExecutor(max_workers=args.workers)
-        if args.pool == "persistent"
-        else None
-    )
     queries = [load_query(path) for path in args.queries]
     rounds = []
-    with OptimizerService(
-        n_workers=args.workers,
-        settings=settings,
-        executor=executor,
-        cache_capacity=args.cache_size,
-    ) as service:
-        for __ in range(max(1, args.repeat)):
-            started = time.perf_counter()
-            results = service.optimize_batch(queries)
-            rounds.append((time.perf_counter() - started, results))
-        stats = service.cache.stats
+    gateway_stats = None
+    if args.shards > 1:
+        executor_factory = (
+            (lambda: PersistentProcessPoolExecutor(max_workers=args.workers))
+            if args.pool == "persistent"
+            else None
+        )
+        with ShardedOptimizerGateway(
+            n_shards=args.shards,
+            n_workers=args.workers,
+            settings=settings,
+            executor_factory=executor_factory,
+            cache_capacity=args.cache_size,
+            gateway_threads=args.gateway_threads,
+        ) as gateway:
+            for __ in range(max(1, args.repeat)):
+                started = time.perf_counter()
+                results = gateway.optimize_batch(queries)
+                rounds.append((time.perf_counter() - started, results))
+            gateway_stats = gateway.stats()
+        stats = gateway_stats  # aggregate hits/misses/evictions/hit_rate
+    else:
+        executor = (
+            PersistentProcessPoolExecutor(max_workers=args.workers)
+            if args.pool == "persistent"
+            else None
+        )
+        with OptimizerService(
+            n_workers=args.workers,
+            settings=settings,
+            executor=executor,
+            cache_capacity=args.cache_size,
+        ) as service:
+            for __ in range(max(1, args.repeat)):
+                started = time.perf_counter()
+                results = service.optimize_batch(queries)
+                rounds.append((time.perf_counter() - started, results))
+            stats = service.cache.snapshot()
     if args.json:
         payload = {
             "workers": args.workers,
             "pool": args.pool,
+            "shards": args.shards,
             "rounds": [
                 {
                     "wall_s": wall,
@@ -280,6 +326,23 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 "hit_rate": stats.hit_rate,
             },
         }
+        if gateway_stats is not None:
+            payload["gateway"] = {
+                "requests": gateway_stats.requests,
+                "optimizations": gateway_stats.optimizations,
+                "coalesced": gateway_stats.coalesced,
+                "peak_in_flight": gateway_stats.peak_in_flight,
+                "shards": [
+                    {
+                        "shard": shard.shard,
+                        "hits": shard.cache.hits,
+                        "misses": shard.cache.misses,
+                        "hit_rate": shard.hit_rate,
+                        "entries": shard.entries,
+                    }
+                    for shard in gateway_stats.shards
+                ],
+            }
         print(json.dumps(payload, indent=2))
         return 0
     for round_number, (wall, results) in enumerate(rounds, start=1):
@@ -295,6 +358,19 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate), {stats.evictions} evictions"
     )
+    if gateway_stats is not None:
+        print(
+            f"gateway: {gateway_stats.requests} requests, "
+            f"{gateway_stats.optimizations} optimizations, "
+            f"{gateway_stats.coalesced} coalesced, "
+            f"peak in-flight {gateway_stats.peak_in_flight}"
+        )
+        for shard in gateway_stats.shards:
+            print(
+                f"  shard {shard.shard}: {shard.cache.hits} hits / "
+                f"{shard.cache.misses} misses ({shard.hit_rate:.0%}), "
+                f"{shard.entries} entries"
+            )
     return 0
 
 

@@ -19,6 +19,12 @@ from __future__ import annotations
 
 import concurrent.futures
 
+# Imported eagerly: referencing it lazily inside an ``except`` clause would
+# itself raise AttributeError (masking the real error) whenever
+# ``concurrent.futures.process`` had not been imported yet — e.g. a serial
+# executor raising before any process pool was ever created.
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.config import OptimizerSettings
 from repro.core.worker import PartitionResult, optimize_partition
 from repro.query.query import Query
@@ -51,7 +57,10 @@ class RetryingPartitionExecutor:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self._inner = inner
         self._max_attempts = max_attempts
-        #: Number of per-partition retries performed (observability).
+        #: Number of per-partition task *resubmissions* performed — each
+        #: partition task re-run beyond its first submission counts once, so
+        #: a wholesale inner-executor failure that re-runs all ``m`` tasks
+        #: contributes ``m``, not 1.
         self.retries = 0
 
     def map_partitions(
@@ -61,7 +70,9 @@ class RetryingPartitionExecutor:
             try:
                 return self._inner.map_partitions(query, n_partitions, settings)
             except Exception:
-                self.retries += 1
+                # The whole batch failed: every partition task is resubmitted
+                # (inline below), so the counter advances by one per task.
+                self.retries += n_partitions
         results = []
         for partition_id in range(n_partitions):
             results.append(self._run_one(query, partition_id, n_partitions, settings))
@@ -78,9 +89,12 @@ class RetryingPartitionExecutor:
         for attempt in range(self._max_attempts):
             try:
                 return optimize_partition(query, partition_id, n_partitions, settings)
-            except Exception as error:  # pragma: no cover - deterministic DP
+            except Exception as error:
                 last_error = error
-                self.retries += 1
+                # Only a failure that is followed by another attempt is a
+                # resubmission; the final attempt's failure propagates.
+                if attempt + 1 < self._max_attempts:
+                    self.retries += 1
         assert last_error is not None
         raise last_error
 
@@ -209,7 +223,7 @@ class PersistentProcessPoolExecutor:
                 future.result()
                 for future in self.submit_partitions(query, n_partitions, settings)
             ]
-        except concurrent.futures.process.BrokenProcessPool:
+        except BrokenProcessPool:
             self.close()
             return [
                 future.result()

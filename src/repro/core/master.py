@@ -92,13 +92,28 @@ class MasterResult:
 
     @property
     def max_worker_wall_s(self) -> float:
-        """Slowest partition's wall-clock ("W-Time" in the paper's figures)."""
-        return max(result.stats.wall_time_s for result in self.partition_results)
+        """Slowest partition's wall-clock ("W-Time" in the paper's figures).
+
+        0.0 when no partition results are attached (synthetic results, a
+        case ``backend_used`` supports too) rather than a ``ValueError``
+        from ``max()`` of an empty sequence.
+        """
+        return max(
+            (result.stats.wall_time_s for result in self.partition_results),
+            default=0.0,
+        )
 
     @property
     def max_worker_table_entries(self) -> int:
-        """Peak memotable size over workers ("Memory (relations)")."""
-        return max(result.stats.table_entries for result in self.partition_results)
+        """Peak memotable size over workers ("Memory (relations)").
+
+        0 when no partition results are attached, matching
+        :attr:`max_worker_wall_s`.
+        """
+        return max(
+            (result.stats.table_entries for result in self.partition_results),
+            default=0,
+        )
 
 
 def optimize_parallel(

@@ -3,7 +3,9 @@
 The paper's MPQ makes one optimization fast by fanning its partitions out to
 workers; this package makes a *stream* of optimizations fast by recognizing
 repeated (or isomorphic) queries and keeping worker processes warm between
-requests.  See :class:`OptimizerService` for the front door.
+requests.  See :class:`OptimizerService` for the single-service front door
+and :class:`ShardedOptimizerGateway` for the concurrency-safe sharded
+gateway over it.
 """
 
 from repro.service.cache import CacheStats, PlanCache
@@ -13,16 +15,21 @@ from repro.service.fingerprint import (
     fingerprint,
     fingerprint_canonical,
 )
+from repro.service.gateway import GatewayStats, ShardedOptimizerGateway, ShardStats
 from repro.service.remap import invert, remap_mask, remap_plan
-from repro.service.service import OptimizerService, ServiceResult
+from repro.service.service import CacheEntry, OptimizerService, ServiceResult
 
 __all__ = [
+    "CacheEntry",
     "CacheStats",
     "PlanCache",
     "CanonicalForm",
     "canonicalize",
     "fingerprint",
     "fingerprint_canonical",
+    "GatewayStats",
+    "ShardedOptimizerGateway",
+    "ShardStats",
     "invert",
     "remap_mask",
     "remap_plan",

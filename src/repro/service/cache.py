@@ -1,4 +1,4 @@
-"""A bounded LRU cache for optimization results, with observable statistics.
+"""A bounded, thread-safe LRU cache for optimization results, with statistics.
 
 The service's working set is whatever queries the traffic repeats; a bounded
 least-recently-used policy keeps the hottest fingerprints resident without
@@ -6,12 +6,20 @@ letting a long tail of one-off queries grow memory without limit.  Hit,
 miss, and eviction counters are first-class: a service operator tunes
 capacity by watching the hit rate, and the benchmark harness asserts on
 them.
+
+Every public operation (and every counter update) happens under one
+reentrant lock, so a cache shared by a thread pool of request handlers —
+the :class:`~repro.service.gateway.ShardedOptimizerGateway` shape — never
+interleaves an eviction with a lookup or tears a statistics update.  The
+lock is held only for dictionary operations, never while optimizing, so it
+is uncontended in practice.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Generic, TypeVar
 
 Value = TypeVar("Value")
@@ -43,6 +51,11 @@ class PlanCache(Generic[Value]):
     once ``capacity`` is exceeded.  ``peek`` reads without touching recency
     or counters (used by batch deduplication, which should not inflate the
     hit rate with its own bookkeeping reads).
+
+    All operations are atomic under an internal reentrant lock; see the
+    module docstring.  ``stats`` remains directly readable for tests and
+    single-threaded callers, but concurrent readers should prefer
+    :meth:`snapshot`, which copies the counters under the lock.
     """
 
     def __init__(self, capacity: int = 128) -> None:
@@ -51,36 +64,70 @@ class PlanCache(Generic[Value]):
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[str, Value] = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: str) -> Value | None:
         """Return the cached value (refreshing recency), or ``None`` on miss."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
 
     def peek(self, key: str) -> Value | None:
         """Return the cached value without touching recency or statistics."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: str, value: Value) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def reclassify_miss_as_hit(self) -> None:
+        """Atomically recount one earlier miss as a hit.
+
+        Used when a lookup that missed was nevertheless answered without a
+        fresh optimization — a duplicate within a batch, or a request
+        coalesced onto an in-flight run — so the operator-facing hit rate
+        agrees with the ``cached`` flags on the results.
+        """
+        with self._lock:
+            self.stats.misses -= 1
+            self.stats.hits += 1
+
+    def snapshot(self) -> CacheStats:
+        """A consistent copy of the counters (safe under concurrency)."""
+        with self._lock:
+            return replace(self.stats)
+
+    def snapshot_with_size(self) -> tuple[CacheStats, int]:
+        """Counters plus resident entry count, read under one lock hold.
+
+        Two separate ``snapshot()``/``len()`` calls could interleave with a
+        concurrent insert or eviction; gateway statistics use this to keep
+        each shard's numbers internally consistent.
+        """
+        with self._lock:
+            return replace(self.stats), len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries and reset statistics."""
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -27,6 +27,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.config import OptimizerSettings
+from repro.core.constraints import usable_partitions
 from repro.query.query import Query
 from repro.query.schema import Table
 
@@ -191,8 +192,22 @@ def fingerprint_canonical(
     settings: OptimizerSettings,
     n_workers: int | None = None,
 ) -> str:
-    """Digest a precomputed canonical form (lets callers canonicalize once)."""
-    payload = repr((canonical.encoding, _settings_signature(settings), n_workers))
+    """Digest a precomputed canonical form (lets callers canonicalize once).
+
+    ``n_workers`` is hashed as the partition count the run would actually
+    use (:func:`~repro.core.constraints.usable_partitions`), not the raw
+    request: requests for 8, 9, and 12 workers on a query that clamps to 8
+    partitions produce identical runs and must share one cache entry.  The
+    canonical numbering carries the table count, so the resolution needs no
+    extra arguments.
+    """
+    if n_workers is None:
+        resolved = None
+    else:
+        resolved = usable_partitions(
+            len(canonical.numbering), n_workers, settings.plan_space
+        )
+    payload = repr((canonical.encoding, _settings_signature(settings), resolved))
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -201,10 +216,11 @@ def fingerprint(
     settings: OptimizerSettings,
     n_workers: int | None = None,
 ) -> str:
-    """Hex digest identifying ``(query, settings[, n_workers])`` up to relabeling.
+    """Hex digest identifying ``(query, settings[, parallelism])`` up to relabeling.
 
-    ``n_workers`` participates so that cached per-run accounting (partition
-    count, simulated timing) stays faithful to the request; two requests for
-    the same query at different parallelism are distinct cache entries.
+    ``n_workers`` participates as its *resolved* partition count so that
+    cached per-run accounting (partition count, simulated timing) stays
+    faithful to the request, while requests whose worker counts clamp to the
+    same parallelism share one entry instead of duplicating runs and memory.
     """
     return fingerprint_canonical(canonicalize(query), settings, n_workers)

@@ -24,7 +24,11 @@ gateway is a thin wrapper over :meth:`optimize_batch`.
 
 from __future__ import annotations
 
-import concurrent.futures
+# Imported eagerly: evaluating ``concurrent.futures.process`` lazily inside
+# an ``except`` clause raises AttributeError (masking the real error) when
+# the submodule was never imported — e.g. a serial executor raising before
+# any process pool existed.
+from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -48,13 +52,15 @@ from repro.service.remap import invert, remap_plan
 
 
 @dataclass
-class _CacheEntry:
+class CacheEntry:
     """What the cache retains per fingerprint: plans in canonical numbering.
 
     Storing plans canonically (rather than in the first requester's
     numbering) makes serving any isomorphic request a single remap; the
     simulated accounting is that of the original run, which is exactly what
-    an identical request would have measured.
+    an identical request would have measured.  Public because the sharded
+    gateway (:mod:`repro.service.gateway`) hands entries from a completed
+    in-flight run directly to coalesced waiters.
     """
 
     canonical_plans: list[Plan]
@@ -121,7 +127,7 @@ class OptimizerService:
         self.settings = settings
         self.executor = executor if executor is not None else SerialPartitionExecutor()
         self.cluster = cluster
-        self.cache: PlanCache[_CacheEntry] = PlanCache(capacity=cache_capacity)
+        self.cache: PlanCache[CacheEntry] = PlanCache(capacity=cache_capacity)
 
     # ------------------------------------------------------------------ single
 
@@ -138,11 +144,8 @@ class OptimizerService:
         key = fingerprint_canonical(canonical, settings, workers)
         entry = self.cache.get(key)
         if entry is not None:
-            return self._serve_hit(entry, canonical, key)
-        partition_results = self.executor.map_partitions(
-            query, usable_partitions(query.n_tables, workers, settings.plan_space), settings
-        )
-        return self._complete_run(query, canonical, key, settings, workers, partition_results)
+            return self.serve_entry(entry, canonical, key)
+        return self.run_misses([(query, canonical, key)], settings, workers)[0]
 
     # ------------------------------------------------------------------- batch
 
@@ -175,24 +178,21 @@ class OptimizerService:
         for index, key in enumerate(keys):
             entry = self.cache.get(key)
             if entry is not None:
-                results[index] = self._serve_hit(entry, canonicals[index], key)
+                results[index] = self.serve_entry(entry, canonicals[index], key)
             else:
                 misses.setdefault(key, []).append(index)
 
         # One representative query per missing fingerprint actually runs.
         unique = [(key, indices[0]) for key, indices in misses.items()]
-        gathered = self._run_many(
-            [(requests[index], workers, settings) for __, index in unique]
+        miss_results = self.run_misses(
+            [
+                (requests[index], canonicals[index], key)
+                for key, index in unique
+            ],
+            settings,
+            workers,
         )
-        for (key, representative), partition_results in zip(unique, gathered):
-            entry_result = self._complete_run(
-                requests[representative],
-                canonicals[representative],
-                key,
-                settings,
-                workers,
-                partition_results,
-            )
+        for (key, representative), entry_result in zip(unique, miss_results):
             results[representative] = entry_result
             entry = self.cache.peek(key)
             assert entry is not None
@@ -202,13 +202,36 @@ class OptimizerService:
                 # miss (the entry did not exist yet); reclassify it as the
                 # hit it ultimately was, so the operator-facing hit rate
                 # agrees with the ``cached`` flags on the results.
-                self.cache.stats.misses -= 1
-                self.cache.stats.hits += 1
-                results[index] = self._serve_hit(entry, canonicals[index], key)
+                self.cache.reclassify_miss_as_hit()
+                results[index] = self.serve_entry(entry, canonicals[index], key)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
     # ----------------------------------------------------------------- helpers
+
+    def run_misses(
+        self,
+        items: Sequence[tuple[Query, CanonicalForm, str]],
+        settings: OptimizerSettings | None = None,
+        n_workers: int | None = None,
+    ) -> list[ServiceResult]:
+        """Optimize queries already known to be absent from the cache.
+
+        Each item is ``(query, canonical form, fingerprint)`` — the caller
+        has done the lookup (and, for the gateway, the in-flight
+        registration).  Partition tasks from all items interleave on the
+        executor when it supports batching; every completed run is cached
+        under its fingerprint before its result is returned.
+        """
+        settings = settings if settings is not None else self.settings
+        workers = n_workers if n_workers is not None else self.n_workers
+        gathered = self._run_many(
+            [(query, workers, settings) for query, __, __ in items]
+        )
+        return [
+            self._complete_run(query, canonical, key, settings, workers, partition_results)
+            for (query, canonical, key), partition_results in zip(items, gathered)
+        ]
 
     def _run_many(
         self, tasks: Sequence[tuple[Query, int, OptimizerSettings]]
@@ -233,7 +256,7 @@ class OptimizerService:
                 [future.result() for future in query_futures]
                 for query_futures in futures
             ]
-        except concurrent.futures.process.BrokenProcessPool:
+        except BrokenProcessPool:
             # A worker died mid-batch; every in-flight future on the broken
             # pool is lost.  Fall back to query-by-query map_partitions,
             # which carries the executor's own rebuild-on-break recovery.
@@ -266,7 +289,7 @@ class OptimizerService:
         simulated = simulate_mpq_run(self.cluster, query, master)
         self.cache.put(
             key,
-            _CacheEntry(
+            CacheEntry(
                 canonical_plans=[
                     remap_plan(plan, canonical.numbering) for plan in plans
                 ],
@@ -285,8 +308,8 @@ class OptimizerService:
             backend_used=master.backend_used,
         )
 
-    def _serve_hit(
-        self, entry: _CacheEntry, canonical: CanonicalForm, key: str
+    def serve_entry(
+        self, entry: CacheEntry, canonical: CanonicalForm, key: str
     ) -> ServiceResult:
         """Remap a cached entry's canonical plans into the requester's numbering."""
         mapping = invert(canonical.numbering)

@@ -39,6 +39,63 @@ class TestRetryingExecutor:
         assert result.best.cost[0] == pytest.approx(serial.cost[0])
         assert executor.retries >= 1
 
+    def test_wholesale_failure_counts_per_partition_resubmissions(
+        self, query, linear_settings
+    ):
+        # Regression: a wholesale inner-executor failure re-runs all
+        # ``n_partitions`` tasks but used to count as one retry.  The
+        # counter's unit is task *resubmissions*, so it advances by the
+        # partition count.
+        class CrashingExecutor:
+            def map_partitions(self, query, n_partitions, settings):
+                raise ConnectionError("cluster gone")
+
+        executor = RetryingPartitionExecutor(inner=CrashingExecutor())
+        executor.map_partitions(query, 4, linear_settings)
+        assert executor.retries == 4
+        executor.map_partitions(query, 2, linear_settings)
+        assert executor.retries == 6
+
+    def test_per_partition_flake_counts_each_resubmission(
+        self, query, linear_settings, monkeypatch
+    ):
+        # One partition task fails twice before succeeding: two
+        # resubmissions of that task, zero for the other partitions.
+        import repro.cluster.executors as executors_module
+
+        real = executors_module.optimize_partition
+        failures = {"remaining": 2}
+
+        def flaky(query, partition_id, n_partitions, settings):
+            if partition_id == 1 and failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise OSError("transient worker failure")
+            return real(query, partition_id, n_partitions, settings)
+
+        monkeypatch.setattr(executors_module, "optimize_partition", flaky)
+        executor = RetryingPartitionExecutor(max_attempts=3)
+        results = executor.map_partitions(query, 4, linear_settings)
+        assert [r.stats.partition_id for r in results] == [0, 1, 2, 3]
+        assert executor.retries == 2
+
+    def test_exhausted_attempts_raise_the_real_error(
+        self, query, linear_settings, monkeypatch
+    ):
+        import repro.cluster.executors as executors_module
+
+        def always_failing(query, partition_id, n_partitions, settings):
+            raise OSError("worker host is gone")
+
+        monkeypatch.setattr(
+            executors_module, "optimize_partition", always_failing
+        )
+        executor = RetryingPartitionExecutor(max_attempts=3)
+        with pytest.raises(OSError, match="worker host is gone"):
+            executor.map_partitions(query, 2, linear_settings)
+        # Two resubmissions for the first partition (its final failure
+        # propagates rather than being resubmitted).
+        assert executor.retries == 2
+
     def test_no_inner_runs_inline(self, query, linear_settings):
         executor = RetryingPartitionExecutor()
         results = executor.map_partitions(query, 2, linear_settings)

@@ -41,6 +41,17 @@ class TestMasterMechanics:
         with pytest.raises(ValueError):
             _ = empty.best
 
+    def test_worker_maxima_default_to_zero_on_empty(self):
+        # Regression: with no partition results attached (synthetic results,
+        # the case ``backend_used`` explicitly supports), these properties
+        # raised ``ValueError: max() arg is an empty sequence``.
+        from repro.core.master import MasterResult
+
+        empty = MasterResult(plans=[], n_partitions=1, requested_workers=1)
+        assert empty.max_worker_wall_s == 0.0
+        assert empty.max_worker_table_entries == 0
+        assert empty.backend_used == ""
+
     def test_executor_result_count_checked(self, star6, linear_settings):
         class BrokenExecutor:
             def map_partitions(self, query, n_partitions, settings):

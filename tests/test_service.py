@@ -83,7 +83,22 @@ class TestFingerprint:
         multi = OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=2.0)
         assert fingerprint(query, linear) != fingerprint(query, bushy)
         assert fingerprint(query, linear) != fingerprint(query, multi)
-        assert fingerprint(query, linear, 4) != fingerprint(query, linear, 8)
+        # 1 worker and 2 workers resolve to different partition counts on a
+        # 3-table linear query (1 vs 2): distinct runs, distinct keys.
+        assert fingerprint(query, linear, 1) != fingerprint(query, linear, 2)
+
+    def test_equivalent_parallelism_shares_a_fingerprint(self):
+        # Regression: the fingerprint must hash the *resolved* partition
+        # count, not the raw worker request.  A 6-table linear query admits
+        # at most 2^(6//2) = 8 partitions, so requests for 8, 9, and 12
+        # workers all run identically and must share one cache key —
+        # previously each produced a spurious miss and a duplicate entry.
+        query = SteinbrunnGenerator(29).query(6)
+        settings = OptimizerSettings()
+        reference = fingerprint(query, settings, 8)
+        assert fingerprint(query, settings, 9) == reference
+        assert fingerprint(query, settings, 12) == reference
+        assert fingerprint(query, settings, 4) != reference
 
     def test_invariant_with_partial_symmetry(self):
         # Regression: the individualization target must be picked by a
@@ -193,6 +208,19 @@ class TestOptimizerService:
         back = remap_plan(remapped, invert(canonical.numbering))
         assert back == plan
 
+    def test_equivalent_parallelism_shares_one_cache_entry(self):
+        # workers=8, 9, and 12 all clamp to 8 partitions on a 6-table linear
+        # query: one optimization, one resident entry, two cache hits.
+        query = SteinbrunnGenerator(30).query(6)
+        service = OptimizerService(n_workers=8)
+        first = service.optimize(query)
+        for workers in (9, 12):
+            served = service.optimize(query, n_workers=workers)
+            assert served.cached
+            assert served.fingerprint == first.fingerprint
+            assert served.n_partitions == first.n_partitions
+        assert len(service.cache) == 1
+
     def test_cache_eviction_bounded(self):
         generator = SteinbrunnGenerator(24)
         service = OptimizerService(n_workers=2, cache_capacity=2)
@@ -246,6 +274,68 @@ class TestOptimizeBatch:
         service = OptimizerService(n_workers=4)
         service.optimize_batch([chain5])
         assert service.optimize(chain5).cached
+
+
+class TestRunManyErrorHandling:
+    def test_broken_process_pool_imported_eagerly(self):
+        # Regression: both except clauses used to evaluate
+        # ``concurrent.futures.process.BrokenProcessPool`` lazily inside the
+        # handler; when that submodule was never imported, the handler
+        # itself raised AttributeError and masked the real error.
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.cluster.executors as executors_module
+        import repro.service.service as service_module
+
+        assert executors_module.BrokenProcessPool is BrokenProcessPool
+        assert service_module.BrokenProcessPool is BrokenProcessPool
+
+    def test_non_pool_errors_surface_unmasked(self):
+        class ExplodingBatchExecutor:
+            def submit_partitions(self, query, n_partitions, settings):
+                class BadFuture:
+                    def result(self):
+                        raise ValueError("worker returned garbage")
+
+                return [BadFuture() for __ in range(n_partitions)]
+
+            def map_partitions(self, query, n_partitions, settings):
+                raise AssertionError("fallback must not swallow the error")
+
+        service = OptimizerService(n_workers=2, executor=ExplodingBatchExecutor())
+        query = SteinbrunnGenerator(46).query(4)
+        with pytest.raises(ValueError, match="worker returned garbage"):
+            service.optimize(query)
+
+    def test_broken_pool_falls_back_to_map_partitions(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.cluster.executors import SerialPartitionExecutor
+
+        class BreakingThenServingExecutor:
+            def __init__(self):
+                self.closed = False
+                self._serial = SerialPartitionExecutor()
+
+            def submit_partitions(self, query, n_partitions, settings):
+                class DeadFuture:
+                    def result(self):
+                        raise BrokenProcessPool("a worker was killed")
+
+                return [DeadFuture() for __ in range(n_partitions)]
+
+            def map_partitions(self, query, n_partitions, settings):
+                return self._serial.map_partitions(query, n_partitions, settings)
+
+            def close(self):
+                self.closed = True
+
+        executor = BreakingThenServingExecutor()
+        service = OptimizerService(n_workers=2, executor=executor)
+        query = SteinbrunnGenerator(47).query(5)
+        result = service.optimize(query)
+        assert executor.closed  # the broken pool was torn down for rebuild
+        assert result.best.cost == best_plan(optimize_serial(query)).cost
 
 
 class TestPersistentPool:
