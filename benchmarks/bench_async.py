@@ -1,0 +1,428 @@
+"""Async front-end vs the threaded gateway under the 8-client herd.
+
+The async gateway's claim, measured: parking requests on
+:class:`asyncio.Future` objects and micro-batching misses serves the same
+herd **at least as fast** as dedicating an OS thread per client to the
+threaded :class:`~repro.service.ShardedOptimizerGateway` — while also
+reporting latency percentiles, which a thread-per-client design can only
+match by burning a thread per in-flight request.
+
+Two workloads, both deterministic:
+
+* **herd** — the same adversarial shape as ``bench_gateway.py``: 8 clients
+  submit the same unique queries in the same order (several rounds, so the
+  steady state is hit-dominated the way a warmed production cache is).
+  This is the CI regression gate: async throughput must be >= the threaded
+  gateway's on the identical request stream.
+* **zipf** — a seeded multi-tenant Zipf/burst schedule from
+  :mod:`repro.bench.traffic`, replayed by both stacks; reported for latency
+  percentiles and the one-DP-run-per-fingerprint invariant, not gated.
+
+Verified while measuring (both stacks, both workloads):
+
+* every request's best-plan cost equals serial optimization;
+* exactly one DP run per unique fingerprint (counters *and* executor runs).
+
+Dual-use module:
+
+* **pytest**::
+
+      PYTHONPATH=src python -m pytest -q benchmarks/bench_async.py
+
+* **script** (the CI benchmark-regression job)::
+
+      PYTHONPATH=src python benchmarks/bench_async.py \
+          --repeats 3 --json BENCH_async.json --min-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+try:  # script mode: bootstrap the src layout without installation
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the CI script job
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.traffic import (
+    TrafficProfile,
+    generate_traffic,
+    latency_percentiles,
+    replay_async,
+    replay_threaded,
+    unique_fingerprints,
+)
+from repro.cluster.executors import SerialPartitionExecutor
+from repro.core.serial import best_plan, optimize_serial
+from repro.query.generator import SteinbrunnGenerator
+from repro.service import AsyncOptimizerGateway, ShardedOptimizerGateway
+
+N_CLIENTS = 8
+N_UNIQUE = 4
+#: 9-table queries keep each DP run long enough (a few ms) that the cold
+#: herd genuinely piles up on the same fingerprints (see bench_gateway.py).
+N_TABLES = 9
+#: Rounds per client over the unique list: round 1 is the cold thundering
+#: herd, later rounds are the hit-dominated steady state where serving
+#: overhead (threads vs futures) is the entire cost.
+N_ROUNDS = 6
+N_WORKERS = 4
+N_SHARDS = 4
+
+
+class CountingSerialExecutor(SerialPartitionExecutor):
+    """Serial executor counting DP runs (``map_partitions`` invocations)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def map_partitions(self, query, n_partitions, settings):
+        with self._lock:
+            self.calls += 1
+        return super().map_partitions(query, n_partitions, settings)
+
+
+def make_workload(n_unique: int = N_UNIQUE, n_tables: int = N_TABLES, seed: int = 71):
+    generator = SteinbrunnGenerator(seed)
+    return [generator.query(n_tables) for __ in range(n_unique)]
+
+
+# ------------------------------------------------------------------ herd
+
+
+def measure_threaded_herd(queries, n_clients=N_CLIENTS, n_rounds=N_ROUNDS):
+    """N client threads, each submitting the unique list ``n_rounds`` times."""
+    executors: list[CountingSerialExecutor] = []
+
+    def factory():
+        executor = CountingSerialExecutor()
+        executors.append(executor)
+        return executor
+
+    latencies: list[list[float]] = [[] for __ in range(n_clients)]
+    results: list[list] = [[] for __ in range(n_clients)]
+    errors: list[BaseException | None] = [None] * n_clients
+    barrier = threading.Barrier(n_clients + 1)
+
+    with ShardedOptimizerGateway(
+        n_shards=N_SHARDS, n_workers=N_WORKERS, executor_factory=factory
+    ) as gateway:
+
+        def client(index: int) -> None:
+            barrier.wait()
+            try:
+                for __ in range(n_rounds):
+                    for query in queries:
+                        begin = time.perf_counter()
+                        results[index].append(gateway.optimize(query))
+                        latencies[index].append((time.perf_counter() - begin) * 1e3)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors[index] = error
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - started
+        stats = gateway.stats()
+    for error in errors:
+        if error is not None:
+            raise error
+    flat_latencies = [value for per_client in latencies for value in per_client]
+    n_requests = n_clients * n_rounds * len(queries)
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": n_requests / wall_s,
+        "optimizations": stats.optimizations,
+        "executor_runs": sum(executor.calls for executor in executors),
+        "latency_ms": latency_percentiles(flat_latencies),
+        "results": results,
+    }
+
+
+def measure_async_herd(queries, n_clients=N_CLIENTS, n_rounds=N_ROUNDS):
+    """The same herd as client tasks on one loop through the async gateway."""
+    executors: list[CountingSerialExecutor] = []
+
+    def factory():
+        executor = CountingSerialExecutor()
+        executors.append(executor)
+        return executor
+
+    async def run():
+        latencies: list[float] = []
+        results: list[list] = [[] for __ in range(n_clients)]
+        gateway = ShardedOptimizerGateway(
+            n_shards=N_SHARDS, n_workers=N_WORKERS, executor_factory=factory
+        )
+        async with AsyncOptimizerGateway(
+            gateway, own_gateway=True, max_pending=4 * n_clients * len(queries)
+        ) as front:
+            loop = asyncio.get_running_loop()
+
+            async def client(index: int) -> None:
+                for __ in range(n_rounds):
+                    for query in queries:
+                        begin = loop.time()
+                        results[index].append(await front.optimize(query))
+                        latencies.append((loop.time() - begin) * 1e3)
+
+            started = time.perf_counter()
+            await asyncio.gather(*[client(index) for index in range(n_clients)])
+            wall_s = time.perf_counter() - started
+            stats = front.stats()
+        return wall_s, results, latencies, stats
+
+    wall_s, results, latencies, stats = asyncio.run(run())
+    n_requests = n_clients * n_rounds * len(queries)
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": n_requests / wall_s,
+        "optimizations": stats.gateway.optimizations,
+        "executor_runs": sum(executor.calls for executor in executors),
+        "coalesced": stats.coalesced,
+        "fast_path_hits": stats.fast_path_hits,
+        "result_memo_hits": stats.result_memo_hits,
+        "batch_sizes": {str(size): count for size, count in sorted(stats.batch_sizes.items())},
+        "rejections": stats.rejections,
+        "latency_ms": latency_percentiles(latencies),
+        "results": results,
+    }
+
+
+def _herd_plans_agree(queries, measured) -> bool:
+    references = [best_plan(optimize_serial(query)).cost for query in queries]
+    for per_client in measured["results"]:
+        for position, result in enumerate(per_client):
+            if result.best.cost != references[position % len(references)]:
+                return False
+    return True
+
+
+# ------------------------------------------------------------------ zipf
+
+
+def measure_zipf(seed: int = 71):
+    """Replay one seeded multi-tenant Zipf schedule through both stacks."""
+    profile = TrafficProfile(
+        n_requests=192, n_unique=16, tables=(5, 7), seed=seed
+    )
+    schedule = generate_traffic(profile)
+    n_unique = len(unique_fingerprints(schedule))
+
+    with ShardedOptimizerGateway(n_shards=N_SHARDS, n_workers=N_WORKERS) as gateway:
+        threaded = replay_threaded(gateway, schedule, n_clients=N_CLIENTS)
+        threaded_optimizations = gateway.stats().optimizations
+
+    async def run():
+        async with AsyncOptimizerGateway(
+            n_shards=N_SHARDS, n_workers=N_WORKERS, max_pending=256
+        ) as front:
+            report = await replay_async(front, schedule, n_clients=N_CLIENTS)
+            return report, front.stats()
+
+    async_report, async_stats = asyncio.run(run())
+    return {
+        "n_requests": len(schedule),
+        "n_unique_fingerprints": n_unique,
+        "threaded": {
+            "wall_s": threaded.wall_s,
+            "throughput_qps": threaded.throughput_qps,
+            "optimizations": threaded_optimizations,
+            "latency_ms": threaded.latency_percentiles(),
+        },
+        "async": {
+            "wall_s": async_report.wall_s,
+            "throughput_qps": async_report.throughput_qps,
+            "optimizations": async_stats.gateway.optimizations,
+            "retries": async_report.retries,
+            "rejections": async_stats.rejections,
+            "latency_ms": async_report.latency_percentiles(),
+        },
+        "one_run_per_fingerprint": (
+            threaded_optimizations == n_unique
+            and async_stats.gateway.optimizations == n_unique
+        ),
+    }
+
+
+# ------------------------------------------------------------------ report
+
+
+def run_benchmark(
+    n_clients: int = N_CLIENTS,
+    n_unique: int = N_UNIQUE,
+    n_tables: int = N_TABLES,
+    n_rounds: int = N_ROUNDS,
+    seed: int = 71,
+    repeats: int = 2,
+    include_zipf: bool = True,
+) -> dict:
+    """Best-of-``repeats`` herd comparison plus one Zipf replay."""
+    queries = make_workload(n_unique, n_tables, seed)
+    threaded_best = None
+    async_best = None
+    plans_agree = True
+    one_run_per_fingerprint = True
+    for __ in range(repeats):
+        threaded = measure_threaded_herd(queries, n_clients, n_rounds)
+        asynchronous = measure_async_herd(queries, n_clients, n_rounds)
+        plans_agree = (
+            plans_agree
+            and _herd_plans_agree(queries, threaded)
+            and _herd_plans_agree(queries, asynchronous)
+        )
+        one_run_per_fingerprint = one_run_per_fingerprint and (
+            threaded["optimizations"] == n_unique
+            and threaded["executor_runs"] == n_unique
+            and asynchronous["optimizations"] == n_unique
+            and asynchronous["executor_runs"] == n_unique
+        )
+        if threaded_best is None or threaded["wall_s"] < threaded_best["wall_s"]:
+            threaded_best = threaded
+        if async_best is None or asynchronous["wall_s"] < async_best["wall_s"]:
+            async_best = asynchronous
+    assert threaded_best is not None and async_best is not None
+    threaded_best = {k: v for k, v in threaded_best.items() if k != "results"}
+    async_best = {k: v for k, v in async_best.items() if k != "results"}
+    report = {
+        "config": {
+            "n_clients": n_clients,
+            "n_unique_queries": n_unique,
+            "n_tables": n_tables,
+            "n_rounds": n_rounds,
+            "n_shards": N_SHARDS,
+            "n_workers": N_WORKERS,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "threaded_gateway": threaded_best,
+        "async_gateway": async_best,
+        "speedup": threaded_best["wall_s"] / async_best["wall_s"],
+        "plans_agree": plans_agree,
+        "one_run_per_fingerprint": one_run_per_fingerprint,
+    }
+    if include_zipf:
+        report["zipf_replay"] = measure_zipf(seed)
+    return report
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_async_throughput_at_least_threaded_gateway():
+    """Acceptance: the async front-end serves the 8-client herd no slower
+    than the threaded gateway, with every plan agreeing with serial DP.
+    Best-of-3 on both sides, matching the CI script gate, to keep the
+    near-parity comparison out of scheduler-noise territory."""
+    report = run_benchmark(repeats=3, include_zipf=False)
+    assert report["plans_agree"], report
+    assert report["one_run_per_fingerprint"], report
+    assert report["speedup"] >= 1.0, report
+
+
+def test_zipf_replay_preserves_singleflight_on_both_stacks():
+    zipf = measure_zipf()
+    assert zipf["one_run_per_fingerprint"], zipf
+    assert zipf["async"]["optimizations"] == zipf["n_unique_fingerprints"], zipf
+
+
+# ------------------------------------------------------------------ script
+
+
+def _print_report(report: dict) -> None:
+    config = report["config"]
+    threaded = report["threaded_gateway"]
+    asynchronous = report["async_gateway"]
+    print(
+        f"async benchmark: {config['n_clients']} clients x "
+        f"{config['n_rounds']} rounds x {config['n_unique_queries']} unique "
+        f"{config['n_tables']}-table queries, {config['n_shards']} shards, "
+        f"repeats={config['repeats']}"
+    )
+    for label, side in (("threaded", threaded), ("async", asynchronous)):
+        latency = side["latency_ms"]
+        print(
+            f"  {label:>8}: {side['wall_s'] * 1e3:8.1f} ms  "
+            f"({side['throughput_qps']:8.1f} req/s, "
+            f"{side['optimizations']} DP runs)  "
+            f"p50/p90/p99 = {latency['p50']:.2f}/{latency['p90']:.2f}/"
+            f"{latency['p99']:.2f} ms"
+        )
+    print(f"  speedup {report['speedup']:5.2f}x")
+    zipf = report.get("zipf_replay")
+    if zipf:
+        print(
+            f"  zipf replay: {zipf['n_requests']} requests, "
+            f"{zipf['n_unique_fingerprints']} unique fingerprints, "
+            f"async p99 {zipf['async']['latency_ms']['p99']:.2f} ms, "
+            f"retries {zipf['async']['retries']}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=N_CLIENTS)
+    parser.add_argument("--uniques", type=int, default=N_UNIQUE)
+    parser.add_argument("--tables", type=int, default=N_TABLES)
+    parser.add_argument("--rounds", type=int, default=N_ROUNDS)
+    parser.add_argument("--seed", type=int, default=71)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--json", default=None, help="write the full report to this file"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail unless async throughput reaches this multiple of the "
+        "threaded gateway",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        n_clients=args.clients,
+        n_unique=args.uniques,
+        n_tables=args.tables,
+        n_rounds=args.rounds,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    _print_report(report)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["plans_agree"]:
+        print("FAIL: a served answer diverged from serial DP", file=sys.stderr)
+        return 2
+    if not report["one_run_per_fingerprint"]:
+        print(
+            "FAIL: more than one DP run for a fingerprint "
+            "(batching/coalescing broken)",
+            file=sys.stderr,
+        )
+        return 3
+    if report["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: async speedup {report['speedup']:.2f}x below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,9 @@ from repro.cluster import (
     ThreadPoolPartitionExecutor,
 )
 from repro.service import (
+    AsyncGatewayStats,
+    AsyncOptimizerGateway,
+    GatewayOverloadedError,
     GatewayStats,
     OptimizerService,
     PlanCache,
@@ -122,6 +125,9 @@ __all__ = [
     "ProcessPoolPartitionExecutor",
     "SerialPartitionExecutor",
     "ThreadPoolPartitionExecutor",
+    "AsyncGatewayStats",
+    "AsyncOptimizerGateway",
+    "GatewayOverloadedError",
     "GatewayStats",
     "OptimizerService",
     "PlanCache",

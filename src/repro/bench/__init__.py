@@ -20,8 +20,24 @@ from repro.bench.experiments import (
 )
 from repro.bench.analytic import paper_scale_fig2, predict_point, predict_series
 from repro.bench.reporting import chart_figure, log_chart
+from repro.bench.traffic import (
+    TenantProfile,
+    TrafficProfile,
+    TrafficRequest,
+    generate_traffic,
+    replay_async,
+    replay_threaded,
+    unique_fingerprints,
+)
 
 __all__ = [
+    "TenantProfile",
+    "TrafficProfile",
+    "TrafficRequest",
+    "generate_traffic",
+    "replay_async",
+    "replay_threaded",
+    "unique_fingerprints",
     "ScalingPoint",
     "ScalingSeries",
     "mpq_scaling",

@@ -12,6 +12,11 @@ Commands:
   :class:`~repro.service.ShardedOptimizerGateway` — fingerprint-range
   routing to N independent shards, driven by ``--gateway-threads`` request
   handlers, with in-flight coalescing and aggregated gateway statistics;
+  with ``--async`` the batch is submitted concurrently through the
+  :class:`~repro.service.AsyncOptimizerGateway` front-end (adaptive
+  micro-batching bounded by ``--batch-window-ms``/``--max-batch``,
+  admission control bounded by ``--max-pending``) and the report adds
+  queue/batching/rejection statistics;
 * ``backends`` — print the registered enumeration backends and their
   declared capability matrix (what ``--backend auto`` chooses from).
 
@@ -25,6 +30,7 @@ Examples::
     python -m repro serve-batch q1.json q2.json --workers 8 --repeat 3
     python -m repro serve-batch q*.json --pool persistent --json
     python -m repro serve-batch q*.json --shards 4 --gateway-threads 8
+    python -m repro serve-batch q*.json --shards 4 --async --batch-window-ms 2
     python -m repro backends --json
 """
 
@@ -154,6 +160,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "sub-batches (default: one per shard; requires --shards > 1)",
     )
     serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve the batch through the asyncio front-end "
+        "(AsyncOptimizerGateway): requests are submitted concurrently, "
+        "misses micro-batched, and admission control enforced",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help="async batching window upper bound in milliseconds "
+        "(requires --async; default 2.0)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="flush an async micro-batch early at this many unique "
+        "fingerprints (requires --async; default 16)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="async admission-control bound on outstanding requests; "
+        "beyond it requests are rejected with a retry-after "
+        "(requires --async; default 256)",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -255,11 +291,68 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     if args.gateway_threads is not None and args.shards < 2:
         raise SystemExit("--gateway-threads requires --shards > 1")
+    if not args.use_async and any(
+        value is not None
+        for value in (args.batch_window_ms, args.max_batch, args.max_pending)
+    ):
+        raise SystemExit(
+            "--batch-window-ms/--max-batch/--max-pending require --async"
+        )
+    batch_window_ms = args.batch_window_ms if args.batch_window_ms is not None else 2.0
+    max_batch = args.max_batch if args.max_batch is not None else 16
+    max_pending = args.max_pending if args.max_pending is not None else 256
     settings = _settings_from_args(args)
     queries = [load_query(path) for path in args.queries]
     rounds = []
     gateway_stats = None
-    if args.shards > 1:
+    async_stats = None
+    if args.use_async:
+        import asyncio
+
+        from repro.service import AsyncOptimizerGateway, GatewayOverloadedError
+
+        executor_factory = (
+            (lambda: PersistentProcessPoolExecutor(max_workers=args.workers))
+            if args.pool == "persistent"
+            else None
+        )
+
+        async def submit(front, query):
+            for __ in range(1000):
+                try:
+                    return await front.optimize(query, tenant="cli")
+                except GatewayOverloadedError as rejection:
+                    await asyncio.sleep(rejection.retry_after_s)
+            raise SystemExit("async gateway kept rejecting; raise --max-pending")
+
+        async def run_rounds():
+            async with AsyncOptimizerGateway(
+                n_shards=args.shards,
+                n_workers=args.workers,
+                settings=settings,
+                executor_factory=executor_factory,
+                cache_capacity=args.cache_size,
+                gateway_threads=args.gateway_threads,
+                batch_window_ms=batch_window_ms,
+                max_batch=max_batch,
+                max_pending=max_pending,
+                # The CLI is a single tenant; a fairness share would
+                # silently halve --max-pending for it.
+                tenant_share=1.0,
+            ) as front:
+                collected = []
+                for __ in range(max(1, args.repeat)):
+                    started = time.perf_counter()
+                    results = await asyncio.gather(
+                        *[submit(front, query) for query in queries]
+                    )
+                    collected.append((time.perf_counter() - started, list(results)))
+                return collected, front.stats()
+
+        rounds, async_stats = asyncio.run(run_rounds())
+        gateway_stats = async_stats.gateway
+        stats = gateway_stats
+    elif args.shards > 1:
         executor_factory = (
             (lambda: PersistentProcessPoolExecutor(max_workers=args.workers))
             if args.pool == "persistent"
@@ -301,6 +394,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "pool": args.pool,
             "shards": args.shards,
+            "async": args.use_async,
             "rounds": [
                 {
                     "wall_s": wall,
@@ -343,6 +437,36 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                     for shard in gateway_stats.shards
                 ],
             }
+        if async_stats is not None:
+            payload["async_front_end"] = {
+                "batch_window_ms": batch_window_ms,
+                "max_batch": max_batch,
+                "max_pending": max_pending,
+                "fast_path_hits": async_stats.fast_path_hits,
+                "result_memo_hits": async_stats.result_memo_hits,
+                "admitted": async_stats.admitted,
+                "coalesced": async_stats.coalesced,
+                "batched": async_stats.batched,
+                "dispatched_batches": async_stats.dispatched_batches,
+                "batch_sizes": {
+                    str(size): count
+                    for size, count in sorted(async_stats.batch_sizes.items())
+                },
+                "rejections": {
+                    "queue_full": async_stats.rejected_queue_full,
+                    "tenant_share": async_stats.rejected_tenant_share,
+                },
+                "cancelled": async_stats.cancelled,
+                "tenants": {
+                    tenant: {
+                        "requests": tenant_stats.requests,
+                        "completed": tenant_stats.completed,
+                        "rejected": tenant_stats.rejected,
+                        "cancelled": tenant_stats.cancelled,
+                    }
+                    for tenant, tenant_stats in sorted(async_stats.tenants.items())
+                },
+            }
         print(json.dumps(payload, indent=2))
         return 0
     for round_number, (wall, results) in enumerate(rounds, start=1):
@@ -358,6 +482,18 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate), {stats.evictions} evictions"
     )
+    if async_stats is not None:
+        sizes = ", ".join(
+            f"{size}x{count}"
+            for size, count in sorted(async_stats.batch_sizes.items())
+        )
+        print(
+            f"async: {async_stats.fast_path_hits} fast-path hits, "
+            f"{async_stats.coalesced} coalesced, "
+            f"{async_stats.dispatched_batches} batches ({sizes or 'none'}), "
+            f"{async_stats.rejections} rejections, "
+            f"{async_stats.cancelled} cancelled"
+        )
     if gateway_stats is not None:
         print(
             f"gateway: {gateway_stats.requests} requests, "

@@ -179,6 +179,16 @@ class EnumerationBackend:
 
 _BACKEND_REGISTRY: dict[Backend, EnumerationBackend] = {}
 
+#: Bumped on every (re-)registration; memoizers keyed on settings values
+#: that embed AUTO's *resolution* (the service fingerprint) include this so
+#: a registry change invalidates them instead of serving stale signatures.
+_REGISTRY_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """A counter that changes whenever the backend registry changes."""
+    return _REGISTRY_GENERATION
+
 
 def register_backend(descriptor: EnumerationBackend) -> None:
     """Register (or replace) an enumeration backend.
@@ -187,9 +197,11 @@ def register_backend(descriptor: EnumerationBackend) -> None:
     replaces the previous descriptor — the hook tests and future backends
     use to swap in instrumented cores.
     """
+    global _REGISTRY_GENERATION
     if descriptor.backend is Backend.AUTO:
         raise ValueError("AUTO is a resolution rule, not a registrable backend")
     _BACKEND_REGISTRY[descriptor.backend] = descriptor
+    _REGISTRY_GENERATION += 1
 
 
 def registered_backends() -> tuple[EnumerationBackend, ...]:

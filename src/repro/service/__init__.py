@@ -3,11 +3,18 @@
 The paper's MPQ makes one optimization fast by fanning its partitions out to
 workers; this package makes a *stream* of optimizations fast by recognizing
 repeated (or isomorphic) queries and keeping worker processes warm between
-requests.  See :class:`OptimizerService` for the single-service front door
-and :class:`ShardedOptimizerGateway` for the concurrency-safe sharded
-gateway over it.
+requests.  See :class:`OptimizerService` for the single-service front door,
+:class:`ShardedOptimizerGateway` for the concurrency-safe sharded gateway
+over it, and :class:`AsyncOptimizerGateway` for the asyncio front-end that
+adds adaptive micro-batching and per-tenant backpressure on top.
 """
 
+from repro.service.aio import (
+    AsyncGatewayStats,
+    AsyncOptimizerGateway,
+    GatewayOverloadedError,
+    TenantStats,
+)
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.fingerprint import (
     CanonicalForm,
@@ -20,6 +27,10 @@ from repro.service.remap import invert, remap_mask, remap_plan
 from repro.service.service import CacheEntry, OptimizerService, ServiceResult
 
 __all__ = [
+    "AsyncGatewayStats",
+    "AsyncOptimizerGateway",
+    "GatewayOverloadedError",
+    "TenantStats",
     "CacheEntry",
     "CacheStats",
     "PlanCache",

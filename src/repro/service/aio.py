@@ -1,0 +1,610 @@
+"""An asyncio front-end over the sharded gateway: batching and backpressure.
+
+The threaded :class:`~repro.service.gateway.ShardedOptimizerGateway` costs
+one OS thread per concurrently waiting request; a serving tier that faces
+thousands of connections wants requests to be *queued*, not *parked on
+threads*.  :class:`AsyncOptimizerGateway` is that tier:
+
+* **adaptive micro-batching** — a cache miss does not dispatch immediately.
+  It joins a per-``(settings, workers, shard)`` window that flushes as one
+  ``optimize_batch`` call per shard when the window is ``max_batch`` entries
+  deep or ``batch_window_ms`` old.  The window is *adaptive*: while the
+  dispatch backend is idle the window flushes on the next event-loop tick
+  (batching would only add latency), and every batch completion drains the
+  queued windows immediately (the backend just proved it has capacity) — so
+  the configured window is an upper bound paid only under sustained load,
+  not a tax on every request;
+* **admission control with per-tenant fairness** — at most ``max_pending``
+  requests may be outstanding (queued or dispatched, not yet answered), and
+  a single tenant may hold at most ``tenant_share`` of those slots.  A
+  request beyond either bound is rejected *immediately* with
+  :class:`GatewayOverloadedError` carrying a ``retry_after_s`` estimate —
+  fail-fast backpressure instead of unbounded queueing, and a hot tenant
+  exhausts its own share while the reserved remainder keeps serving
+  everyone else;
+* **cancellation-safe futures** — every admitted request is an
+  :class:`asyncio.Future`.  A caller that abandons it (``asyncio.wait_for``
+  timeout, task cancellation) releases its admission slot at once; a
+  still-queued entry whose waiters all cancelled is dropped from the batch
+  before dispatch (the DP never runs), and a cancellation after dispatch
+  simply discards that waiter's result — the flight, its other waiters, and
+  the in-flight gauges are untouched;
+* **async coalescing** — waiters for the fingerprint of an already-queued
+  entry attach to it instead of occupying a second batch slot, each served
+  from the one result relabeled to its own table numbering.  Together with
+  the threaded gateway's singleflight this preserves the system invariant:
+  *one DP run per unique fingerprint*, no matter how the traffic arrives;
+* **a served-result edge memo** — the shard caches store plans in
+  *canonical* numbering and relabel them on every hit; the front-end
+  additionally keeps a small LRU of fully-relabeled answers keyed by
+  fingerprint (render once, serve many).  A hot client repeating the same
+  query object skips canonical relabeling entirely — the single-threaded
+  event loop makes this a plain dictionary, no locking.  Plans are frozen,
+  so served answers share plan objects safely; only the result envelope is
+  copied per response.
+
+Everything above happens on the event loop — the only blocking work
+(``optimize_batch``) runs on a small dispatch thread pool, so the loop
+stays responsive at any queue depth.  :meth:`AsyncOptimizerGateway.stats`
+extends the threaded gateway's snapshot with queue depth, a batch-size
+histogram, rejection counters, and per-tenant accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import math
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.config import OptimizerSettings
+from repro.query.query import Query
+from repro.service.fingerprint import (
+    CanonicalForm,
+    canonicalize,
+    fingerprint_canonical,
+)
+from repro.service.gateway import GatewayStats, ShardedOptimizerGateway
+from repro.service.service import ServiceResult, serve_from_result
+
+
+class GatewayOverloadedError(RuntimeError):
+    """The request was rejected by admission control; retry after a delay.
+
+    ``reason`` is ``"queue-full"`` (the global pending bound is exhausted)
+    or ``"tenant-share"`` (this tenant alone holds its full share of slots).
+    ``retry_after_s`` estimates when capacity frees up, from the batching
+    window and an exponentially weighted average of recent batch service
+    times — a client honoring it converges on the gateway's actual drain
+    rate instead of hammering a full queue.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float, tenant: str) -> None:
+        super().__init__(
+            f"optimizer gateway overloaded ({reason}) for tenant "
+            f"{tenant!r}; retry after {retry_after_s:.3f}s"
+        )
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's counters at snapshot time."""
+
+    requests: int
+    completed: int
+    rejected: int
+    cancelled: int
+    failed: int
+    outstanding: int
+
+
+@dataclass(frozen=True)
+class AsyncGatewayStats:
+    """A snapshot of the async front-end plus the wrapped threaded gateway.
+
+    ``requests = fast_path_hits + admitted + rejections`` — every call to
+    :meth:`AsyncOptimizerGateway.optimize` lands in exactly one bucket.
+    ``batched`` counts *entries* dispatched inside batches (coalesced
+    waiters share their entry), and ``batch_sizes`` histograms entries per
+    dispatched batch, so the operator can see whether the window actually
+    aggregates traffic or degenerates to singleton batches.
+    """
+
+    requests: int
+    fast_path_hits: int
+    #: Of the fast-path hits, how many were served from the front-end's
+    #: relabeled-result memo without touching the shard cache at all.
+    result_memo_hits: int
+    admitted: int
+    coalesced: int
+    batched: int
+    rejected_queue_full: int
+    rejected_tenant_share: int
+    cancelled: int
+    queue_depth: int
+    outstanding: int
+    dispatched_batches: int
+    in_flight_batches: int
+    batch_sizes: dict[int, int]
+    tenants: dict[str, TenantStats]
+    gateway: GatewayStats
+
+    @property
+    def rejections(self) -> int:
+        """Total rejected requests across both admission-control reasons."""
+        return self.rejected_queue_full + self.rejected_tenant_share
+
+
+@dataclass
+class _TenantState:
+    requests: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    outstanding: int = 0
+
+
+class _Waiter:
+    """One admitted request: its future and its own canonical numbering."""
+
+    __slots__ = ("future", "canonical", "tenant")
+
+    def __init__(
+        self, future: "asyncio.Future[ServiceResult]", canonical: CanonicalForm, tenant: str
+    ) -> None:
+        self.future = future
+        self.canonical = canonical
+        self.tenant = tenant
+
+
+class _PendingEntry:
+    """One queued unique fingerprint and everyone waiting on it."""
+
+    __slots__ = ("key", "query", "canonical", "waiters")
+
+    def __init__(self, key: str, query: Query, canonical: CanonicalForm) -> None:
+        self.key = key
+        self.query = query
+        self.canonical = canonical
+        self.waiters: list[_Waiter] = []
+
+
+class _Window:
+    """The open micro-batch for one ``(settings, workers, shard)`` group."""
+
+    __slots__ = ("entries", "timer")
+
+    def __init__(self) -> None:
+        self.entries: dict[str, _PendingEntry] = {}
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class AsyncOptimizerGateway:
+    """Asyncio front door over a :class:`ShardedOptimizerGateway`.
+
+    Args:
+        gateway: the threaded sharded gateway to serve through.  ``None``
+            builds one from ``gateway_kwargs`` and owns it (closed with this
+            front-end); a passed-in gateway is borrowed and left open unless
+            ``own_gateway=True``.
+        batch_window_ms: upper bound on how long a queued miss waits for
+            companions before its micro-batch dispatches.  Paid only while
+            the dispatch backend is busy; an idle backend flushes on the
+            next event-loop tick.
+        max_batch: flush a window early once it holds this many unique
+            fingerprints.
+        max_pending: bound on outstanding admitted requests (queued plus
+            dispatched, not yet answered); beyond it requests are rejected
+            with ``reason="queue-full"``.
+        tenant_share: fraction of ``max_pending`` a single tenant may hold
+            (at least one slot).  The remainder stays available to other
+            tenants no matter how hot one tenant runs.
+        result_memo_size: entries in the served-result edge memo (fully
+            relabeled answers by fingerprint, LRU beyond); ``0`` disables
+            it.  The memo never changes an answer — results are a pure
+            function of the fingerprint — it only skips re-relabeling, but
+            a memo-served answer does not refresh the shard cache's LRU
+            recency for that key.
+        dispatch_threads: size of the thread pool running ``optimize_batch``
+            calls; defaults to the wrapped gateway's shard count (one batch
+            per shard in flight).
+        own_gateway: close ``gateway`` when this front-end closes.
+        **gateway_kwargs: forwarded to :class:`ShardedOptimizerGateway` when
+            ``gateway`` is ``None``.
+
+    Single-loop discipline: all bookkeeping runs on the event loop that
+    first calls :meth:`optimize`; using the instance from a second loop is
+    an error.  The dispatch pool threads only execute ``optimize_batch``
+    (itself thread-safe) and report back via the loop.
+    """
+
+    def __init__(
+        self,
+        gateway: ShardedOptimizerGateway | None = None,
+        *,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 16,
+        max_pending: int = 128,
+        tenant_share: float = 0.5,
+        result_memo_size: int = 1024,
+        dispatch_threads: int | None = None,
+        own_gateway: bool = False,
+        **gateway_kwargs: object,
+    ) -> None:
+        if batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if not 0.0 < tenant_share <= 1.0:
+            raise ValueError(f"tenant_share must be in (0, 1], got {tenant_share}")
+        if result_memo_size < 0:
+            raise ValueError(f"result_memo_size must be >= 0, got {result_memo_size}")
+        if gateway is None:
+            gateway = ShardedOptimizerGateway(**gateway_kwargs)  # type: ignore[arg-type]
+            own_gateway = True
+        self._gateway = gateway
+        self._own_gateway = own_gateway
+        self.batch_window_s = batch_window_ms / 1e3
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.tenant_cap = max(1, math.floor(max_pending * tenant_share))
+        self._executor = ThreadPoolExecutor(
+            max_workers=(
+                dispatch_threads if dispatch_threads is not None else gateway.n_shards
+            ),
+            thread_name_prefix="aio-dispatch",
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+        #: Open micro-batches by (settings, workers, shard index).
+        self._windows: dict[tuple[OptimizerSettings, int, int], _Window] = {}
+        #: Queued (not yet dispatched) entries by fingerprint, for coalescing.
+        self._queued: dict[str, _PendingEntry] = {}
+        self._dispatches: set[asyncio.Future] = set()
+        #: Fully-relabeled answers by fingerprint: value is (numbering the
+        #: plans are in, result to copy from).  Touched only on the loop.
+        self._served: OrderedDict[str, tuple[tuple[int, ...], ServiceResult]] = (
+            OrderedDict()
+        )
+        self.result_memo_size = result_memo_size
+        self._requests = 0
+        self._fast_path_hits = 0
+        self._result_memo_hits = 0
+        self._admitted = 0
+        self._coalesced = 0
+        self._batched = 0
+        self._rejected_queue_full = 0
+        self._rejected_tenant_share = 0
+        self._cancelled = 0
+        self._outstanding = 0
+        self._dispatched_batches = 0
+        self._batch_sizes: Counter[int] = Counter()
+        self._tenants: dict[str, _TenantState] = {}
+        #: EWMA of batch service time, seeding the retry-after estimate.
+        self._ewma_batch_s = max(self.batch_window_s, 1e-3)
+
+    # ----------------------------------------------------------------- request
+
+    async def optimize(
+        self,
+        query: Query,
+        settings: OptimizerSettings | None = None,
+        n_workers: int | None = None,
+        tenant: str = "default",
+    ) -> ServiceResult:
+        """Optimize one query; hits return immediately, misses micro-batch.
+
+        Raises :class:`GatewayOverloadedError` when admission control
+        rejects the request (the caller should back off ``retry_after_s``),
+        and propagates the optimization's own error if the DP fails.
+        Cancelling the returned awaitable releases the admission slot and,
+        when this waiter was the entry's last, withdraws the queued work.
+        """
+        self._check_loop()
+        if self._closed:
+            raise RuntimeError("async gateway is closed")
+        settings = settings if settings is not None else self._gateway.settings
+        workers = n_workers if n_workers is not None else self._gateway.n_workers
+        state = self._tenants.setdefault(tenant, _TenantState())
+        self._requests += 1
+        state.requests += 1
+
+        canonical = canonicalize(query)
+        key = fingerprint_canonical(canonical, settings, workers)
+        memo = self._served.get(key)
+        if memo is not None and memo[0] == canonical.numbering:
+            # Edge-memo hit: the fully-relabeled answer for this exact
+            # numbering was already rendered — serve a fresh envelope over
+            # the shared frozen plans.
+            self._served.move_to_end(key)
+            self._fast_path_hits += 1
+            self._result_memo_hits += 1
+            state.completed += 1
+            return dataclasses.replace(
+                memo[1], plans=list(memo[1].plans), cached=True
+            )
+        served = self._gateway.serve_if_cached(canonical, key)
+        if served is not None:
+            self._fast_path_hits += 1
+            state.completed += 1
+            self._remember(key, canonical.numbering, served)
+            return served
+
+        reason = self._admission_verdict(state)
+        if reason is not None:
+            state.rejected += 1
+            if reason == "queue-full":
+                self._rejected_queue_full += 1
+            else:
+                self._rejected_tenant_share += 1
+            raise GatewayOverloadedError(reason, self._retry_after_s(), tenant)
+
+        assert self._loop is not None
+        waiter = _Waiter(self._loop.create_future(), canonical, tenant)
+        self._admitted += 1
+        self._outstanding += 1
+        state.outstanding += 1
+        waiter.future.add_done_callback(
+            lambda future, state=state: self._on_waiter_done(state, future)
+        )
+
+        entry = self._queued.get(key)
+        if entry is not None:
+            # Same fingerprint already queued: ride along, one batch slot.
+            self._coalesced += 1
+            entry.waiters.append(waiter)
+        else:
+            entry = _PendingEntry(key, query, canonical)
+            entry.waiters.append(waiter)
+            self._queued[key] = entry
+            self._enqueue(entry, settings, workers)
+        return await waiter.future
+
+    # --------------------------------------------------------------- admission
+
+    def _admission_verdict(self, state: _TenantState) -> str | None:
+        """The rejection reason for this request, or ``None`` to admit."""
+        if self._outstanding >= self.max_pending:
+            return "queue-full"
+        if state.outstanding >= self.tenant_cap:
+            return "tenant-share"
+        return None
+
+    def _retry_after_s(self) -> float:
+        """Estimated wait until a slot frees: queue depth over drain rate."""
+        batches_ahead = 1 + self._outstanding // self.max_batch
+        return self.batch_window_s + batches_ahead * self._ewma_batch_s
+
+    def _on_waiter_done(self, state: _TenantState, future: asyncio.Future) -> None:
+        """Single accounting point for every way a waiter can finish."""
+        self._outstanding -= 1
+        state.outstanding -= 1
+        if future.cancelled():
+            self._cancelled += 1
+            state.cancelled += 1
+        elif future.exception() is not None:
+            state.failed += 1
+        else:
+            state.completed += 1
+
+    # ---------------------------------------------------------------- batching
+
+    def _enqueue(
+        self, entry: _PendingEntry, settings: OptimizerSettings, workers: int
+    ) -> None:
+        """Place a fresh entry in its group's window; decide when to flush."""
+        assert self._loop is not None
+        group = (settings, workers, self._gateway.shard_for(entry.key))
+        window = self._windows.get(group)
+        if window is None:
+            window = self._windows[group] = _Window()
+        window.entries[entry.key] = entry
+        if len(window.entries) >= self.max_batch:
+            self._flush(group)
+        elif self._in_flight_batches() == 0:
+            # Adaptive fast path: the backend is idle, so waiting out the
+            # window would be pure added latency.  Flush on the next loop
+            # tick — late enough that every task already runnable on this
+            # tick (a burst arriving "simultaneously") can still join.
+            if window.timer is not None:
+                window.timer.cancel()
+            window.timer = self._loop.call_later(0.0, self._flush, group)
+        elif window.timer is None:
+            window.timer = self._loop.call_later(
+                self.batch_window_s, self._flush, group
+            )
+
+    def _in_flight_batches(self) -> int:
+        return len(self._dispatches)
+
+    def _flush(self, group: tuple[OptimizerSettings, int, int]) -> None:
+        """Dispatch one group's window as a single per-shard batch."""
+        assert self._loop is not None
+        window = self._windows.pop(group, None)
+        if window is None:
+            return
+        if window.timer is not None:
+            window.timer.cancel()
+        live: list[_PendingEntry] = []
+        for entry in window.entries.values():
+            self._queued.pop(entry.key, None)
+            entry.waiters = [
+                waiter for waiter in entry.waiters if not waiter.future.done()
+            ]
+            if entry.waiters:
+                live.append(entry)
+        if not live:
+            return
+        settings, workers, __ = group
+        self._dispatched_batches += 1
+        self._batched += len(live)
+        self._batch_sizes[len(live)] += 1
+        started = self._loop.time()
+        dispatch = self._loop.run_in_executor(
+            self._executor,
+            self._gateway.optimize_batch,
+            [entry.query for entry in live],
+            settings,
+            workers,
+        )
+        self._dispatches.add(dispatch)
+        dispatch.add_done_callback(
+            lambda future, live=live, started=started: self._on_batch_done(
+                live, started, future
+            )
+        )
+
+    def _on_batch_done(
+        self,
+        entries: list[_PendingEntry],
+        started: float,
+        dispatch: asyncio.Future,
+    ) -> None:
+        """Settle every waiter of a finished batch; then drain the queue."""
+        assert self._loop is not None
+        self._dispatches.discard(dispatch)
+        elapsed = max(self._loop.time() - started, 1e-6)
+        self._ewma_batch_s += 0.25 * (elapsed - self._ewma_batch_s)
+        error: BaseException | None
+        try:
+            results = dispatch.result()
+            error = None
+        except BaseException as failure:  # noqa: BLE001 - delivered to waiters
+            results = []
+            error = failure
+        if error is not None:
+            for entry in entries:
+                for waiter in entry.waiters:
+                    if not waiter.future.done():
+                        waiter.future.set_exception(error)
+        else:
+            for entry, result in zip(entries, results):
+                self._settle_entry(entry, result)
+        # The backend just freed capacity: drain queued windows immediately
+        # rather than letting them ripen to their timers.
+        for group in list(self._windows):
+            self._flush(group)
+
+    def _remember(self, key: str, numbering: tuple[int, ...], result: ServiceResult) -> None:
+        """LRU-memoize a served answer for its (fingerprint, numbering).
+
+        A defensive copy is stored, never the object handed to a caller:
+        callers may legitimately mutate their result's ``plans`` list in
+        place (sorting, filtering), and the memo must not serve those
+        mutations to later requesters.  The frozen plan objects themselves
+        are shared.
+        """
+        if self.result_memo_size == 0:
+            return
+        self._served[key] = (
+            numbering,
+            dataclasses.replace(result, plans=list(result.plans)),
+        )
+        self._served.move_to_end(key)
+        while len(self._served) > self.result_memo_size:
+            self._served.popitem(last=False)
+
+    def _settle_entry(self, entry: _PendingEntry, result: ServiceResult) -> None:
+        """Deliver one entry's result to each waiter in its own numbering."""
+        self._remember(entry.key, entry.canonical.numbering, result)
+        first = True
+        for waiter in entry.waiters:
+            if waiter.future.done():
+                continue
+            if first and waiter.canonical.numbering == entry.canonical.numbering:
+                # The representative: the batch ran (or cache-served) its
+                # exact numbering, so the result passes through untouched.
+                waiter.future.set_result(result)
+            else:
+                waiter.future.set_result(
+                    serve_from_result(result, entry.canonical, waiter.canonical, entry.key)
+                )
+            first = False
+
+    # ------------------------------------------------------------------- stats
+
+    def stats(self) -> AsyncGatewayStats:
+        """Snapshot the front-end counters plus the wrapped gateway's."""
+        return AsyncGatewayStats(
+            requests=self._requests,
+            fast_path_hits=self._fast_path_hits,
+            result_memo_hits=self._result_memo_hits,
+            admitted=self._admitted,
+            coalesced=self._coalesced,
+            batched=self._batched,
+            rejected_queue_full=self._rejected_queue_full,
+            rejected_tenant_share=self._rejected_tenant_share,
+            cancelled=self._cancelled,
+            queue_depth=len(self._queued),
+            outstanding=self._outstanding,
+            dispatched_batches=self._dispatched_batches,
+            in_flight_batches=self._in_flight_batches(),
+            batch_sizes=dict(self._batch_sizes),
+            tenants={
+                tenant: TenantStats(
+                    requests=state.requests,
+                    completed=state.completed,
+                    rejected=state.rejected,
+                    cancelled=state.cancelled,
+                    failed=state.failed,
+                    outstanding=state.outstanding,
+                )
+                for tenant, state in self._tenants.items()
+            },
+            gateway=self._gateway.stats(),
+        )
+
+    @property
+    def gateway(self) -> ShardedOptimizerGateway:
+        """The wrapped threaded gateway (for its shards and stats)."""
+        return self._gateway
+
+    # --------------------------------------------------------------- lifecycle
+
+    def _check_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise RuntimeError(
+                "AsyncOptimizerGateway is bound to the event loop that first "
+                "used it; create one instance per loop"
+            )
+
+    async def close(self) -> None:
+        """Stop admitting, flush and drain every queued request, release.
+
+        Queued entries are dispatched (their waiters get real answers, not
+        cancellations), in-flight batches are awaited, and then the dispatch
+        pool — plus the wrapped gateway, when owned — is shut down.
+        Idempotent; concurrent requests racing ``close`` either complete or
+        see the closed error at admission.
+        """
+        if self._closed:
+            return
+        self._check_loop()
+        self._closed = True
+        for group in list(self._windows):
+            self._flush(group)
+        while self._dispatches:
+            await asyncio.gather(*list(self._dispatches), return_exceptions=True)
+            # Completion callbacks (which settle waiters and may flush the
+            # next wave of windows) run via call_soon; yield so they do.
+            await asyncio.sleep(0)
+        self._executor.shutdown(wait=True)
+        if self._own_gateway:
+            self._gateway.close()
+
+    async def __aenter__(self) -> "AsyncOptimizerGateway":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

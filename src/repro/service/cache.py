@@ -52,6 +52,13 @@ class PlanCache(Generic[Value]):
     or counters (used by batch deduplication, which should not inflate the
     hit rate with its own bookkeeping reads).
 
+    ``capacity=0`` disables caching entirely: every lookup misses and every
+    ``put`` is dropped on the floor (counted as an eviction, so the
+    operator-visible eviction counter still reflects how many results were
+    not retained).  This is the supported way to run a service or gateway
+    uncached — e.g. to measure raw DP throughput — without special-casing
+    call sites.
+
     All operations are atomic under an internal reentrant lock; see the
     module docstring.  ``stats`` remains directly readable for tests and
     single-threaded callers, but concurrent readers should prefer
@@ -59,8 +66,8 @@ class PlanCache(Generic[Value]):
     """
 
     def __init__(self, capacity: int = 128) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[str, Value] = OrderedDict()
@@ -74,6 +81,22 @@ class PlanCache(Generic[Value]):
                 self.stats.hits += 1
                 return self._entries[key]
             self.stats.misses += 1
+            return None
+
+    def probe(self, key: str) -> Value | None:
+        """Like :meth:`get`, but an absent key is *not* counted as a miss.
+
+        For opportunistic fast-path probes (the async front-end checks the
+        cache before queueing a request for batching) that fall back to a
+        full, miss-counting lookup: counting the probe *and* the later real
+        lookup would double-count one logical miss, breaking the
+        ``misses == optimizations`` accounting identity.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
             return None
 
     def peek(self, key: str) -> Value | None:

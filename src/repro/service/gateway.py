@@ -50,7 +50,12 @@ from repro.service.fingerprint import (
     canonicalize,
     fingerprint_canonical,
 )
-from repro.service.service import CacheEntry, OptimizerService, ServiceResult
+from repro.service.service import (
+    CacheEntry,
+    OptimizerService,
+    ServiceResult,
+    serve_from_result,
+)
 
 #: Width (in hex digits) of the fingerprint prefix used for range routing.
 #: 8 hex digits = 32 bits — plenty to spread sha256 prefixes uniformly over
@@ -115,18 +120,24 @@ class GatewayStats:
 class _Flight:
     """One in-flight optimization: a key, a completion event, its outcome.
 
-    The leader publishes either ``entry`` (the cached canonical plans) or
-    ``error`` before setting ``done``; followers wait on ``done`` and then
-    read whichever was published.
+    The leader publishes either an answer or ``error`` before setting
+    ``done``; followers wait on ``done`` and then read whichever was
+    published.  The answer has two forms: ``entry`` (the cached canonical
+    plans — the normal case) and, as a fallback for caches that retain
+    nothing (``capacity=0``) or evicted the entry before the leader's peek,
+    the leader's own ``result`` plus the ``canonical`` numbering it was
+    computed in, from which a follower's answer is relabeled directly.
     """
 
-    __slots__ = ("key", "done", "entry", "error")
+    __slots__ = ("key", "done", "entry", "error", "result", "canonical")
 
     def __init__(self, key: str) -> None:
         self.key = key
         self.done = threading.Event()
         self.entry: CacheEntry | None = None
         self.error: BaseException | None = None
+        self.result: ServiceResult | None = None
+        self.canonical: CanonicalForm | None = None
 
 
 class ShardedOptimizerGateway:
@@ -211,6 +222,7 @@ class ShardedOptimizerGateway:
         query: Query,
         settings: OptimizerSettings | None = None,
         n_workers: int | None = None,
+        timeout_s: float | None = None,
     ) -> ServiceResult:
         """Optimize one query; safe to call from many threads concurrently.
 
@@ -218,6 +230,13 @@ class ShardedOptimizerGateway:
         an identical/isomorphic optimization already in flight waits for it
         (coalescing); otherwise this request leads the optimization and
         every concurrent duplicate rides along.
+
+        ``timeout_s`` bounds only how long a *follower* waits on another
+        request's in-flight run; on expiry it raises :class:`TimeoutError`
+        and abandons the flight cleanly — the leader keeps running, its
+        other followers are unaffected, and the in-flight gauge is released.
+        A leader is never interrupted (a half-run DP has no safe abort
+        point), and a cache hit never waits at all.
         """
         settings = settings if settings is not None else self.settings
         workers = n_workers if n_workers is not None else self.n_workers
@@ -231,11 +250,33 @@ class ShardedOptimizerGateway:
                 return shard.serve_entry(payload, canonical, key)
             if role == "follow":
                 return self._await_flight(
-                    shard, payload, query, canonical, key, settings, workers
+                    shard, payload, canonical, key, timeout_s=timeout_s
                 )
             return self._lead(shard, payload, query, canonical, key, settings, workers)
         finally:
             self._exit_requests(1)
+
+    def serve_if_cached(
+        self, canonical: CanonicalForm, key: str
+    ) -> ServiceResult | None:
+        """Serve ``key`` from its shard's cache if resident; else ``None``.
+
+        The opportunistic fast path for front-ends (the async gateway) that
+        queue misses for batching instead of blocking a thread per request:
+        a hit is counted as a request and a shard cache hit; a miss counts
+        *nothing* here — the caller funnels it into :meth:`optimize_batch`,
+        whose lookup does the real miss accounting, so one logical miss is
+        never double-counted.
+        """
+        shard = self.shards[self.shard_for(key)]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            entry = shard.cache.probe(key)
+            if entry is None:
+                return None
+            self._requests += 1
+        return shard.serve_entry(entry, canonical, key)
 
     # ------------------------------------------------------------------- batch
 
@@ -318,13 +359,7 @@ class ShardedOptimizerGateway:
             for index, flight in followers:
                 shard = self.shards[self.shard_for(flight.key)]
                 results[index] = self._await_flight(
-                    shard,
-                    flight,
-                    requests[index],
-                    canonicals[index],
-                    keys[index],
-                    settings,
-                    workers,
+                    shard, flight, canonicals[index], keys[index]
                 )
             if errors:
                 raise errors[0]
@@ -375,6 +410,8 @@ class ShardedOptimizerGateway:
         try:
             result = shard.run_misses([(query, canonical, key)], settings, workers)[0]
             flight.entry = shard.cache.peek(key)
+            flight.result = result
+            flight.canonical = canonical
             with self._lock:
                 self._optimizations += 1
             return result
@@ -409,6 +446,8 @@ class ShardedOptimizerGateway:
             )
             for (index, flight), result in zip(group, shard_results):
                 flight.entry = shard.cache.peek(keys[index])
+                flight.result = result
+                flight.canonical = canonicals[index]
                 results[index] = result
             with self._lock:
                 self._optimizations += len(group)
@@ -427,22 +466,36 @@ class ShardedOptimizerGateway:
         self,
         shard: OptimizerService,
         flight: _Flight,
-        query: Query,
         canonical: CanonicalForm,
         key: str,
-        settings: OptimizerSettings,
-        workers: int,
+        timeout_s: float | None = None,
     ) -> ServiceResult:
-        """Wait for the in-flight leader, then serve from its published entry."""
-        flight.done.wait()
+        """Wait for the in-flight leader, then serve from its published entry.
+
+        With ``timeout_s``, an expired wait abandons the flight: nothing was
+        registered by this follower, so abandonment needs no cleanup beyond
+        raising — the flight, its leader, and its other followers are
+        untouched.  (The follower's probe already counted a cache miss; that
+        stands, since this request was indeed not answered from cache.)
+        """
+        if not flight.done.wait(timeout_s):
+            raise TimeoutError(
+                f"coalesced flight for {flight.key[:12]}… did not complete "
+                f"within {timeout_s}s; the leader is still running"
+            )
         if flight.error is not None:
             raise flight.error
         entry = flight.entry
-        if entry is None:  # pragma: no cover - needs eviction mid-publication
-            # The entry was evicted between the leader's cache fill and its
-            # peek (possible only when capacity < concurrent unique keys).
-            # Fall back to a full shard request rather than failing.
-            return shard.optimize(query, settings, workers)
+        if entry is None:
+            # Nothing cached to serve from: capacity=0 retains nothing, or
+            # the entry was evicted between the leader's cache fill and its
+            # peek.  The leader's own result is still on the flight —
+            # relabel it into this follower's numbering, preserving the
+            # one-DP-run-per-fingerprint invariant even with no cache.
+            assert flight.result is not None and flight.canonical is not None
+            with self._lock:
+                shard.cache.reclassify_miss_as_hit()
+            return serve_from_result(flight.result, flight.canonical, canonical, key)
         # The follower's probe counted a miss, but no optimization ran for
         # it — recount so hit rate means "answered without enumerating".
         # Under the gateway lock so ``stats()`` snapshots never observe the

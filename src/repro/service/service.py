@@ -29,6 +29,7 @@ from __future__ import annotations
 # the submodule was never imported — e.g. a serial executor raising before
 # any process pool existed.
 from concurrent.futures.process import BrokenProcessPool
+import dataclasses
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -98,6 +99,41 @@ class ServiceResult:
         if not self.plans:
             raise ValueError("optimization produced no plan")
         return min(self.plans, key=plan_tie_key)
+
+
+def serve_from_result(
+    result: ServiceResult,
+    source: CanonicalForm,
+    target: CanonicalForm,
+    key: str,
+) -> ServiceResult:
+    """Serve an isomorphic duplicate directly from another request's result.
+
+    ``result`` holds plans in the *source* request's own table numbering;
+    composing the source numbering with the inverse of the target numbering
+    relabels them into the duplicate requester's numbering without touching
+    the cache — the serving path when no cache entry exists (``capacity=0``,
+    or an entry evicted between the run and the duplicate being served) and
+    for async waiters coalesced onto a batched flight.
+    """
+    inverse = invert(target.numbering)
+    mapping = tuple(
+        inverse[source.numbering[original]]
+        for original in range(len(source.numbering))
+    )
+    if mapping == tuple(range(len(mapping))):
+        # Identical numbering (the common case when one hot query object is
+        # coalesced many times): plans are frozen, so they can be shared
+        # as-is — only the list and the flags are fresh.
+        plans = list(result.plans)
+    else:
+        plans = [remap_plan(plan, mapping) for plan in result.plans]
+    return dataclasses.replace(
+        result,
+        plans=plans,
+        fingerprint=key,
+        cached=True,
+    )
 
 
 class OptimizerService:
@@ -195,7 +231,6 @@ class OptimizerService:
         for (key, representative), entry_result in zip(unique, miss_results):
             results[representative] = entry_result
             entry = self.cache.peek(key)
-            assert entry is not None
             for index in misses[key][1:]:
                 # Isomorphic duplicate within the batch: computed once above
                 # and served from the cache.  Its initial lookup counted a
@@ -203,7 +238,14 @@ class OptimizerService:
                 # hit it ultimately was, so the operator-facing hit rate
                 # agrees with the ``cached`` flags on the results.
                 self.cache.reclassify_miss_as_hit()
-                results[index] = self.serve_entry(entry, canonicals[index], key)
+                if entry is not None:
+                    results[index] = self.serve_entry(entry, canonicals[index], key)
+                else:
+                    # capacity=0 (or the entry was already evicted): relabel
+                    # the representative's fresh result directly.
+                    results[index] = serve_from_result(
+                        entry_result, canonicals[representative], canonicals[index], key
+                    )
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 

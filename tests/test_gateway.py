@@ -260,6 +260,42 @@ class TestCoalescing:
             for query, result in zip(variants, results):
                 assert result.best.cost == best_plan(optimize_serial(query)).cost
 
+    def test_coalescing_survives_a_cache_that_retains_nothing(self):
+        # Regression: with cache_capacity=0 (the supported cache-disabled
+        # mode) the leader's peek finds no entry; followers must be served
+        # by relabeling the leader's own result — one DP run, not N.
+        base = SteinbrunnGenerator(41).query(7)
+        variants = [base] + [
+            permute_query(base, shuffled(7, seed=seed)) for seed in range(3)
+        ]
+        gate = threading.Event()
+        executors: list[GatedSerialExecutor] = []
+
+        def factory():
+            executor = GatedSerialExecutor(gate)
+            executors.append(executor)
+            return executor
+
+        with ShardedOptimizerGateway(
+            n_shards=2, n_workers=4, executor_factory=factory, cache_capacity=0
+        ) as gateway:
+            threads, results, errors = self._run_concurrent(gateway, variants)
+            assert _poll(lambda: gateway.stats().coalesced == len(variants) - 1)
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=WAIT_S)
+                assert not thread.is_alive()
+            assert errors == [None] * len(variants)
+            stats = gateway.stats()
+            assert stats.optimizations == 1, stats
+            assert sum(executor.calls for executor in executors) == 1
+            reference = best_plan(optimize_serial(base)).cost[0]
+            for variant, result in zip(variants, results):
+                assert result.best.mask == variant.all_tables_mask
+                assert result.best.cost[0] == pytest.approx(reference, rel=1e-9)
+            # Nothing was retained — the next identical request runs afresh.
+            assert sum(len(shard.cache) for shard in gateway.shards) == 0
+
     def test_leader_failure_propagates_to_followers(self):
         query = SteinbrunnGenerator(40).query(6)
         gate = threading.Event()
@@ -314,6 +350,127 @@ class TestCoalescing:
             assert sum(executor.calls for executor in executors) == 1
             assert batch_results[0][0].cached
             assert batch_results[0][0].best.cost == single[0].best.cost
+
+
+class TestAbandonedFlights:
+    """Followers that stop waiting must never wedge leaders or leak gauges."""
+
+    def test_follower_timeout_abandons_cleanly(self):
+        query = SteinbrunnGenerator(46).query(6)
+        gate = threading.Event()
+        executors: list[GatedSerialExecutor] = []
+
+        def factory():
+            executor = GatedSerialExecutor(gate)
+            executors.append(executor)
+            return executor
+
+        with ShardedOptimizerGateway(
+            n_shards=2, n_workers=2, executor_factory=factory
+        ) as gateway:
+            box: list = [None]
+            leader = threading.Thread(
+                target=lambda: box.__setitem__(0, gateway.optimize(query))
+            )
+            leader.start()
+            assert _poll(lambda: sum(e.calls for e in executors) == 1)
+            # The follower gives up long before the gated leader finishes.
+            with pytest.raises(TimeoutError, match="did not complete"):
+                gateway.optimize(query, timeout_s=0.05)
+            # Abandonment released the follower's admission immediately …
+            assert gateway.stats().in_flight == 1  # only the leader remains
+            # … and the leader is not wedged: open the gate, it completes.
+            gate.set()
+            leader.join(timeout=WAIT_S)
+            assert not leader.is_alive()
+            assert box[0] is not None and not box[0].cached
+            stats = gateway.stats()
+            assert stats.in_flight == 0
+            assert stats.optimizations == 1
+            # The timed-out requester retries into a plain cache hit.
+            assert gateway.optimize(query, timeout_s=0.05).cached
+
+    def test_mass_abandonment_under_leader_failure_leaks_nothing(self):
+        """Stress: a herd of followers, some timing out, some staying, while
+        the leader ultimately *fails* — ``in_flight`` must return to 0 and a
+        retry must lead a fresh flight."""
+        query = SteinbrunnGenerator(47).query(6)
+        gate = threading.Event()
+        with ShardedOptimizerGateway(
+            n_shards=2,
+            n_workers=2,
+            executor_factory=lambda: FailingGatedExecutor(gate),
+        ) as gateway:
+            n_threads = 8
+            outcomes: list = [None] * n_threads
+            barrier = threading.Barrier(n_threads)
+
+            def work(index):
+                barrier.wait(timeout=WAIT_S)
+                try:
+                    # Half the followers abandon almost immediately; the
+                    # leader (index 0 usually) and the rest wait it out.
+                    timeout = 0.02 if index % 2 else None
+                    outcomes[index] = gateway.optimize(query, timeout_s=timeout)
+                except BaseException as error:  # noqa: BLE001 - asserted below
+                    outcomes[index] = error
+
+            threads = [
+                threading.Thread(target=work, args=(index,))
+                for index in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            assert _poll(lambda: gateway.stats().coalesced >= 1)
+            # Let the abandoning half time out before the leader fails.
+            assert _poll(
+                lambda: sum(
+                    isinstance(outcome, TimeoutError) for outcome in outcomes
+                )
+                > 0
+            )
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=WAIT_S)
+                assert not thread.is_alive()
+            # Every thread saw either a timeout (abandoned) or the leader's
+            # failure (stayed) — and nothing hangs or half-succeeds.
+            assert all(
+                isinstance(outcome, (TimeoutError, ConnectionError))
+                for outcome in outcomes
+            ), outcomes
+            assert any(isinstance(o, ConnectionError) for o in outcomes)
+            stats = gateway.stats()
+            assert stats.in_flight == 0, "in-flight gauge leaked"
+            assert stats.peak_in_flight == n_threads
+            # The failed flight was deregistered: a retry leads afresh.
+            gate.clear()
+            retry: list = [None]
+            fresh = threading.Thread(
+                target=lambda: retry.__setitem__(
+                    0,
+                    _catch(lambda: gateway.optimize(query)),
+                )
+            )
+            fresh.start()
+            gate.set()
+            fresh.join(timeout=WAIT_S)
+            assert not fresh.is_alive()
+            assert isinstance(retry[0], ConnectionError)
+            assert gateway.stats().in_flight == 0
+
+    def test_timeout_irrelevant_when_leader_is_fast(self):
+        query = SteinbrunnGenerator(49).query(5)
+        with ShardedOptimizerGateway(n_shards=2, n_workers=2) as gateway:
+            assert not gateway.optimize(query, timeout_s=WAIT_S).cached
+            assert gateway.optimize(query, timeout_s=0.0001).cached
+
+
+def _catch(call):
+    try:
+        return call()
+    except BaseException as error:  # noqa: BLE001 - inspected by the test
+        return error
 
 
 class TestLifecycleAndStats:

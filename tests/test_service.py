@@ -168,8 +168,10 @@ class TestPlanCache:
         assert "a" not in cache
 
     def test_rejects_silly_capacity(self):
+        # capacity=0 is the supported cache-disabled mode (see
+        # test_cache_boundaries.py); only negatives are nonsense.
         with pytest.raises(ValueError):
-            PlanCache(capacity=0)
+            PlanCache(capacity=-1)
 
 
 class TestOptimizerService:

@@ -1,0 +1,171 @@
+"""The traffic generator/replayer: determinism, shape, replay fidelity."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.traffic import (
+    FEATURE_SETTINGS,
+    ReplayReport,
+    TenantProfile,
+    TrafficProfile,
+    TrafficRequest,
+    generate_traffic,
+    latency_percentiles,
+    replay_threaded,
+    settings_for,
+    unique_fingerprints,
+)
+from repro.config import OptimizerSettings
+from repro.core.serial import best_plan, optimize_serial
+from repro.service import ShardedOptimizerGateway
+
+
+class TestGeneration:
+    def test_same_profile_same_schedule(self):
+        profile = TrafficProfile(seed=3)
+        first = generate_traffic(profile)
+        second = generate_traffic(profile)
+        assert len(first) == profile.n_requests
+        for a, b in zip(first, second):
+            assert (a.at_s, a.tenant, a.feature, a.n_workers, a.rank) == (
+                b.at_s,
+                b.tenant,
+                b.feature,
+                b.n_workers,
+                b.rank,
+            )
+            assert a.query is not b.query  # fresh objects ...
+            assert a.query.tables == b.query.tables  # ... same content
+
+    def test_different_seeds_differ(self):
+        first = generate_traffic(TrafficProfile(seed=1))
+        second = generate_traffic(TrafficProfile(seed=2))
+        assert [r.rank for r in first] != [r.rank for r in second]
+
+    def test_arrivals_are_nondecreasing_and_bursty(self):
+        profile = TrafficProfile(n_requests=256, seed=4)
+        schedule = generate_traffic(profile)
+        offsets = [request.at_s for request in schedule]
+        assert offsets == sorted(offsets)
+        assert offsets[0] > 0
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        # Bursty traffic: many tiny intra-burst gaps AND some long lulls.
+        threshold = profile.inter_gap_ms / 1e3 / 2
+        assert sum(gap < threshold for gap in gaps) > len(gaps) / 2
+        assert sum(gap >= threshold for gap in gaps) > 5
+
+    def test_zipf_popularity_is_skewed(self):
+        schedule = generate_traffic(TrafficProfile(n_requests=512, seed=5))
+        counts = Counter(request.rank for request in schedule)
+        # Rank 0 dominates and beats the tail decisively.
+        assert counts[0] == max(counts.values())
+        tail = sum(count for rank, count in counts.items() if rank >= 6)
+        assert counts[0] > tail / 2
+
+    def test_tenant_weights_respected(self):
+        profile = TrafficProfile(
+            n_requests=512,
+            seed=6,
+            tenants=(TenantProfile("hot", 8.0), TenantProfile("cold", 1.0)),
+        )
+        counts = Counter(r.tenant for r in generate_traffic(profile))
+        assert set(counts) == {"hot", "cold"}
+        assert counts["hot"] > 4 * counts["cold"]
+
+    def test_features_map_to_settings(self):
+        schedule = generate_traffic(TrafficProfile(n_requests=64, seed=7))
+        seen = {request.feature for request in schedule}
+        assert seen <= set(FEATURE_SETTINGS)
+        for request in schedule:
+            assert request.settings == settings_for(request.feature)
+        assert settings_for("plain") == OptimizerSettings()
+        assert settings_for("orders").consider_orders
+        assert settings_for("parametric").parametric
+        with pytest.raises(ValueError):
+            settings_for("quantum")
+
+    def test_validates_profile(self):
+        with pytest.raises(ValueError):
+            generate_traffic(TrafficProfile(n_requests=0))
+        with pytest.raises(ValueError):
+            generate_traffic(TrafficProfile(n_unique=0))
+        with pytest.raises(ValueError):
+            generate_traffic(
+                TrafficProfile(features=(("quantum", 1.0),))
+            )
+
+    def test_unique_fingerprints_fold_equivalent_parallelism(self):
+        # Worker counts that clamp to the same partition count share keys,
+        # so unique_fingerprints <= naive (query, feature, workers) counting.
+        schedule = generate_traffic(TrafficProfile(n_requests=128, seed=8))
+        naive = {
+            (id(request.query), request.feature, request.n_workers)
+            for request in schedule
+        }
+        assert len(unique_fingerprints(schedule)) <= len(naive)
+
+
+class TestReplay:
+    def test_threaded_replay_matches_serial_and_counts_once(self):
+        profile = TrafficProfile(n_requests=48, n_unique=6, tables=(4, 5), seed=9)
+        schedule = generate_traffic(profile)
+        with ShardedOptimizerGateway(n_shards=2, n_workers=4) as gateway:
+            report = replay_threaded(gateway, schedule, n_clients=4)
+            stats = gateway.stats()
+        assert stats.optimizations == len(unique_fingerprints(schedule))
+        assert len(report.results) == len(schedule)
+        assert len(report.latencies_ms) == len(schedule)
+        assert report.wall_s > 0
+        assert report.throughput_qps > 0
+        for request, result in zip(schedule, report.results):
+            reference = best_plan(
+                optimize_serial(request.query, request.settings)
+            )
+            assert result.best.cost == reference.cost
+
+    def test_paced_replay_takes_at_least_the_schedule_span(self):
+        profile = TrafficProfile(
+            n_requests=8,
+            n_unique=2,
+            tables=(4, 4),
+            seed=10,
+            intra_gap_ms=5.0,
+            inter_gap_ms=20.0,
+        )
+        schedule = generate_traffic(profile)
+        with ShardedOptimizerGateway(n_shards=1, n_workers=2) as gateway:
+            report = replay_threaded(gateway, schedule, n_clients=2, paced=True)
+        # The last arrival in any client's slice lower-bounds paced wall time.
+        latest = max(schedule[index].at_s for index in range(len(schedule)))
+        assert report.wall_s >= min(latest, schedule[-2].at_s) * 0.5
+
+    def test_percentiles_are_monotone(self):
+        report = ReplayReport(
+            results=[], latencies_ms=[5.0, 1.0, 9.0, 3.0, 7.0], wall_s=1.0
+        )
+        percentiles = report.latency_percentiles((50, 90, 99))
+        assert percentiles["p50"] <= percentiles["p90"] <= percentiles["p99"]
+        empty = ReplayReport(results=[], latencies_ms=[], wall_s=0.0)
+        assert empty.latency_percentiles() == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        assert empty.throughput_qps == 0.0
+
+    def test_percentiles_use_nearest_rank(self):
+        # Nearest-rank: rank ceil(p/100 * N), 1-based.  p50 of four values
+        # is the 2nd, not the 3rd (the off-by-one the naive int() index has).
+        assert latency_percentiles([1.0, 2.0, 3.0, 4.0], (50,)) == {"p50": 2.0}
+        assert latency_percentiles([1.0, 2.0, 3.0, 4.0], (25, 75, 100)) == {
+            "p25": 1.0,
+            "p75": 3.0,
+            "p100": 4.0,
+        }
+        assert latency_percentiles([7.0], (50, 99)) == {"p50": 7.0, "p99": 7.0}
+
+    def test_requests_know_their_rank(self):
+        schedule = generate_traffic(TrafficProfile(n_requests=32, seed=11))
+        assert all(
+            isinstance(request, TrafficRequest) and 0 <= request.rank < 12
+            for request in schedule
+        )
