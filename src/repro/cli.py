@@ -17,6 +17,16 @@ Commands:
   micro-batching bounded by ``--batch-window-ms``/``--max-batch``,
   admission control bounded by ``--max-pending``) and the report adds
   queue/batching/rejection statistics;
+  with ``--cache-dir DIR`` each shard's plan cache gains a persistent disk
+  tier (append-only log ``DIR/shard-N.log``), so a later invocation with
+  the same directory serves previously-seen queries from disk without
+  re-optimizing — warm-restart serving;
+* ``cache`` — inspect and manage those persistent plan-cache logs:
+  ``inspect`` (entries and their provenance records), ``export`` (write a
+  compacted snapshot shippable to another shard or machine), ``import``
+  (merge a snapshot into a log), and ``invalidate`` (selectively retire
+  entries by provenance predicate — backend, registry generation, creation
+  time, settings signature — without touching other entries);
 * ``backends`` — print the registered enumeration backends and their
   declared capability matrix (what ``--backend auto`` chooses from).
 
@@ -31,6 +41,11 @@ Examples::
     python -m repro serve-batch q*.json --pool persistent --json
     python -m repro serve-batch q*.json --shards 4 --gateway-threads 8
     python -m repro serve-batch q*.json --shards 4 --async --batch-window-ms 2
+    python -m repro serve-batch q*.json --shards 4 --cache-dir /var/cache/mpq
+    python -m repro cache inspect /var/cache/mpq/shard-*.log
+    python -m repro cache export /var/cache/mpq/shard-0.log -o snapshot.log
+    python -m repro cache import snapshot.log --into /var/cache/mpq/shard-0.log
+    python -m repro cache invalidate /var/cache/mpq/*.log --backend fastdp --below-generation 7
     python -m repro backends --json
 """
 
@@ -146,6 +161,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256, help="plan-cache capacity"
     )
     serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of persistent plan-cache logs (one shard-N.log per "
+        "shard); entries survive into later invocations with the same "
+        "directory and are served from disk instead of re-optimized",
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -190,6 +212,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "(requires --async; default 256)",
     )
     serve.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect and manage persistent plan-cache logs",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    inspect = cache_commands.add_parser(
+        "inspect", help="list a log's entries and their provenance records"
+    )
+    inspect.add_argument("logs", nargs="+", help="plan-cache log files")
+    inspect.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    export = cache_commands.add_parser(
+        "export",
+        help="write a compacted snapshot of a log's live entries "
+        "(openable as a log on another shard, or imported into one)",
+    )
+    export.add_argument("log", help="plan-cache log file")
+    export.add_argument("-o", "--output", required=True, help="snapshot file")
+
+    cache_import = cache_commands.add_parser(
+        "import", help="merge a snapshot's entries into a log"
+    )
+    cache_import.add_argument("snapshot", help="snapshot (or log) file to read")
+    cache_import.add_argument(
+        "--into", required=True, help="plan-cache log to merge into"
+    )
+    cache_import.add_argument(
+        "--keep-existing",
+        action="store_true",
+        help="keep entries already in the target when keys collide "
+        "(default: the snapshot wins)",
+    )
+
+    invalidate = cache_commands.add_parser(
+        "invalidate",
+        help="retire entries matching a provenance predicate (all supplied "
+        "conditions must hold); other entries keep serving",
+    )
+    invalidate.add_argument("logs", nargs="+", help="plan-cache log files")
+    invalidate.add_argument(
+        "--backend", default=None, help="match entries produced by this backend"
+    )
+    invalidate.add_argument(
+        "--below-generation",
+        type=int,
+        default=None,
+        help="match entries created below this backend-registry generation",
+    )
+    invalidate.add_argument(
+        "--created-before",
+        type=float,
+        default=None,
+        help="match entries created before this Unix timestamp",
+    )
+    invalidate.add_argument(
+        "--settings-signature",
+        default=None,
+        help="match entries with this resolved settings signature",
+    )
+    invalidate.add_argument(
+        "--all",
+        dest="match_all",
+        action="store_true",
+        help="flush every entry (required spelling for the unconditional "
+        "predicate; conditions above cannot be combined with it)",
+    )
+    invalidate.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -281,6 +376,53 @@ def _run_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_dict(stats) -> dict:
+    """JSON-ready cache counters via the stats object's own ``to_dict``.
+
+    Every stats type (``CacheStats``, ``TieredStats``) serializes itself;
+    hand-picking dataclass fields here is what once crashed ``--json`` on
+    non-serializable members.  The ``getattr`` fallback keeps hand-rolled
+    stats doubles in tests working.
+    """
+    to_dict = getattr(stats, "to_dict", None)
+    if to_dict is not None:
+        return to_dict()
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "lookups": stats.hits + stats.misses,
+        "hit_rate": stats.hit_rate,
+    }
+
+
+def _tier_totals(gateway_stats) -> dict | None:
+    """Tier counters summed over a gateway's shards, or ``None`` untiered.
+
+    ``GatewayStats`` aggregates only the protocol-level hit/miss/eviction
+    counters; when the shards carry tiered caches (``--cache-dir``), the
+    memory/disk breakdown still matters at the top level — a warm restart
+    is visible as disk hits, not as generic hits.
+    """
+    if gateway_stats is None:
+        return None
+    caches = [shard.cache for shard in gateway_stats.shards]
+    if not any(hasattr(cache, "disk_hits") for cache in caches):
+        return None
+    names = (
+        "memory_hits",
+        "disk_hits",
+        "promotions",
+        "demotions",
+        "disk_writes",
+        "invalidated",
+    )
+    return {
+        name: sum(getattr(cache, name, 0) for cache in caches)
+        for name in names
+    }
+
+
 def _run_serve_batch(args: argparse.Namespace) -> int:
     import time
 
@@ -303,6 +445,20 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     max_pending = args.max_pending if args.max_pending is not None else 256
     settings = _settings_from_args(args)
     queries = [load_query(path) for path in args.queries]
+    cache_factory = None
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        from repro.service import DiskTier, TieredPlanCache
+
+        cache_dir = Path(args.cache_dir)
+
+        def cache_factory(index: int) -> "TieredPlanCache":
+            return TieredPlanCache(
+                memory_capacity=args.cache_size,
+                disk=DiskTier(cache_dir / f"shard-{index}.log"),
+            )
+
     rounds = []
     gateway_stats = None
     async_stats = None
@@ -332,6 +488,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 settings=settings,
                 executor_factory=executor_factory,
                 cache_capacity=args.cache_size,
+                cache_factory=cache_factory,
                 gateway_threads=args.gateway_threads,
                 batch_window_ms=batch_window_ms,
                 max_batch=max_batch,
@@ -364,6 +521,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             settings=settings,
             executor_factory=executor_factory,
             cache_capacity=args.cache_size,
+            cache_factory=cache_factory,
             gateway_threads=args.gateway_threads,
         ) as gateway:
             for __ in range(max(1, args.repeat)):
@@ -383,6 +541,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             settings=settings,
             executor=executor,
             cache_capacity=args.cache_size,
+            cache=cache_factory(0) if cache_factory is not None else None,
         ) as service:
             for __ in range(max(1, args.repeat)):
                 started = time.perf_counter()
@@ -413,13 +572,13 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 }
                 for wall, results in rounds
             ],
-            "cache": {
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "evictions": stats.evictions,
-                "hit_rate": stats.hit_rate,
-            },
+            "cache": _stats_dict(stats),
         }
+        tier_totals = _tier_totals(gateway_stats)
+        if tier_totals is not None:
+            payload["cache"].update(tier_totals)
+        if args.cache_dir is not None:
+            payload["cache_dir"] = args.cache_dir
         if gateway_stats is not None:
             payload["gateway"] = {
                 "requests": gateway_stats.requests,
@@ -429,10 +588,8 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 "shards": [
                     {
                         "shard": shard.shard,
-                        "hits": shard.cache.hits,
-                        "misses": shard.cache.misses,
-                        "hit_rate": shard.hit_rate,
                         "entries": shard.entries,
+                        **_stats_dict(shard.cache),
                     }
                     for shard in gateway_stats.shards
                 ],
@@ -482,6 +639,20 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate), {stats.evictions} evictions"
     )
+    if hasattr(stats, "disk_hits"):
+        print(
+            f"tiers: {stats.memory_hits} memory hits, {stats.disk_hits} disk "
+            f"hits, {stats.promotions} promotions, {stats.demotions} demotions"
+        )
+    else:
+        tier_totals = _tier_totals(gateway_stats)
+        if tier_totals is not None:
+            print(
+                f"tiers: {tier_totals['memory_hits']} memory hits, "
+                f"{tier_totals['disk_hits']} disk hits, "
+                f"{tier_totals['promotions']} promotions, "
+                f"{tier_totals['demotions']} demotions"
+            )
     if async_stats is not None:
         sizes = ", ".join(
             f"{size}x{count}"
@@ -507,6 +678,108 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 f"{shard.cache.misses} misses ({shard.hit_rate:.0%}), "
                 f"{shard.entries} entries"
             )
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    from repro.service import DiskTier, InvalidationPredicate
+
+    if args.cache_command == "inspect":
+        reports = []
+        for path in args.logs:
+            with DiskTier(path) as tier:
+                entries = [
+                    {
+                        "fingerprint": key,
+                        "provenance": (
+                            provenance.to_wire() if provenance is not None else None
+                        ),
+                    }
+                    for key, provenance in tier.entries()
+                ]
+                reports.append(
+                    {
+                        "log": path,
+                        "entries": len(tier),
+                        "log_bytes": tier.log_bytes(),
+                        "records": entries,
+                    }
+                )
+        if args.json:
+            print(json.dumps(reports, indent=2))
+            return 0
+        for report in reports:
+            print(
+                f"{report['log']}: {report['entries']} entries, "
+                f"{report['log_bytes']:,} bytes"
+            )
+            for record in report["records"]:
+                provenance = record["provenance"]
+                if provenance is None:
+                    print(f"  {record['fingerprint'][:16]}…  (no provenance)")
+                    continue
+                print(
+                    f"  {record['fingerprint'][:16]}…  "
+                    f"backend={provenance['backend_used']} "
+                    f"generation={provenance['registry_generation']} "
+                    f"partitions={provenance['n_partitions']} "
+                    f"created_at={provenance['created_at_s']:.0f}"
+                )
+        return 0
+
+    if args.cache_command == "export":
+        with DiskTier(args.log) as tier:
+            exported = tier.export_snapshot(args.output)
+        print(f"exported {exported} entries from {args.log} to {args.output}")
+        return 0
+
+    if args.cache_command == "import":
+        with DiskTier(args.into) as tier:
+            imported = tier.import_snapshot(
+                args.snapshot, overwrite=not args.keep_existing
+            )
+        print(f"imported {imported} entries from {args.snapshot} into {args.into}")
+        return 0
+
+    assert args.cache_command == "invalidate"
+    conditions = (
+        args.backend,
+        args.below_generation,
+        args.created_before,
+        args.settings_signature,
+    )
+    if args.match_all and any(value is not None for value in conditions):
+        raise SystemExit("--all cannot be combined with other conditions")
+    if not args.match_all and all(value is None for value in conditions):
+        raise SystemExit(
+            "refusing the implicit match-everything predicate: supply at "
+            "least one condition, or spell out --all to flush every entry"
+        )
+    predicate = InvalidationPredicate(
+        backend=args.backend,
+        below_generation=args.below_generation,
+        created_before_s=args.created_before,
+        settings_signature=args.settings_signature,
+    )
+    reports = []
+    for path in args.logs:
+        with DiskTier(path) as tier:
+            removed = tier.invalidate(predicate)
+            reports.append(
+                {"log": path, "invalidated": len(removed), "remaining": len(tier)}
+            )
+    if args.json:
+        print(
+            json.dumps(
+                {"predicate": predicate.to_wire(), "logs": reports}, indent=2
+            )
+        )
+        return 0
+    for report in reports:
+        print(
+            f"{report['log']}: invalidated {report['invalidated']} entries, "
+            f"{report['remaining']} remaining"
+        )
     return 0
 
 
@@ -545,6 +818,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_generate(args)
     if args.command == "serve-batch":
         return _run_serve_batch(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "backends":
         return _run_backends(args)
     return _run_optimize(args)

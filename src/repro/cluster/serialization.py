@@ -1,17 +1,32 @@
-"""Deterministic byte-size model for objects sent over the network.
+"""Serialization for optimizer objects: byte-size model and wire codecs.
 
-The paper's implementation sends serialized Java objects between master and
-workers; its network plots measure the resulting byte counts.  We model
-those sizes with Java-serialization-like constants: what matters for
-reproducing the paper's traffic series is that sizes are *proportional to
-object counts* — a query costs O(n) bytes, a plan O(n) bytes, and an SMA
-memotable delta O(entries) bytes — with realistic constants.
+Two layers live here:
 
-All functions return integer byte counts and are pure.
+* a **deterministic byte-size model** (the original role of this module):
+  the paper's implementation sends serialized Java objects between master
+  and workers, and its network plots measure the resulting byte counts.  We
+  model those sizes with Java-serialization-like constants — what matters
+  for reproducing the paper's traffic series is that sizes are
+  *proportional to object counts*, with realistic constants.  All sizing
+  functions return integer byte counts and are pure;
+
+* **actual wire codecs** for the objects the persistent plan-cache tier and
+  the (future) out-of-process gateway ship between processes: plan trees
+  (including interesting orders and parametric cost vectors — a serialized
+  frontier is just a list of plans), and simulated run timings.  Encoding
+  is plain JSON-compatible data; floats survive **bit-identically** because
+  Python's ``repr``-based float formatting is shortest-round-trip exact,
+  which both ``json`` and these codecs rely on.  The codecs are pure
+  functions of their input and never import service-layer types — the
+  cache-entry codec composing them lives in :mod:`repro.service.tiers`.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
+from repro.plans.operators import JoinAlgorithm, ScanAlgorithm
+from repro.plans.orders import SortOrder
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
 from repro.query.query import Query
 
@@ -101,3 +116,126 @@ def sma_task_bytes(n_sets: int) -> int:
     if n_sets < 0:
         raise ValueError(f"set count must be >= 0, got {n_sets}")
     return TASK_HEADER_BYTES + SET_ID_BYTES * n_sets
+
+
+# ----------------------------------------------------------------- wire codecs
+
+
+def order_to_wire(order: SortOrder | None) -> list | None:
+    """Wire form of a sort order: ``[table, column]``, or ``None``."""
+    if order is None:
+        return None
+    return [order.table, order.column]
+
+
+def order_from_wire(data: list | None) -> SortOrder | None:
+    """Inverse of :func:`order_to_wire`."""
+    if data is None:
+        return None
+    table, column = data
+    return SortOrder(table=int(table), column=str(column))
+
+
+def plan_to_wire(plan: Plan) -> dict[str, Any]:
+    """JSON-compatible encoding of a plan tree, lossless.
+
+    Unlike :func:`repro.query.io.plan_to_dict` (human-facing explain
+    output), this encoding round-trips *exactly*: masks, float
+    cardinalities and cost vectors, operator algorithms, and sort orders
+    are all preserved, so ``plan_from_wire(plan_to_wire(p)) == p`` for any
+    plan of any query class (plain, interesting orders, parametric).
+    """
+    common: dict[str, Any] = {
+        "mask": plan.mask,
+        "rows": plan.rows,
+        "cost": list(plan.cost),
+        "order": order_to_wire(plan.order),
+    }
+    if isinstance(plan, ScanPlan):
+        return {"op": "scan", "table": plan.table, "alg": plan.algorithm.value, **common}
+    assert isinstance(plan, JoinPlan)
+    return {
+        "op": "join",
+        "alg": plan.algorithm.value,
+        "left": plan_to_wire(plan.left),
+        "right": plan_to_wire(plan.right),
+        **common,
+    }
+
+
+def plan_from_wire(data: dict[str, Any]) -> Plan:
+    """Rebuild a plan tree from :func:`plan_to_wire` output.
+
+    Raises ``ValueError`` on malformed input — a persistent cache decoding
+    a corrupt record must fail loudly, not serve a half-built plan.
+    """
+    try:
+        common = {
+            "mask": int(data["mask"]),
+            "rows": float(data["rows"]),
+            "cost": tuple(float(value) for value in data["cost"]),
+            "order": order_from_wire(data["order"]),
+        }
+        if data["op"] == "scan":
+            return ScanPlan(
+                table=int(data["table"]),
+                algorithm=ScanAlgorithm(data["alg"]),
+                **common,
+            )
+        if data["op"] == "join":
+            return JoinPlan(
+                left=plan_from_wire(data["left"]),
+                right=plan_from_wire(data["right"]),
+                algorithm=JoinAlgorithm(data["alg"]),
+                **common,
+            )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed plan record: {error!r}") from error
+    raise ValueError(f"unknown plan operator {data.get('op')!r}")
+
+
+def plans_to_wire(plans: list[Plan]) -> list[dict[str, Any]]:
+    """Encode a plan list — a Pareto or parametric lower-envelope frontier.
+
+    Frontier order is meaningful (backends pin it; golden tests assert it)
+    and is preserved verbatim.
+    """
+    return [plan_to_wire(plan) for plan in plans]
+
+
+def plans_from_wire(data: list[dict[str, Any]]) -> list[Plan]:
+    """Inverse of :func:`plans_to_wire`, preserving frontier order."""
+    return [plan_from_wire(item) for item in data]
+
+
+def timing_to_wire(timing: Any) -> dict[str, Any]:
+    """Encode a :class:`~repro.cluster.simulator.SimulatedTiming`.
+
+    Typed as ``Any`` to keep this module import-light (the simulator
+    imports *this* module for its byte model); the field set is pinned by
+    the round-trip tests.
+    """
+    return {
+        "dispatch_s": timing.dispatch_s,
+        "workers_done_s": timing.workers_done_s,
+        "collect_s": timing.collect_s,
+        "master_prune_s": timing.master_prune_s,
+        "network_bytes": timing.network_bytes,
+        "network_messages": timing.network_messages,
+        "worker_compute_s": list(timing.worker_compute_s),
+    }
+
+
+def timing_from_wire(data: dict[str, Any]) -> Any:
+    """Inverse of :func:`timing_to_wire`."""
+    from repro.cluster.simulator import SimulatedTiming
+
+    return SimulatedTiming(
+        dispatch_s=float(data["dispatch_s"]),
+        workers_done_s=float(data["workers_done_s"]),
+        collect_s=float(data["collect_s"]),
+        master_prune_s=float(data["master_prune_s"]),
+        network_bytes=int(data["network_bytes"]),
+        network_messages=int(data["network_messages"]),
+        worker_compute_s=[float(value) for value in data["worker_compute_s"]],
+    )

@@ -7,6 +7,13 @@ requests.  See :class:`OptimizerService` for the single-service front door,
 :class:`ShardedOptimizerGateway` for the concurrency-safe sharded gateway
 over it, and :class:`AsyncOptimizerGateway` for the asyncio front-end that
 adds adaptive micro-batching and per-tenant backpressure on top.
+
+Caching is tiered and pluggable (:class:`CacheTier`): the default
+:class:`MemoryTier` LRU (historical name :class:`PlanCache`) can be
+composed over a persistent :class:`DiskTier` via :class:`TieredPlanCache`,
+so cached plans — each carrying a :class:`Provenance` record — survive
+restarts and can be selectively invalidated
+(:class:`InvalidationPredicate`) when a backend or cost model changes.
 """
 
 from repro.service.aio import (
@@ -15,16 +22,23 @@ from repro.service.aio import (
     GatewayOverloadedError,
     TenantStats,
 )
-from repro.service.cache import CacheStats, PlanCache
+from repro.service.cache import CacheStats, CacheTier, MemoryTier, PlanCache
 from repro.service.fingerprint import (
     CanonicalForm,
     canonicalize,
     fingerprint,
     fingerprint_canonical,
+    settings_signature,
 )
 from repro.service.gateway import GatewayStats, ShardedOptimizerGateway, ShardStats
+from repro.service.provenance import (
+    InvalidationPredicate,
+    Provenance,
+    aggregate_worker_stats,
+)
 from repro.service.remap import invert, remap_mask, remap_plan
 from repro.service.service import CacheEntry, OptimizerService, ServiceResult
+from repro.service.tiers import DiskTier, TieredPlanCache, TieredStats
 
 __all__ = [
     "AsyncGatewayStats",
@@ -33,11 +47,20 @@ __all__ = [
     "TenantStats",
     "CacheEntry",
     "CacheStats",
+    "CacheTier",
+    "MemoryTier",
     "PlanCache",
+    "DiskTier",
+    "TieredPlanCache",
+    "TieredStats",
+    "Provenance",
+    "InvalidationPredicate",
+    "aggregate_worker_stats",
     "CanonicalForm",
     "canonicalize",
     "fingerprint",
     "fingerprint_canonical",
+    "settings_signature",
     "GatewayStats",
     "ShardedOptimizerGateway",
     "ShardStats",

@@ -14,6 +14,10 @@ threads*.  :class:`AsyncOptimizerGateway` is that tier:
   queued windows immediately (the backend just proved it has capacity) — so
   the configured window is an upper bound paid only under sustained load,
   not a tax on every request;
+  The fast path serves through the threaded gateway's ``serve_if_cached``,
+  so on a tiered shard cache a *disk* hit bypasses admission control and
+  batching exactly like a memory hit — after a warm restart the whole
+  previously-seen working set is fast-path traffic, not a miss storm;
 * **admission control with per-tenant fairness** — at most ``max_pending``
   requests may be outstanding (queued or dispatched, not yet answered), and
   a single tenant may hold at most ``tenant_share`` of those slots.  A

@@ -91,6 +91,19 @@ def _settings_signature_cached(
     )
 
 
+def settings_signature(settings: OptimizerSettings) -> str:
+    """Stable string form of the *resolved* settings signature.
+
+    This is what cache-entry provenance records store: it embeds the backend
+    that ``Backend.AUTO`` resolved to at creation time, so an entry remains
+    attributable — and selectively invalidatable — even after the registry
+    changes what AUTO means.  The string is ``repr`` of the same tuple the
+    fingerprint hashes, so provenance and fingerprints can never disagree
+    about what the settings were.
+    """
+    return repr(_settings_signature(settings))
+
+
 def _adjacency(query: Query) -> dict[int, list[tuple[tuple, int]]]:
     """Per-table incident predicate signatures: ``table -> [(edge_sig, other)]``.
 

@@ -28,9 +28,11 @@ requests from a thread pool of handlers safely:
 
 Thread-safety contract: ``optimize`` and ``optimize_batch`` may be called
 from any number of threads concurrently.  Shard caches are internally
-locked (:class:`~repro.service.cache.PlanCache`); the gateway holds its own
-lock only for dictionary/counter operations — never while a DP runs — so
-request handlers block each other only on genuinely shared work.
+locked (:class:`~repro.service.cache.CacheTier` implementations); the
+gateway holds its own lock only for dictionary/counter operations — never
+while a DP runs, and never across a cache lookup that may touch a disk
+tier — so request handlers block each other only on genuinely shared work
+and a slow disk read never stalls the flight table.
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ from repro.cluster.simulator import DEFAULT_CLUSTER, ClusterModel
 from repro.config import DEFAULT_SETTINGS, OptimizerSettings
 from repro.core.master import PartitionExecutor
 from repro.query.query import Query
-from repro.service.cache import CacheStats
+from repro.service.cache import CacheStats, CacheTier
 from repro.service.fingerprint import (
     CanonicalForm,
     canonicalize,
@@ -66,7 +68,13 @@ _ROUTE_SPACE = 1 << (4 * _ROUTE_HEX_DIGITS)
 
 @dataclass(frozen=True)
 class ShardStats:
-    """One shard's observable state at snapshot time."""
+    """One shard's observable state at snapshot time.
+
+    ``cache`` is whatever the shard's tier snapshots —
+    :class:`~repro.service.cache.CacheStats` for the plain LRU,
+    :class:`~repro.service.tiers.TieredStats` for a tiered cache; both
+    expose ``hits``/``misses``/``evictions``/``hit_rate`` and ``to_dict``.
+    """
 
     shard: int
     cache: CacheStats
@@ -152,6 +160,11 @@ class ShardedOptimizerGateway:
             executor (e.g. ``lambda: PersistentProcessPoolExecutor(4)``);
             ``None`` gives every shard the in-process serial executor.
         cache_capacity: plan-cache capacity *per shard*.
+        cache_factory: called with each shard index to build that shard's
+            cache tier (e.g. a
+            :class:`~repro.service.tiers.TieredPlanCache` over a per-shard
+            disk log — the index names the log file).  ``None`` gives every
+            shard the default in-memory LRU of ``cache_capacity``.
         cluster: simulated-cluster parameters for reported accounting.
         gateway_threads: size of the internal handler pool that drives
             per-shard sub-batches in :meth:`optimize_batch`; defaults to
@@ -167,6 +180,7 @@ class ShardedOptimizerGateway:
         cache_capacity: int = 256,
         cluster: ClusterModel = DEFAULT_CLUSTER,
         gateway_threads: int | None = None,
+        cache_factory: Callable[[int], "CacheTier[CacheEntry]"] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -182,8 +196,9 @@ class ShardedOptimizerGateway:
                 executor=executor_factory() if executor_factory is not None else None,
                 cache_capacity=cache_capacity,
                 cluster=cluster,
+                cache=cache_factory(index) if cache_factory is not None else None,
             )
-            for __ in range(n_shards)
+            for index in range(n_shards)
         )
         self._pool = ThreadPoolExecutor(
             max_workers=gateway_threads if gateway_threads is not None else n_shards,
@@ -272,9 +287,13 @@ class ShardedOptimizerGateway:
         with self._lock:
             if self._closed:
                 raise RuntimeError("gateway is closed")
-            entry = shard.cache.probe(key)
-            if entry is None:
-                return None
+        # The probe happens outside the gateway lock: on a tiered cache it
+        # may read the disk tier, and a disk read must never stall the
+        # flight table or the stats snapshot.  The tier locks itself.
+        entry = shard.cache.probe(key)
+        if entry is None:
+            return None
+        with self._lock:
             self._requests += 1
         return shard.serve_entry(entry, canonical, key)
 
@@ -373,25 +392,35 @@ class ShardedOptimizerGateway:
     def _lookup_or_lead(
         self, shard: OptimizerService, key: str
     ) -> tuple[str, CacheEntry | _Flight]:
-        """Atomically classify a request: cache hit, follower, or leader.
+        """Classify a request: cache hit, follower, or leader.
 
-        The cache probe and the flight-table probe happen under one lock,
-        closing the race where a leader completes (cache filled, flight
-        removed) between a caller's two separate probes: because leaders
-        fill the cache *before* deregistering their flight, any miss
-        observed here still finds the flight registered.
+        The cache lookup happens *outside* the gateway lock — on a tiered
+        cache it may read the disk tier, and holding the flight-table lock
+        across file I/O would serialize every concurrent request behind the
+        disk.  The miss/flight race this opens is closed under the lock: a
+        leader that completed between our lookup and the lock acquisition
+        filled the cache *before* deregistering its flight, so a miss that
+        finds no flight re-checks the (I/O-free) memory peek and converts
+        to a hit rather than leading a duplicate optimization.
         """
         # No closed-check here: requests already admitted (``_enter_requests``)
         # must run to completion, or flights they registered would strand
         # their followers.  Closing is gated at request entry only.
+        entry = shard.cache.get(key)
+        if entry is not None:
+            return "hit", entry
         with self._lock:
-            entry = shard.cache.get(key)
-            if entry is not None:
-                return "hit", entry
             flight = self._flights.get(key)
             if flight is not None:
                 self._coalesced += 1
                 return "follow", flight
+            resident = shard.cache.peek(key)
+            if resident is not None:
+                # A leader completed in the window between our miss and this
+                # lock hold.  Its run answered us without a fresh DP, so the
+                # miss our lookup counted is reclassified as the hit it was.
+                shard.cache.reclassify_miss_as_hit()
+                return "hit", resident
             flight = _Flight(key)
             self._flights[key] = flight
             return "lead", flight
@@ -523,12 +552,15 @@ class ShardedOptimizerGateway:
     def stats(self) -> GatewayStats:
         """A consistent snapshot of gateway and per-shard counters.
 
-        Taken entirely under the gateway lock: every hit/miss counter
-        mutation also happens under it (lookups in ``_lookup_or_lead``,
-        follower reclassification in ``_await_flight``), so the gateway
-        counters and shard hit/miss numbers are mutually consistent; each
-        shard's entry count and eviction counter are read in one atomic
-        cache-lock hold.
+        Gateway counters are read under the gateway lock; each shard's
+        cache counters and entry count are read in one atomic hold of that
+        tier's own lock (``snapshot_with_size``), so every individual
+        number is untorn.  Cache lookups deliberately run outside the
+        gateway lock (they may touch a disk tier), so a snapshot taken
+        mid-request can observe a lookup already counted on a shard but not
+        yet resolved at the gateway; at quiescence the accounting
+        identities (``hits + misses == requests`` per the ``cached`` flags)
+        hold exactly, and the tests pin them there.
         """
         with self._lock:
             shard_stats = []

@@ -30,6 +30,7 @@ from __future__ import annotations
 # any process pool existed.
 from concurrent.futures.process import BrokenProcessPool
 import dataclasses
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -42,13 +43,19 @@ from repro.cluster.simulator import (
 from repro.config import DEFAULT_SETTINGS, OptimizerSettings
 from repro.core.constraints import usable_partitions
 from repro.core.master import MasterResult, PartitionExecutor
-from repro.core.worker import PartitionResult
+from repro.core.worker import PartitionResult, registry_generation
 from repro.cluster.executors import SerialPartitionExecutor
 from repro.cost.pruning import final_prune, make_pruning
 from repro.plans.plan import Plan, plan_tie_key
 from repro.query.query import Query
-from repro.service.cache import PlanCache
-from repro.service.fingerprint import CanonicalForm, canonicalize, fingerprint_canonical
+from repro.service.cache import CacheTier, PlanCache
+from repro.service.fingerprint import (
+    CanonicalForm,
+    canonicalize,
+    fingerprint_canonical,
+    settings_signature,
+)
+from repro.service.provenance import Provenance, aggregate_worker_stats
 from repro.service.remap import invert, remap_plan
 
 
@@ -70,6 +77,11 @@ class CacheEntry:
     #: Enumeration backend that computed the cached plans; replayed on hits
     #: so a cached answer stays attributable to the core that produced it.
     backend_used: str = ""
+    #: How this entry came to be (backend, resolved settings signature,
+    #: registry generation, creation time, aggregated worker stats).  What a
+    #: persistent tier persists alongside the plans, and what invalidation
+    #: predicates evaluate against.  ``None`` only for hand-built entries.
+    provenance: Provenance | None = None
 
 
 @dataclass
@@ -148,6 +160,12 @@ class OptimizerService:
             for true parallelism with warm workers — ``optimize_batch`` then
             batches all queries' partition tasks onto the one pool.
         cache_capacity: bound on resident cached fingerprints (LRU beyond).
+        cache: a ready-made cache tier to serve through instead of the
+            default in-memory LRU — e.g. a
+            :class:`~repro.service.tiers.TieredPlanCache` whose disk tier
+            survives restarts.  When given, ``cache_capacity`` is ignored;
+            anything satisfying :class:`~repro.service.cache.CacheTier`
+            works, since the service only uses the protocol surface.
         cluster: simulated-cluster parameters for the reported accounting.
     """
 
@@ -158,12 +176,15 @@ class OptimizerService:
         executor: PartitionExecutor | None = None,
         cache_capacity: int = 256,
         cluster: ClusterModel = DEFAULT_CLUSTER,
+        cache: CacheTier[CacheEntry] | None = None,
     ) -> None:
         self.n_workers = n_workers
         self.settings = settings
         self.executor = executor if executor is not None else SerialPartitionExecutor()
         self.cluster = cluster
-        self.cache: PlanCache[CacheEntry] = PlanCache(capacity=cache_capacity)
+        self.cache: CacheTier[CacheEntry] = (
+            cache if cache is not None else PlanCache(capacity=cache_capacity)
+        )
 
     # ------------------------------------------------------------------ single
 
@@ -329,6 +350,16 @@ class OptimizerService:
             partition_results=partition_results,
         )
         simulated = simulate_mpq_run(self.cluster, query, master)
+        provenance = Provenance(
+            backend_used=master.backend_used,
+            settings_signature=settings_signature(settings),
+            registry_generation=registry_generation(),
+            created_at_s=time.time(),
+            n_partitions=master.n_partitions,
+            worker_stats=aggregate_worker_stats(
+                [result.stats for result in partition_results]
+            ),
+        )
         self.cache.put(
             key,
             CacheEntry(
@@ -338,6 +369,7 @@ class OptimizerService:
                 n_partitions=master.n_partitions,
                 simulated=simulated,
                 backend_used=master.backend_used,
+                provenance=provenance,
             ),
         )
         return ServiceResult(
@@ -368,10 +400,13 @@ class OptimizerService:
     # --------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Release executor resources (shuts down a persistent worker pool)."""
+        """Release executor resources and any cache-tier file handles."""
         close = getattr(self.executor, "close", None)
         if close is not None:
             close()
+        cache_close = getattr(self.cache, "close", None)
+        if cache_close is not None:
+            cache_close()
 
     def __enter__(self) -> "OptimizerService":
         return self

@@ -1,0 +1,664 @@
+"""The persistent disk tier and the memory-over-disk composite cache.
+
+The in-memory LRU (:class:`~repro.service.cache.MemoryTier`) evaporates on
+every process restart, which forfeits the system's whole value proposition
+— plans computed once, served many times.  This module adds:
+
+* :class:`DiskTier` — an append-only log of serialized cache entries with
+  an in-memory offset index.  Appends are O(1) writes; lookups are one
+  seek plus one record decode; deletions are tombstone records; restart
+  recovery is a single forward scan that also truncates a torn tail (a
+  crash mid-append loses at most the last record, never the log).  Every
+  record carries the entry's :class:`~repro.service.provenance.Provenance`,
+  so :meth:`DiskTier.invalidate` retires exactly the entries an
+  :class:`~repro.service.provenance.InvalidationPredicate` names, and
+  snapshots (:meth:`DiskTier.export_snapshot`) are self-describing files
+  shippable between shards;
+* :class:`TieredPlanCache` — memory over disk with promote-on-hit and a
+  write policy: ``write-through`` (default) persists every entry at put
+  time, ``write-back`` persists lazily on memory eviction (cheaper puts,
+  but a crash loses memory-resident entries).  The composite satisfies the
+  :class:`~repro.service.cache.CacheTier` protocol, so the service,
+  gateway, and async front-end serve through it unchanged — a disk hit is
+  a cache hit that no DP run is ever spent on, restart or not.
+
+Locking: each tier locks its own state.  The composite's :meth:`peek` is
+memory-only (never I/O), which is what lets the sharded gateway keep its
+singleflight bookkeeping under its own lock without ever holding that lock
+across a disk read — :meth:`get`/:meth:`probe`, which may touch disk, are
+called by the gateway *outside* its lock.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.cluster.serialization import (
+    plans_from_wire,
+    plans_to_wire,
+    timing_from_wire,
+    timing_to_wire,
+)
+from repro.service.cache import CacheStats, MemoryTier
+from repro.service.provenance import InvalidationPredicate, Provenance
+from repro.service.service import CacheEntry
+
+#: First line of every log and snapshot file; readers reject other formats.
+LOG_MAGIC = {"t": "header", "format": "repro-plan-cache", "version": 1}
+
+
+# ------------------------------------------------------------------ entry codec
+
+
+def entry_to_wire(entry: CacheEntry) -> dict[str, Any]:
+    """JSON-compatible encoding of a cache entry (plans, timing, provenance)."""
+    return {
+        "plans": plans_to_wire(entry.canonical_plans),
+        "n_partitions": entry.n_partitions,
+        "simulated": timing_to_wire(entry.simulated),
+        "backend_used": entry.backend_used,
+        "provenance": entry.provenance.to_wire() if entry.provenance else None,
+    }
+
+
+def entry_from_wire(data: dict[str, Any]) -> CacheEntry:
+    """Rebuild a cache entry from :func:`entry_to_wire` output."""
+    provenance = data.get("provenance")
+    return CacheEntry(
+        canonical_plans=plans_from_wire(data["plans"]),
+        n_partitions=int(data["n_partitions"]),
+        simulated=timing_from_wire(data["simulated"]),
+        backend_used=str(data.get("backend_used", "")),
+        provenance=Provenance.from_wire(provenance) if provenance else None,
+    )
+
+
+# -------------------------------------------------------------------- disk tier
+
+
+class DiskTier:
+    """Append-only persistent cache tier with an in-memory offset index.
+
+    The log holds one JSON record per line: a header, then ``put`` records
+    (key, serialized entry) and ``del`` tombstones.  The index maps each
+    live key to the byte offset of its latest ``put`` record and keeps the
+    record's :class:`Provenance` resident, so invalidation predicates
+    evaluate without touching the file and :meth:`entries` can enumerate
+    provenance cheaply.  Superseded and tombstoned records stay in the log
+    until :meth:`compact` rewrites it.
+
+    ``sync=True`` fsyncs after every append (durable against power loss,
+    slow); the default flushes to the OS only, which survives process
+    crashes — the failure mode restarts actually come from.
+
+    Standalone, the tier satisfies :class:`~repro.service.cache.CacheTier`
+    with one documented deviation: :meth:`peek` performs a (stat-free)
+    disk read, so compose it under :class:`TieredPlanCache` — whose peek is
+    memory-only — before handing it to lock-holding callers.
+    """
+
+    def __init__(self, path: str | os.PathLike, sync: bool = False) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._offsets: dict[str, int] = {}
+        self._provenance: dict[str, Provenance | None] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._recover()
+        self._appender = open(self.path, "ab")
+        self._reader = open(self.path, "rb")
+
+    # ---------------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Rebuild the index by one forward scan; truncate any torn tail."""
+        if not self.path.exists():
+            with open(self.path, "wb") as fresh:
+                fresh.write(_record_bytes(LOG_MAGIC))
+            return
+        good_end = 0
+        with open(self.path, "rb") as log:
+            first = log.readline()
+            try:
+                header = json.loads(first)
+                if header.get("format") != LOG_MAGIC["format"]:
+                    raise ValueError(
+                        f"{self.path} is not a plan-cache log "
+                        f"(format {header.get('format')!r})"
+                    )
+            except json.JSONDecodeError:
+                raise ValueError(f"{self.path} is not a plan-cache log") from None
+            good_end = log.tell()
+            while True:
+                offset = log.tell()
+                line = log.readline()
+                if not line:
+                    break
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail: a crash mid-append; drop it below
+                if not line.endswith(b"\n"):
+                    break  # complete JSON but unterminated: also torn
+                good_end = log.tell()
+                kind = record.get("t")
+                if kind == "put":
+                    key = record["k"]
+                    self._offsets[key] = offset
+                    provenance = record["entry"].get("provenance")
+                    self._provenance[key] = (
+                        Provenance.from_wire(provenance) if provenance else None
+                    )
+                elif kind == "del":
+                    self._offsets.pop(record["k"], None)
+                    self._provenance.pop(record["k"], None)
+        if good_end < self.path.stat().st_size:
+            with open(self.path, "r+b") as log:
+                log.truncate(good_end)
+
+    # ------------------------------------------------------------------ basics
+
+    def _append(self, record: dict[str, Any]) -> int:
+        """Append one record; returns its byte offset.  Caller holds the lock."""
+        payload = _record_bytes(record)
+        offset = self._appender.tell()
+        self._appender.write(payload)
+        self._appender.flush()
+        if self.sync:
+            os.fsync(self._appender.fileno())
+        return offset
+
+    def _read_entry(self, offset: int) -> CacheEntry:
+        """Decode the ``put`` record at ``offset``.  Caller holds the lock."""
+        self._reader.seek(offset)
+        record = json.loads(self._reader.readline())
+        return entry_from_wire(record["entry"])
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Read an entry from disk, counting a hit or a miss."""
+        with self._lock:
+            offset = self._offsets.get(key)
+            if offset is None:
+                self.stats.misses += 1
+                return None
+            entry = self._read_entry(offset)
+            self.stats.hits += 1
+            return entry
+
+    def probe(self, key: str) -> CacheEntry | None:
+        """Like :meth:`get` but an absent key counts nothing."""
+        with self._lock:
+            offset = self._offsets.get(key)
+            if offset is None:
+                return None
+            entry = self._read_entry(offset)
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, key: str) -> CacheEntry | None:
+        """Read an entry without statistics effects (still one disk read)."""
+        with self._lock:
+            offset = self._offsets.get(key)
+            if offset is None:
+                return None
+            return self._read_entry(offset)
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        """Append the entry; the new record supersedes any older one."""
+        record = {"t": "put", "k": key, "entry": entry_to_wire(entry)}
+        with self._lock:
+            self._offsets[key] = self._append(record)
+            self._provenance[key] = entry.provenance
+
+    def evict(self, key: str) -> bool:
+        """Tombstone ``key`` if present (counted as an eviction)."""
+        with self._lock:
+            if key not in self._offsets:
+                return False
+            self._append({"t": "del", "k": key})
+            del self._offsets[key]
+            self._provenance.pop(key, None)
+            self.stats.evictions += 1
+            return True
+
+    def reclassify_miss_as_hit(self) -> None:
+        """Recount one earlier miss as a hit (see the memory tier)."""
+        with self._lock:
+            if self.stats.misses > 0:
+                self.stats.misses -= 1
+            self.stats.hits += 1
+
+    # ------------------------------------------------------------- invalidation
+
+    def provenance_of(self, key: str) -> Provenance | None:
+        """The stored provenance record for ``key`` (``None`` if absent)."""
+        with self._lock:
+            return self._provenance.get(key)
+
+    def invalidate(self, predicate: InvalidationPredicate) -> list[str]:
+        """Tombstone every entry whose provenance matches; returns their keys.
+
+        Evaluated entirely against the resident provenance index — no
+        record is read back — so invalidating a handful of entries in a
+        million-entry log is O(keys), not O(log bytes).
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, provenance in self._provenance.items()
+                if predicate.matches(provenance)
+            ]
+            for key in doomed:
+                self._append({"t": "del", "k": key})
+                del self._offsets[key]
+                del self._provenance[key]
+                self.stats.evictions += 1
+            return doomed
+
+    # -------------------------------------------------------------- inspection
+
+    def keys(self) -> list[str]:
+        """Live keys (a consistent copy)."""
+        with self._lock:
+            return list(self._offsets)
+
+    def entries(self) -> Iterator[tuple[str, Provenance | None]]:
+        """Iterate ``(key, provenance)`` over live entries, index order."""
+        with self._lock:
+            items = list(self._provenance.items())
+        yield from items
+
+    def log_bytes(self) -> int:
+        """Current size of the log file (includes dead records)."""
+        with self._lock:
+            return self._appender.tell()
+
+    # ------------------------------------------------------- snapshots/compaction
+
+    def export_snapshot(self, path: str | os.PathLike) -> int:
+        """Write a compacted copy of the live entries; returns entry count.
+
+        The snapshot is itself a valid tier log (header plus ``put``
+        records only), so it can be opened directly as a :class:`DiskTier`
+        on another shard or imported into an existing one.
+        """
+        destination = Path(path)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            live = sorted(self._offsets.items(), key=lambda item: item[1])
+            with open(destination, "wb") as snapshot:
+                snapshot.write(_record_bytes(LOG_MAGIC))
+                for key, offset in live:
+                    self._reader.seek(offset)
+                    snapshot.write(self._reader.readline())
+            return len(live)
+
+    def import_snapshot(
+        self, path: str | os.PathLike, overwrite: bool = True
+    ) -> int:
+        """Merge a snapshot's entries into this tier; returns imported count.
+
+        With ``overwrite=False`` keys already live here are kept as-is
+        (merge semantics for unioning shard snapshots); the default lets
+        the snapshot win.  Tombstones in the source are ignored — a
+        snapshot ships *entries*, not deletion history.
+        """
+        source = Path(path)
+        imported = 0
+        with self._lock:
+            with open(source, "rb") as snapshot:
+                header = json.loads(snapshot.readline())
+                if header.get("format") != LOG_MAGIC["format"]:
+                    raise ValueError(
+                        f"{source} is not a plan-cache snapshot "
+                        f"(format {header.get('format')!r})"
+                    )
+                for line in snapshot:
+                    record = json.loads(line)
+                    if record.get("t") != "put":
+                        continue
+                    key = record["k"]
+                    if not overwrite and key in self._offsets:
+                        continue
+                    self._offsets[key] = self._append(record)
+                    provenance = record["entry"].get("provenance")
+                    self._provenance[key] = (
+                        Provenance.from_wire(provenance) if provenance else None
+                    )
+                    imported += 1
+        return imported
+
+    def compact(self) -> int:
+        """Rewrite the log with live records only; returns bytes reclaimed."""
+        with self._lock:
+            before = self._appender.tell()
+            replacement = self.path.with_suffix(self.path.suffix + ".compact")
+            self.export_snapshot(replacement)
+            self._appender.close()
+            self._reader.close()
+            os.replace(replacement, self.path)
+            self._offsets.clear()
+            self._provenance.clear()
+            self._recover()
+            self._appender = open(self.path, "ab")
+            self._reader = open(self.path, "rb")
+            return before - self._appender.tell()
+
+    # ------------------------------------------------------------------- stats
+
+    def snapshot(self) -> CacheStats:
+        """A consistent copy of the counters."""
+        with self._lock:
+            return replace(self.stats)
+
+    def snapshot_with_size(self) -> tuple[CacheStats, int]:
+        """Counters plus live entry count, read in one lock hold."""
+        with self._lock:
+            return replace(self.stats), len(self._offsets)
+
+    def clear(self) -> None:
+        """Drop every entry, truncate the log, reset statistics."""
+        with self._lock:
+            self._appender.truncate(0)
+            self._appender.seek(0)
+            self._appender.write(_record_bytes(LOG_MAGIC))
+            self._appender.flush()
+            self._offsets.clear()
+            self._provenance.clear()
+            self.stats = CacheStats()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Flush and release the file handles.  Idempotent."""
+        with self._lock:
+            for handle in (self._appender, self._reader):
+                try:
+                    handle.close()
+                except ValueError:  # pragma: no cover - already closed
+                    pass
+
+    def __enter__(self) -> "DiskTier":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._offsets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._offsets)
+
+
+def _record_bytes(record: dict[str, Any]) -> bytes:
+    """One log line: compact separators, no embedded newlines, newline end."""
+    return json.dumps(record, separators=(",", ":")).encode() + b"\n"
+
+
+# -------------------------------------------------------------------- composite
+
+
+@dataclass
+class TieredStats:
+    """Counters of a :class:`TieredPlanCache`, CacheStats-compatible.
+
+    ``hits``/``misses``/``evictions``/``hit_rate`` mean what they mean on
+    :class:`~repro.service.cache.CacheStats` (so gateway aggregation and
+    every existing dashboard keep working); the extra counters break the
+    hits down by tier and expose the data movement between them.
+    ``evictions`` counts entries that left the *composite* entirely —
+    a memory eviction whose entry remains on disk is a ``demotion``, not a
+    loss.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Disk hits copied up into the memory tier.
+    promotions: int = 0
+    #: Memory evictions whose entry remains on (or was written to) disk.
+    demotions: int = 0
+    #: Entries written to the disk tier (puts plus write-back demotions).
+    disk_writes: int = 0
+    #: Entries removed by provenance-predicate invalidation.
+    invalidated: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from either tier."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready counters, a superset of ``CacheStats.to_dict()``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "disk_writes": self.disk_writes,
+            "invalidated": self.invalidated,
+        }
+
+
+class TieredPlanCache:
+    """Memory-over-disk composite cache with promote-on-hit.
+
+    Lookup order is memory first, then disk; a disk hit is promoted into
+    memory (unless ``promote_on_hit=False``) so the hot set migrates back
+    up after a restart.  Writes follow ``write_policy``:
+
+    * ``"write-through"`` (default) — every put lands on disk immediately;
+      a memory eviction is pure accounting (the entry is already durable);
+    * ``"write-back"`` — puts stay in memory; the entry reaches disk only
+      when the LRU demotes it.  Cheaper per put, but entries still
+      memory-resident at a crash are lost.
+
+    All hit/miss/eviction accounting lives in this composite's
+    :class:`TieredStats`; the wrapped tiers' own counters are not consulted
+    (the composite uses their stat-free operations), so one logical lookup
+    is classified exactly once no matter how many tiers it touched.
+
+    :meth:`peek` is memory-only and I/O-free by contract — it is what the
+    service's batch dedup and the gateway's singleflight call while holding
+    their own locks.  :meth:`get`/:meth:`probe` may read disk and must be
+    called unlocked (the gateway does).
+    """
+
+    WRITE_POLICIES = ("write-through", "write-back")
+
+    def __init__(
+        self,
+        memory_capacity: int = 256,
+        disk: DiskTier | None = None,
+        write_policy: str = "write-through",
+        promote_on_hit: bool = True,
+    ) -> None:
+        if write_policy not in self.WRITE_POLICIES:
+            raise ValueError(
+                f"write_policy must be one of {self.WRITE_POLICIES}, "
+                f"got {write_policy!r}"
+            )
+        self.disk = disk
+        self.write_policy = write_policy
+        self.promote_on_hit = promote_on_hit
+        self.capacity = memory_capacity
+        self.stats = TieredStats()
+        self._lock = threading.RLock()
+        self.memory: MemoryTier[CacheEntry] = MemoryTier(
+            capacity=memory_capacity, on_evict=self._on_memory_evict
+        )
+
+    # ----------------------------------------------------------------- lookups
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Memory, then disk (promoting), counting one hit or miss total."""
+        value = self.memory.touch(key)
+        if value is not None:
+            with self._lock:
+                self.stats.memory_hits += 1
+            return value
+        value = self._disk_read(key)
+        if value is not None:
+            return value
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def probe(self, key: str) -> CacheEntry | None:
+        """Like :meth:`get` but an absent key counts nothing."""
+        value = self.memory.touch(key)
+        if value is not None:
+            with self._lock:
+                self.stats.memory_hits += 1
+            return value
+        return self._disk_read(key)
+
+    def _disk_read(self, key: str) -> CacheEntry | None:
+        """Stat-free disk read plus promotion and disk-hit accounting."""
+        if self.disk is None:
+            return None
+        value = self.disk.peek(key)
+        if value is None:
+            return None
+        promoted = False
+        if self.promote_on_hit and self.capacity > 0:
+            self.memory.put(key, value)
+            promoted = True
+        with self._lock:
+            self.stats.disk_hits += 1
+            if promoted:
+                self.stats.promotions += 1
+        return value
+
+    def peek(self, key: str) -> CacheEntry | None:
+        """Memory-resident value only; never touches disk or statistics."""
+        return self.memory.peek(key)
+
+    # ------------------------------------------------------------------ writes
+
+    def put(self, key: str, value: CacheEntry) -> None:
+        """Insert per the write policy (see class docstring)."""
+        if self.write_policy == "write-through" and self.disk is not None:
+            self.disk.put(key, value)
+            with self._lock:
+                self.stats.disk_writes += 1
+        self.memory.put(key, value)
+
+    def _on_memory_evict(self, key: str, value: CacheEntry) -> None:
+        """Capacity eviction from memory: demote or count the loss."""
+        if self.disk is None:
+            with self._lock:
+                self.stats.evictions += 1
+            return
+        if self.write_policy == "write-back":
+            self.disk.put(key, value)
+            with self._lock:
+                self.stats.demotions += 1
+                self.stats.disk_writes += 1
+        else:
+            with self._lock:
+                self.stats.demotions += 1
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` from both tiers; counted once if either held it."""
+        dropped_memory = self.memory.evict(key)
+        dropped_disk = self.disk.evict(key) if self.disk is not None else False
+        if dropped_memory or dropped_disk:
+            with self._lock:
+                self.stats.evictions += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------- invalidation
+
+    def invalidate(self, predicate: InvalidationPredicate) -> list[str]:
+        """Remove every entry (both tiers) whose provenance matches.
+
+        Returns the removed keys.  Memory entries are checked against their
+        own carried provenance, disk entries against the provenance index,
+        so an entry resident in both tiers cannot survive in one of them
+        and "selective" stays selective after promotions and demotions.
+        """
+        doomed: set[str] = set()
+        if self.disk is not None:
+            doomed.update(self.disk.invalidate(predicate))
+        for key in self.memory.keys():
+            entry = self.memory.peek(key)
+            if entry is not None and predicate.matches(entry.provenance):
+                doomed.add(key)
+        for key in doomed:
+            self.memory.evict(key)
+        with self._lock:
+            self.stats.invalidated += len(doomed)
+            self.stats.evictions += len(doomed)
+        return sorted(doomed)
+
+    # ------------------------------------------------------------------- stats
+
+    def reclassify_miss_as_hit(self) -> None:
+        """Recount one earlier miss as a (memory) hit; never goes negative."""
+        with self._lock:
+            if self.stats.misses > 0:
+                self.stats.misses -= 1
+            self.stats.memory_hits += 1
+
+    def snapshot(self) -> TieredStats:
+        """A consistent copy of the composite counters."""
+        with self._lock:
+            return replace(self.stats)
+
+    def snapshot_with_size(self) -> tuple[TieredStats, int]:
+        """Counters plus distinct resident keys across both tiers."""
+        with self._lock:
+            return replace(self.stats), len(self)
+
+    def clear(self) -> None:
+        """Drop all entries in both tiers and reset statistics."""
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+        with self._lock:
+            self.stats = TieredStats()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release the disk tier's file handles (memory needs no teardown)."""
+        if self.disk is not None:
+            self.disk.close()
+
+    def __contains__(self, key: str) -> bool:
+        if key in self.memory:
+            return True
+        return self.disk is not None and key in self.disk
+
+    def __len__(self) -> int:
+        if self.disk is None:
+            return len(self.memory)
+        return len(set(self.memory.keys()) | set(self.disk.keys()))

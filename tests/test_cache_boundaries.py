@@ -113,6 +113,87 @@ class TestAccountingInterleavings:
         assert "a" in cache and "b" not in cache
 
 
+class TestReclassifyClamp:
+    """Regression: reclassify after the miss count was reset must clamp.
+
+    The pre-tiering code decremented ``misses`` unconditionally, so a
+    ``clear()`` (or any counter reset) racing between a caller's miss and
+    its ``reclassify_miss_as_hit`` left ``misses`` at -1 forever — a torn
+    read that the capacity=1 audit of snapshot()/reclassify found.  All
+    three tiers clamp now.
+    """
+
+    def test_reclassify_after_clear_is_clamped(self):
+        cache: PlanCache[int] = PlanCache(capacity=1)
+        assert cache.get("a") is None  # a real miss …
+        cache.clear()  # … wiped before the caller reports back
+        cache.reclassify_miss_as_hit()
+        stats = cache.snapshot()
+        assert stats.misses == 0  # clamped, not -1
+        assert stats.hits == 1
+        assert stats.lookups == stats.hits + stats.misses
+
+    def test_reclassify_without_any_miss_is_clamped(self):
+        cache: PlanCache[int] = PlanCache(capacity=1)
+        cache.reclassify_miss_as_hit()
+        cache.reclassify_miss_as_hit()
+        stats = cache.snapshot()
+        assert (stats.hits, stats.misses) == (2, 0)
+
+    def test_capacity_one_snapshot_audit_under_clear_races(self):
+        """Capacity=1, with clear() and evict() thrown into the mix: no
+        snapshot may ever observe negative or torn counters."""
+        cache: PlanCache[int] = PlanCache(capacity=1)
+        n_threads = 6
+        violations: list[str] = []
+        barrier = threading.Barrier(n_threads + 1)
+        stop = threading.Event()
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            barrier.wait(timeout=30)
+            for step in range(300):
+                action = rng.random()
+                key = f"k{rng.randint(0, 3)}"
+                if action < 0.40:
+                    if cache.get(key) is None:
+                        cache.put(key, step)
+                        cache.reclassify_miss_as_hit()
+                elif action < 0.55:
+                    cache.evict(key)
+                elif action < 0.60:
+                    cache.clear()
+                else:
+                    cache.put(key, step)
+
+        def observer() -> None:
+            barrier.wait(timeout=30)
+            while not stop.is_set():
+                stats, size = cache.snapshot_with_size()
+                if size > 1:
+                    violations.append(f"size {size} > capacity 1")
+                if min(stats.hits, stats.misses, stats.evictions) < 0:
+                    violations.append(f"negative counters: {stats}")
+                if stats.lookups != stats.hits + stats.misses:
+                    violations.append(f"torn counters: {stats}")
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        watcher = threading.Thread(target=observer)
+        for thread in threads:
+            thread.start()
+        watcher.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        stop.set()
+        watcher.join(timeout=30)
+        assert not watcher.is_alive()
+        assert violations == []
+
+
 class TestConcurrentHammer:
     @pytest.mark.parametrize("capacity", [1, 4])
     def test_size_never_exceeds_capacity_under_hammering(self, capacity):

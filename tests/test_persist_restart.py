@@ -1,0 +1,129 @@
+"""Warm restarts over the disk tier, and the herd gate it must hold under.
+
+These are the acceptance tests the CI tier-1 job runs with a throwaway
+cache directory: a restarted process serves every previously-seen
+fingerprint from disk with zero DP runs, and singleflight keeps holding —
+one DP run per unique fingerprint — when 64 clients stampede a gateway
+whose shards carry disk-backed tiered caches.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.traffic import (
+    TrafficProfile,
+    generate_traffic,
+    replay_threaded,
+    unique_fingerprints,
+)
+from repro.cluster.executors import SerialPartitionExecutor
+from repro.service import DiskTier, ShardedOptimizerGateway, TieredPlanCache
+
+
+class CountingSerialExecutor(SerialPartitionExecutor):
+    """Serial executor counting DP runs (``map_partitions`` invocations)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def map_partitions(self, query, n_partitions, settings):
+        with self._lock:
+            self.calls += 1
+        return super().map_partitions(query, n_partitions, settings)
+
+
+def tiered_gateway(cache_dir, executors, n_shards=4):
+    """A sharded gateway with counting executors and per-shard disk logs."""
+
+    def executor_factory():
+        executor = CountingSerialExecutor()
+        executors.append(executor)
+        return executor
+
+    return ShardedOptimizerGateway(
+        n_shards=n_shards,
+        n_workers=2,
+        executor_factory=executor_factory,
+        cache_factory=lambda index: TieredPlanCache(
+            memory_capacity=64, disk=DiskTier(cache_dir / f"shard-{index}.log")
+        ),
+    )
+
+
+@pytest.fixture
+def schedule():
+    return generate_traffic(
+        TrafficProfile(seed=29, n_requests=96, n_unique=12, tables=(4, 6))
+    )
+
+
+class TestWarmRestart:
+    def test_restart_serves_everything_from_disk(self, tmp_path, schedule):
+        """After a process restart (new gateway, same cache dir), the whole
+        replayed schedule is answered from the tiers: zero DP runs, every
+        response cached, disk seeding the first touch of each fingerprint."""
+        n_unique = len(unique_fingerprints(schedule))
+
+        cold_executors: list[CountingSerialExecutor] = []
+        with tiered_gateway(tmp_path, cold_executors) as gateway:
+            cold = replay_threaded(gateway, schedule, n_clients=8)
+        assert sum(e.calls for e in cold_executors) == n_unique
+
+        # A brand-new gateway over the same logs: fresh executors, empty
+        # memory tiers — a restart in miniature.
+        warm_executors: list[CountingSerialExecutor] = []
+        with tiered_gateway(tmp_path, warm_executors) as gateway:
+            warm = replay_threaded(gateway, schedule, n_clients=8)
+            stats = gateway.stats()
+
+        assert sum(e.calls for e in warm_executors) == 0
+        assert stats.optimizations == 0
+        assert all(result.cached for result in warm.results)
+        assert {r.fingerprint for r in warm.results} == {
+            r.fingerprint for r in cold.results
+        }
+        # The working set was seeded from disk: each unique fingerprint's
+        # first warm touch read the log (later touches hit its promotion).
+        disk_hits = sum(
+            getattr(shard.cache, "disk_hits", 0) for shard in stats.shards
+        )
+        assert disk_hits >= n_unique
+
+    def test_restart_preserves_results_bitwise(self, tmp_path, schedule):
+        """Cold-run plans and warm-served plans are equal, cost vectors and
+        all — the disk round trip is lossless end to end."""
+        request = schedule[0]
+        executors: list[CountingSerialExecutor] = []
+        with tiered_gateway(tmp_path, executors, n_shards=1) as gateway:
+            cold = gateway.optimize(request.query, request.settings)
+        with tiered_gateway(tmp_path, executors, n_shards=1) as gateway:
+            warm = gateway.optimize(request.query, request.settings)
+        assert warm.cached
+        assert warm.plans == cold.plans
+        assert [p.cost for p in warm.plans] == [p.cost for p in cold.plans]
+
+
+class TestHerdWithDiskTier:
+    def test_64_client_herd_pays_one_run_per_fingerprint(self, tmp_path):
+        """ISSUE acceptance: with the disk tier enabled (gets may do I/O),
+        singleflight still coalesces a 64-client herd down to exactly one
+        DP run per unique fingerprint."""
+        herd_schedule = generate_traffic(
+            TrafficProfile(seed=67, n_requests=256, n_unique=8, tables=(4, 5))
+        )
+        n_unique = len(unique_fingerprints(herd_schedule))
+        executors: list[CountingSerialExecutor] = []
+        with tiered_gateway(tmp_path, executors) as gateway:
+            report = replay_threaded(gateway, herd_schedule, n_clients=64)
+            stats = gateway.stats()
+        assert sum(e.calls for e in executors) == n_unique
+        assert stats.optimizations == n_unique
+        assert len(report.results) == len(herd_schedule)
+        # Everyone got an answer: leaders ran, the rest were coalesced
+        # followers or cache hits — nobody re-optimized.
+        served_cached = sum(1 for result in report.results if result.cached)
+        assert served_cached == len(herd_schedule) - n_unique

@@ -1,6 +1,8 @@
-"""Serialization byte model."""
+"""Serialization: the byte model and the wire codecs."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -14,16 +16,27 @@ from repro.cluster.serialization import (
     SET_ID_BYTES,
     TASK_HEADER_BYTES,
     memo_entries_bytes,
+    order_from_wire,
+    order_to_wire,
     plan_bytes,
+    plan_from_wire,
     plan_node_count,
+    plan_to_wire,
     plans_bytes,
+    plans_from_wire,
+    plans_to_wire,
     query_bytes,
     sma_task_bytes,
     task_bytes,
+    timing_from_wire,
+    timing_to_wire,
 )
-from repro.config import OptimizerSettings
+from repro.cluster.simulator import SimulatedTiming
+from repro.config import PARAMETRIC_OBJECTIVES, OptimizerSettings
 from repro.core.serial import best_plan, optimize_serial
+from repro.plans.orders import SortOrder
 from repro.query.generator import SteinbrunnGenerator
+from repro.query.query import JoinGraphKind
 
 
 @pytest.fixture
@@ -95,3 +108,77 @@ class TestSmaTaskBytes:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             sma_task_bytes(-1)
+
+
+# ------------------------------------------------------------------ wire codecs
+
+
+#: The three query classes of the serving tier's feature mix; a frontier of
+#: each must survive the wire bit-identically (plain = one optimal plan,
+#: orders = order-tagged Pareto plans, parametric = a lower-envelope
+#: frontier with multi-metric cost vectors).
+QUERY_CLASSES = {
+    "plain": OptimizerSettings(),
+    "orders": OptimizerSettings(consider_orders=True),
+    "parametric": OptimizerSettings(
+        objectives=PARAMETRIC_OBJECTIVES, parametric=True
+    ),
+}
+
+
+class TestWireCodecs:
+    @pytest.mark.parametrize("class_name", sorted(QUERY_CLASSES))
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    @pytest.mark.parametrize(
+        "kind", [JoinGraphKind.STAR, JoinGraphKind.CHAIN, JoinGraphKind.CYCLE]
+    )
+    def test_frontiers_round_trip_bit_identically(self, class_name, seed, kind):
+        """Property sweep: every plan of every frontier of every class
+        survives encode -> JSON text -> decode with equality on every field
+        — frozen dataclasses compare exactly, so ``==`` is bit-identity for
+        the float cost vectors and cardinalities too."""
+        settings = QUERY_CLASSES[class_name]
+        query = SteinbrunnGenerator(seed, clustered_tables=True).query(6, kind)
+        frontier = optimize_serial(query, settings).plans
+        assert frontier, "sweep must exercise non-empty frontiers"
+        # Through actual JSON text, exactly as the disk tier stores records.
+        decoded = plans_from_wire(json.loads(json.dumps(plans_to_wire(frontier))))
+        assert decoded == frontier
+        assert [plan.cost for plan in decoded] == [plan.cost for plan in frontier]
+        assert [plan.order for plan in decoded] == [plan.order for plan in frontier]
+
+    def test_frontier_order_preserved_verbatim(self):
+        query = SteinbrunnGenerator(3).query(5)
+        frontier = optimize_serial(
+            query, OptimizerSettings(objectives=PARAMETRIC_OBJECTIVES, parametric=True)
+        ).plans
+        decoded = plans_from_wire(plans_to_wire(frontier))
+        assert [plan.mask for plan in decoded] == [plan.mask for plan in frontier]
+
+    def test_sort_order_round_trip(self):
+        order = SortOrder(table=3, column="c2")
+        assert order_from_wire(order_to_wire(order)) == order
+        assert order_to_wire(None) is None
+        assert order_from_wire(None) is None
+
+    def test_malformed_plan_record_fails_loudly(self):
+        query = SteinbrunnGenerator(1).query(4)
+        record = plan_to_wire(best_plan(optimize_serial(query, OptimizerSettings())))
+        del record["cost"]
+        with pytest.raises(ValueError):
+            plan_from_wire(record)
+        with pytest.raises(ValueError):
+            plan_from_wire({"op": "reduce", "mask": 1})
+
+    def test_timing_round_trip_bit_identical(self):
+        timing = SimulatedTiming(
+            dispatch_s=0.1 + 0.2,  # deliberately non-representable floats
+            workers_done_s=1.0 / 3.0,
+            collect_s=2.5e-7,
+            master_prune_s=0.0,
+            network_bytes=123456,
+            network_messages=42,
+            worker_compute_s=[0.1, 1e-9, 7.7],
+        )
+        decoded = timing_from_wire(json.loads(json.dumps(timing_to_wire(timing))))
+        assert decoded == timing

@@ -1,0 +1,465 @@
+"""The disk tier, the memory-over-disk composite, and selective invalidation."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.executors import SerialPartitionExecutor
+from repro.cluster.simulator import SimulatedTiming
+from repro.config import Backend, OptimizerSettings
+from repro.core.worker import (
+    registered_backends,
+    register_backend,
+    registry_generation,
+)
+from repro.plans.plan import ScanPlan
+from repro.query.generator import make_chain_query, make_star_query
+from repro.service import (
+    CacheEntry,
+    DiskTier,
+    InvalidationPredicate,
+    OptimizerService,
+    Provenance,
+    TieredPlanCache,
+)
+from repro.service.tiers import LOG_MAGIC, entry_from_wire, entry_to_wire
+
+
+def make_entry(
+    backend: str = "fastdp",
+    generation: int = 1,
+    created: float = 100.0,
+    signature: str = "sig",
+    with_provenance: bool = True,
+) -> CacheEntry:
+    """A small, fully-populated cache entry for tier plumbing tests."""
+    plan = ScanPlan(mask=1, rows=1000.0, cost=(1000.0,), order=None, table=0)
+    provenance = (
+        Provenance(
+            backend_used=backend,
+            settings_signature=signature,
+            registry_generation=generation,
+            created_at_s=created,
+            n_partitions=2,
+            worker_stats={"plans_considered": 7.0},
+        )
+        if with_provenance
+        else None
+    )
+    return CacheEntry(
+        canonical_plans=[plan],
+        n_partitions=2,
+        simulated=SimulatedTiming(
+            dispatch_s=0.001,
+            workers_done_s=0.002,
+            collect_s=0.0005,
+            master_prune_s=0.0001,
+            network_bytes=256,
+            network_messages=4,
+            worker_compute_s=[0.001, 0.0015],
+        ),
+        backend_used=backend,
+        provenance=provenance,
+    )
+
+
+class TestEntryCodec:
+    def test_round_trip_with_provenance(self):
+        entry = make_entry()
+        decoded = entry_from_wire(json.loads(json.dumps(entry_to_wire(entry))))
+        assert decoded == entry
+        assert decoded.provenance == entry.provenance
+
+    def test_round_trip_without_provenance(self):
+        entry = make_entry(with_provenance=False)
+        decoded = entry_from_wire(json.loads(json.dumps(entry_to_wire(entry))))
+        assert decoded == entry
+        assert decoded.provenance is None
+
+
+class TestDiskTier:
+    def test_put_get_persists_across_reopen(self, tmp_path):
+        log = tmp_path / "cache.log"
+        entry_a, entry_b = make_entry(backend="legacy"), make_entry()
+        with DiskTier(log) as tier:
+            tier.put("a", entry_a)
+            tier.put("b", entry_b)
+        with DiskTier(log) as tier:
+            assert tier.get("a") == entry_a
+            assert tier.get("b") == entry_b
+            assert len(tier) == 2
+            # Counters are per-process, not persisted.
+            assert tier.snapshot().hits == 2
+
+    def test_supersession_serves_latest(self, tmp_path):
+        log = tmp_path / "cache.log"
+        with DiskTier(log) as tier:
+            tier.put("a", make_entry(created=1.0))
+            tier.put("a", make_entry(created=2.0))
+            assert tier.get("a").provenance.created_at_s == 2.0
+            assert len(tier) == 1
+        with DiskTier(log) as tier:
+            assert tier.get("a").provenance.created_at_s == 2.0
+
+    def test_tombstone_survives_reopen(self, tmp_path):
+        log = tmp_path / "cache.log"
+        with DiskTier(log) as tier:
+            tier.put("a", make_entry())
+            tier.put("b", make_entry())
+            assert tier.evict("a")
+            assert not tier.evict("a")  # already gone
+        with DiskTier(log) as tier:
+            assert tier.get("a") is None
+            assert "a" not in tier
+            assert tier.get("b") is not None
+
+    def test_torn_tail_truncated_on_recovery(self, tmp_path):
+        log = tmp_path / "cache.log"
+        with DiskTier(log) as tier:
+            tier.put("a", make_entry())
+            tier.put("b", make_entry())
+        intact_size = log.stat().st_size
+        with open(log, "ab") as handle:  # a crash mid-append
+            handle.write(b'{"t":"put","k":"c","entry":{"plan')
+        with DiskTier(log) as tier:
+            assert sorted(tier.keys()) == ["a", "b"]
+        assert log.stat().st_size == intact_size  # tail actually cut
+
+    def test_complete_json_without_newline_is_torn(self, tmp_path):
+        log = tmp_path / "cache.log"
+        with DiskTier(log) as tier:
+            tier.put("a", make_entry())
+        with open(log, "ab") as handle:
+            handle.write(b'{"t":"del","k":"a"}')  # valid JSON, no newline
+        with DiskTier(log) as tier:
+            assert "a" in tier  # the unterminated tombstone was dropped
+
+    def test_rejects_foreign_files(self, tmp_path):
+        not_json = tmp_path / "garbage.log"
+        not_json.write_text("hello world\n")
+        with pytest.raises(ValueError, match="not a plan-cache log"):
+            DiskTier(not_json)
+        wrong_format = tmp_path / "other.log"
+        wrong_format.write_text('{"t":"header","format":"something-else"}\n')
+        with pytest.raises(ValueError, match="not a plan-cache log"):
+            DiskTier(wrong_format)
+
+    def test_probe_and_peek_statistics(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as tier:
+            assert tier.get("missing") is None
+            assert tier.probe("missing") is None  # absence not counted
+            tier.put("a", make_entry())
+            assert tier.peek("a") is not None  # stat-free
+            stats = tier.snapshot()
+            assert (stats.hits, stats.misses) == (0, 1)
+            tier.reclassify_miss_as_hit()
+            stats = tier.snapshot()
+            assert (stats.hits, stats.misses) == (1, 0)
+            tier.reclassify_miss_as_hit()  # clamped: never negative
+            assert tier.snapshot().misses == 0
+
+    def test_export_snapshot_is_a_valid_log(self, tmp_path):
+        log, snap = tmp_path / "cache.log", tmp_path / "snapshot.log"
+        with DiskTier(log) as tier:
+            tier.put("a", make_entry(backend="legacy"))
+            tier.put("b", make_entry())
+            tier.evict("a")
+            assert tier.export_snapshot(snap) == 1
+        with DiskTier(snap) as tier:  # a snapshot opens as a tier directly
+            assert tier.keys() == ["b"]
+            assert tier.get("b") is not None
+
+    def test_import_snapshot_merge_semantics(self, tmp_path):
+        snap = tmp_path / "snapshot.log"
+        with DiskTier(tmp_path / "source.log") as source:
+            source.put("a", make_entry(created=1.0))
+            source.put("b", make_entry())
+            source.export_snapshot(snap)
+        with DiskTier(tmp_path / "dest.log") as dest:
+            dest.put("a", make_entry(created=9.0))
+            assert dest.import_snapshot(snap, overwrite=False) == 1  # only b
+            assert dest.get("a").provenance.created_at_s == 9.0
+            assert dest.import_snapshot(snap) == 2  # snapshot wins now
+            assert dest.get("a").provenance.created_at_s == 1.0
+
+    def test_import_rejects_foreign_snapshot(self, tmp_path):
+        bogus = tmp_path / "bogus.snap"
+        bogus.write_text('{"format":"nope"}\n')
+        with DiskTier(tmp_path / "cache.log") as tier:
+            with pytest.raises(ValueError, match="not a plan-cache snapshot"):
+                tier.import_snapshot(bogus)
+
+    def test_compact_reclaims_dead_records(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as tier:
+            for version in range(10):
+                tier.put("a", make_entry(created=float(version)))
+            tier.put("b", make_entry())
+            tier.evict("b")
+            before = tier.log_bytes()
+            reclaimed = tier.compact()
+            assert reclaimed > 0
+            assert tier.log_bytes() == before - reclaimed
+            assert tier.keys() == ["a"]
+            assert tier.get("a").provenance.created_at_s == 9.0
+
+    def test_invalidate_by_predicate_persists(self, tmp_path):
+        log = tmp_path / "cache.log"
+        with DiskTier(log) as tier:
+            tier.put("old-legacy", make_entry(backend="legacy", generation=1))
+            tier.put("old-fastdp", make_entry(backend="fastdp", generation=1))
+            tier.put("new-fastdp", make_entry(backend="fastdp", generation=5))
+            doomed = tier.invalidate(
+                InvalidationPredicate(backend="fastdp", below_generation=5)
+            )
+            assert doomed == ["old-fastdp"]
+            assert tier.snapshot().evictions == 1
+        with DiskTier(log) as tier:  # tombstones are durable
+            assert sorted(tier.keys()) == ["new-fastdp", "old-legacy"]
+
+    def test_provenance_index_resident(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as tier:
+            tier.put("a", make_entry(signature="s1"))
+            assert tier.provenance_of("a").settings_signature == "s1"
+            assert dict(tier.entries())["a"].settings_signature == "s1"
+            assert tier.provenance_of("nope") is None
+
+    def test_clear_resets_everything(self, tmp_path):
+        log = tmp_path / "cache.log"
+        with DiskTier(log) as tier:
+            tier.put("a", make_entry())
+            tier.get("missing")
+            tier.clear()
+            assert len(tier) == 0
+            assert tier.snapshot().misses == 0
+        assert json.loads(log.read_text()) == LOG_MAGIC  # header only
+
+
+class TestTieredPlanCache:
+    def test_rejects_unknown_write_policy(self):
+        with pytest.raises(ValueError, match="write_policy"):
+            TieredPlanCache(write_policy="write-sideways")
+
+    def test_write_through_persists_at_put(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(memory_capacity=1, disk=disk)
+            cache.put("a", make_entry())
+            assert "a" in disk  # durable before any eviction
+            cache.put("b", make_entry())  # evicts a from memory
+            stats = cache.snapshot()
+            assert stats.disk_writes == 2
+            assert stats.demotions == 1  # accounting only, no second write
+            assert stats.evictions == 0  # a is still served (from disk)
+            assert cache.get("a") is not None
+
+    def test_write_back_persists_on_demotion_only(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(
+                memory_capacity=1, disk=disk, write_policy="write-back"
+            )
+            cache.put("a", make_entry())
+            assert "a" not in disk  # memory-resident only (crash would lose it)
+            cache.put("b", make_entry())  # demotes a, writing it down
+            assert "a" in disk
+            assert "b" not in disk
+            stats = cache.snapshot()
+            assert (stats.demotions, stats.disk_writes) == (1, 1)
+
+    def test_promote_on_hit(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            disk.put("a", make_entry())
+            cache = TieredPlanCache(memory_capacity=4, disk=disk)
+            assert cache.peek("a") is None  # memory-only by contract
+            assert cache.get("a") is not None  # disk hit, promoted
+            assert cache.peek("a") is not None
+            stats = cache.snapshot()
+            assert (stats.disk_hits, stats.promotions) == (1, 1)
+            assert cache.get("a") is not None  # now a memory hit
+            assert cache.snapshot().memory_hits == 1
+
+    def test_promotion_disabled(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            disk.put("a", make_entry())
+            cache = TieredPlanCache(
+                memory_capacity=4, disk=disk, promote_on_hit=False
+            )
+            assert cache.get("a") is not None
+            assert cache.peek("a") is None
+            stats = cache.snapshot()
+            assert (stats.disk_hits, stats.promotions) == (1, 0)
+
+    def test_capacity_zero_serves_disk_only(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(memory_capacity=0, disk=disk)
+            cache.put("a", make_entry())
+            for __ in range(3):
+                assert cache.get("a") is not None
+            stats = cache.snapshot()
+            assert (stats.memory_hits, stats.disk_hits) == (0, 3)
+            assert stats.promotions == 0
+
+    def test_each_lookup_classified_exactly_once(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(memory_capacity=4, disk=disk)
+            cache.put("a", make_entry())
+            cache.get("a")  # memory hit
+            cache.memory.clear()
+            cache.get("a")  # disk hit
+            cache.get("missing")  # miss
+            stats = cache.snapshot()
+            assert (stats.memory_hits, stats.disk_hits, stats.misses) == (1, 1, 1)
+            assert stats.hits == 2
+            assert stats.lookups == 3
+            assert stats.hit_rate == pytest.approx(2 / 3)
+            # The wrapped tiers' own counters were never consulted or bumped
+            # by composite traffic that the composite already classified.
+            assert cache.memory.snapshot().hits == 0
+            assert disk.snapshot().hits == 0
+
+    def test_to_dict_is_cachestats_superset(self):
+        from repro.service import CacheStats
+
+        tiered = TieredPlanCache(memory_capacity=2).snapshot().to_dict()
+        assert set(CacheStats().to_dict()) <= set(tiered)
+
+    def test_evict_removes_from_both_tiers(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(memory_capacity=4, disk=disk)
+            cache.put("a", make_entry())
+            assert cache.evict("a")
+            assert cache.get("a") is None
+            assert "a" not in disk
+            assert not cache.evict("a")
+            assert cache.snapshot().evictions == 1
+
+    def test_invalidate_covers_memory_resident_write_back(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(
+                memory_capacity=4, disk=disk, write_policy="write-back"
+            )
+            cache.put("hot", make_entry(backend="fastdp"))  # memory only
+            disk.put("cold", make_entry(backend="fastdp"))
+            disk.put("keep", make_entry(backend="legacy"))
+            doomed = cache.invalidate(InvalidationPredicate(backend="fastdp"))
+            assert doomed == ["cold", "hot"]
+            assert cache.get("hot") is None
+            assert cache.get("cold") is None
+            assert cache.get("keep") is not None
+            stats = cache.snapshot()
+            assert stats.invalidated == 2
+
+    def test_invalidate_counts_dual_resident_entry_once(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(memory_capacity=4, disk=disk)
+            cache.put("a", make_entry(backend="fastdp"))  # in both tiers
+            doomed = cache.invalidate(InvalidationPredicate(backend="fastdp"))
+            assert doomed == ["a"]
+            assert cache.snapshot().invalidated == 1
+            assert len(cache) == 0
+
+    def test_provenance_free_entry_survives_conditional_invalidation(self):
+        cache = TieredPlanCache(memory_capacity=4)
+        cache.put("mystery", make_entry(with_provenance=False))
+        assert cache.invalidate(InvalidationPredicate(backend="fastdp")) == []
+        assert cache.get("mystery") is not None
+        # Only the explicit match-everything predicate takes it out.
+        assert cache.invalidate(InvalidationPredicate()) == ["mystery"]
+
+    def test_len_is_union_of_tiers(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(
+                memory_capacity=4, disk=disk, write_policy="write-back"
+            )
+            cache.put("memory-only", make_entry())
+            disk.put("disk-only", make_entry())
+            cache.put("both", make_entry())
+            disk.put("both", make_entry())
+            assert len(cache) == 3
+            assert "memory-only" in cache and "disk-only" in cache
+
+    def test_clear_and_reclassify_clamp(self, tmp_path):
+        with DiskTier(tmp_path / "cache.log") as disk:
+            cache = TieredPlanCache(memory_capacity=4, disk=disk)
+            cache.put("a", make_entry())
+            cache.get("missing")
+            cache.clear()
+            assert len(cache) == 0
+            cache.reclassify_miss_as_hit()  # after clear: no miss to convert
+            stats = cache.snapshot()
+            assert stats.misses == 0  # clamped, not -1
+            assert stats.memory_hits == 1
+
+
+class CountingSerialExecutor(SerialPartitionExecutor):
+    """Serial executor counting DP runs (``map_partitions`` invocations)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def map_partitions(self, query, n_partitions, settings):
+        with self._lock:
+            self.calls += 1
+        return super().map_partitions(query, n_partitions, settings)
+
+
+class TestSelectiveInvalidationAcceptance:
+    """ISSUE acceptance: a registry-generation bump invalidates exactly the
+    matching entries; everything else keeps serving without a DP run."""
+
+    def test_backend_upgrade_retires_only_its_own_entries(self, tmp_path):
+        executor = CountingSerialExecutor()
+        cache = TieredPlanCache(
+            memory_capacity=16, disk=DiskTier(tmp_path / "cache.log")
+        )
+        legacy = OptimizerSettings(backend=Backend.LEGACY)
+        fastdp = OptimizerSettings(backend=Backend.FASTDP)
+        with OptimizerService(
+            n_workers=2, executor=executor, cache=cache
+        ) as service:
+            query_a, query_b = make_chain_query(5), make_star_query(5)
+            service.optimize(query_a, legacy)
+            service.optimize(query_b, fastdp)
+            assert executor.calls == 2
+
+            # Provenance was stamped with the concrete backend per entry.
+            backends = sorted(
+                provenance.backend_used
+                for __, provenance in cache.disk.entries()
+            )
+            assert backends == ["fastdp", "legacy"]
+
+            # "Upgrade" the fastdp core: re-registering bumps the registry
+            # generation, making every earlier fastdp entry suspect.
+            descriptor = next(
+                d for d in registered_backends() if d.backend is Backend.FASTDP
+            )
+            register_backend(descriptor)
+            new_generation = registry_generation()
+
+            doomed = cache.invalidate(
+                InvalidationPredicate(
+                    backend="fastdp", below_generation=new_generation
+                )
+            )
+            assert len(doomed) == 1
+
+            # The fastdp entry re-optimizes (one fresh DP run) …
+            result_b = service.optimize(query_b, fastdp)
+            assert not result_b.cached
+            assert executor.calls == 3
+            # … while the untouched legacy entry still serves from cache.
+            result_a = service.optimize(query_a, legacy)
+            assert result_a.cached
+            assert executor.calls == 3
+            # And the re-created entry carries the new generation.
+            refreshed = [
+                provenance
+                for __, provenance in cache.disk.entries()
+                if provenance.backend_used == "fastdp"
+            ]
+            assert [p.registry_generation for p in refreshed] == [
+                new_generation
+            ]

@@ -1,0 +1,123 @@
+"""Regenerate every committed BENCH_*.json with one command.
+
+The benchmark reports in the repository root are produced by four dual-use
+scripts under ``benchmarks/``; each is a regression gate in CI with its own
+flags.  This runner invokes them exactly as CI does (same flags, same
+output files) so the committed reports never drift from the workflow:
+
+    python tools/regen_benches.py             # all four, in order
+    python tools/regen_benches.py --only persist,async
+    python tools/regen_benches.py --list
+
+Each script still enforces its own gates (speedup floors, divergence
+checks, restart/latency gates); the runner stops at the first failure
+unless ``--keep-going`` is given, and exits non-zero if anything failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: name -> (output file, argv after the script path) — mirrors ci.yml's
+#: bench-regression job; change both together.
+BENCHES: dict[str, tuple[str, list[str]]] = {
+    "fastdp": (
+        "BENCH_fastdp.json",
+        [
+            "benchmarks/bench_fastdp.py",
+            "--features", "plain,orders,parametric",
+            "--repeats", "2",
+            "--json", "BENCH_fastdp.json",
+            "--min-speedup", "1.0",
+        ],
+    ),
+    "gateway": (
+        "BENCH_gateway.json",
+        [
+            "benchmarks/bench_gateway.py",
+            "--repeats", "2",
+            "--json", "BENCH_gateway.json",
+            "--min-speedup", "1.0",
+        ],
+    ),
+    "async": (
+        "BENCH_async.json",
+        [
+            "benchmarks/bench_async.py",
+            "--repeats", "3",
+            "--json", "BENCH_async.json",
+            "--min-speedup", "1.0",
+        ],
+    ),
+    "persist": (
+        "BENCH_persist.json",
+        [
+            "benchmarks/bench_persist.py",
+            "--json", "BENCH_persist.json",
+            "--max-latency-ratio", "5.0",
+        ],
+    ),
+}
+
+
+def run_bench(name: str) -> int:
+    """Run one benchmark script from the repo root; returns its exit code."""
+    output, argv = BENCHES[name]
+    print(f"=== {name}: {' '.join(argv)} -> {output}", flush=True)
+    environment = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+    process = subprocess.run(
+        [sys.executable, *argv], cwd=ROOT, env=environment
+    )
+    return process.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        default=None,
+        help=f"comma-separated subset of: {','.join(BENCHES)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="run every benchmark even after a failure",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, (output, bench_argv) in BENCHES.items():
+            print(f"{name:8} -> {output}  ({bench_argv[0]})")
+        return 0
+    names = list(BENCHES)
+    if args.only:
+        names = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in names if name not in BENCHES]
+        if unknown:
+            parser.error(
+                f"unknown benchmark(s) {unknown}; choose from {list(BENCHES)}"
+            )
+    failures: list[str] = []
+    for name in names:
+        code = run_bench(name)
+        if code != 0:
+            failures.append(name)
+            if not args.keep_going:
+                break
+    if failures:
+        print(f"FAIL: {failures}", file=sys.stderr)
+        return 1
+    print(f"regenerated: {', '.join(BENCHES[name][0] for name in names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
