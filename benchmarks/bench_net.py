@@ -1,0 +1,389 @@
+"""Out-of-process shard servers vs the in-process gateway, same herd.
+
+The network gateway's claim, measured: moving shards into their own
+processes buys real CPU parallelism for DP enumeration.  In-process, the
+:class:`~repro.service.ShardedOptimizerGateway` runs every DP enumeration
+under one interpreter lock no matter how many client threads pile in;
+shard *processes* run them truly concurrently, and that must outweigh the
+tax the network stack adds (JSON codecs, unix-socket round trips, the
+router's hashing and breaker bookkeeping).
+
+One workload, deterministic: a seeded Zipf/burst schedule from
+:mod:`repro.bench.traffic` replayed by a 64-client herd against
+
+* **in-process** — a ``ShardedOptimizerGateway`` with ``N_SHARDS`` thread
+  shards, called directly;
+* **multi-process** — ``N_SHARDS`` ``python -m repro shard-server``
+  subprocesses on unix sockets behind a :class:`NetworkOptimizerGateway`
+  with consistent-hash routing.
+
+Verified while measuring, on both stacks:
+
+* every request's best-plan cost agrees across the two stacks;
+* exactly one DP enumeration per unique fingerprint — for the network
+  stack that is the *sum of the per-server counters*, i.e. the invariant
+  holds across process boundaries.
+
+The gate is hardware-aware, transparently: with >= 2 CPUs available the
+multi-process stack must reach ``--min-speedup`` (1.0 in CI — shard
+processes must at least pay for their own wire tax).  On a single
+available CPU process parallelism physically cannot exist — the
+multi-process stack is the in-process stack plus codec/socket work, so
+demanding parity would demand a negative protocol cost.  There the gate
+degrades to the **wire-tax bound** ``SINGLE_CPU_FLOOR``: serving the herd
+through real sockets, frames, and routing may cost at most ~20% of
+throughput.  The applied floor and the CPU count are recorded in the
+report, so a regenerated ``BENCH_net.json`` always states which claim it
+proves.
+
+Dual-use module:
+
+* **pytest**::
+
+      PYTHONPATH=src python -m pytest -q benchmarks/bench_net.py
+
+* **script** (the CI benchmark-regression job)::
+
+      PYTHONPATH=src python benchmarks/bench_net.py \
+          --repeats 2 --json BENCH_net.json --min-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # script mode: bootstrap the src layout without installation
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the CI script job
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.traffic import (
+    TrafficProfile,
+    generate_traffic,
+    replay_threaded,
+    unique_fingerprints,
+)
+from repro.service import NetworkOptimizerGateway, ShardedOptimizerGateway
+
+ROOT = Path(__file__).resolve().parents[1]
+
+N_CLIENTS = 64
+N_SHARDS = 2
+#: Simulated-cluster worker count per shard server process.
+N_WORKERS = 4
+#: Admission bound per shard server.  The whole herd fits, so the
+#: measurement never includes overload retry sleeps; admission control
+#: itself is exercised (and asserted) in tests/test_net.py instead.
+MAX_IN_FLIGHT = 64
+#: DP-heavy profile: many unique queries at 8-9 tables makes enumeration
+#: (which shard processes parallelize) dominate serving overhead (which
+#: they add to).  A hit-dominated profile would measure socket tax instead.
+PROFILE = TrafficProfile(n_requests=72, n_unique=24, tables=(8, 9), seed=71)
+#: The gate on a single available CPU (see the module docstring): no
+#: parallel speedup is physically possible, so bound the wire tax instead.
+SINGLE_CPU_FLOOR = 0.8
+
+
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def effective_floor(min_speedup: float) -> float:
+    return min_speedup if available_cpus() >= 2 else SINGLE_CPU_FLOOR
+
+
+def spawn_shard_servers(n_shards: int, run_dir: Path) -> tuple[dict, list]:
+    """Start ``n_shards`` shard-server subprocesses on unix sockets."""
+    shards: dict[str, str] = {}
+    procs: list[subprocess.Popen] = []
+    for index in range(n_shards):
+        sock = run_dir / f"shard-{index}.sock"
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "shard-server",
+                    "--listen",
+                    f"unix:{sock}",
+                    "--shard-id",
+                    str(index),
+                    "--workers",
+                    str(N_WORKERS),
+                    "--max-in-flight",
+                    str(MAX_IN_FLIGHT),
+                ],
+                env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        )
+        shards[f"shard-{index}"] = f"unix:{sock}"
+    deadline = time.perf_counter() + 30.0
+    for index in range(n_shards):
+        sock = run_dir / f"shard-{index}.sock"
+        while not sock.exists():
+            if procs[index].poll() is not None:
+                raise RuntimeError(
+                    f"shard-{index} died at startup:\n{procs[index].stdout.read()}"
+                )
+            if time.perf_counter() > deadline:
+                raise RuntimeError(f"shard socket {sock} never appeared")
+            time.sleep(0.05)
+    return shards, procs
+
+
+def reap(procs: list[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(10)
+        proc.stdout.close()
+
+
+def measure_in_process(schedule, n_clients: int = N_CLIENTS) -> dict:
+    with ShardedOptimizerGateway(n_shards=N_SHARDS, n_workers=N_WORKERS) as gateway:
+        report = replay_threaded(gateway, schedule, n_clients=n_clients)
+        optimizations = gateway.stats().optimizations
+    return {
+        "wall_s": report.wall_s,
+        "throughput_qps": report.throughput_qps,
+        "optimizations": optimizations,
+        "latency_ms": report.latency_percentiles(),
+        "results": report.results,
+    }
+
+
+def measure_multi_process(
+    schedule, n_clients: int = N_CLIENTS, n_shards: int = N_SHARDS
+) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-net-") as run_dir:
+        shards, procs = spawn_shard_servers(n_shards, Path(run_dir))
+        try:
+            with NetworkOptimizerGateway(
+                shards, overload_retries=10_000, request_timeout_s=300.0
+            ) as gateway:
+                report = replay_threaded(gateway, schedule, n_clients=n_clients)
+                stats = gateway.stats()
+                drained = gateway.drain()
+        finally:
+            reap(procs)
+    per_shard = {
+        name: {
+            "optimizations": shard["optimizations"],
+            "served": shard["served"],
+            "rejected_overload": shard["rejected_overload"],
+            "cache_hits": shard["cache_hits"],
+        }
+        for name, shard in stats["shards"].items()
+    }
+    return {
+        "wall_s": report.wall_s,
+        "throughput_qps": report.throughput_qps,
+        "optimizations": sum(s["optimizations"] for s in per_shard.values()),
+        "per_shard": per_shard,
+        "drained": drained,
+        "latency_ms": report.latency_percentiles(),
+        "results": report.results,
+    }
+
+
+def _stacks_agree(in_process: dict, multi_process: dict) -> bool:
+    """Every fingerprint's best-plan cost matches across the stacks."""
+    reference = {
+        result.fingerprint: result.best.cost for result in in_process["results"]
+    }
+    return all(
+        reference[result.fingerprint] == result.best.cost
+        for result in multi_process["results"]
+    )
+
+
+def run_benchmark(
+    n_clients: int = N_CLIENTS,
+    n_shards: int = N_SHARDS,
+    profile: TrafficProfile = PROFILE,
+    repeats: int = 2,
+) -> dict:
+    """Best-of-``repeats`` comparison; fresh (cold) stacks every repeat."""
+    schedule = generate_traffic(profile)
+    n_unique = len(unique_fingerprints(schedule))
+    in_best = None
+    multi_best = None
+    plans_agree = True
+    one_run_per_fingerprint = True
+    for __ in range(repeats):
+        in_process = measure_in_process(schedule, n_clients)
+        multi_process = measure_multi_process(schedule, n_clients, n_shards)
+        plans_agree = plans_agree and _stacks_agree(in_process, multi_process)
+        one_run_per_fingerprint = one_run_per_fingerprint and (
+            in_process["optimizations"] == n_unique
+            and multi_process["optimizations"] == n_unique
+            and all(multi_process["drained"].values())
+        )
+        if in_best is None or in_process["wall_s"] < in_best["wall_s"]:
+            in_best = in_process
+        if multi_best is None or multi_process["wall_s"] < multi_best["wall_s"]:
+            multi_best = multi_process
+    assert in_best is not None and multi_best is not None
+    in_best = {k: v for k, v in in_best.items() if k != "results"}
+    multi_best = {k: v for k, v in multi_best.items() if k != "results"}
+    return {
+        "config": {
+            "n_clients": n_clients,
+            "n_shards": n_shards,
+            "n_workers": N_WORKERS,
+            "max_in_flight": MAX_IN_FLIGHT,
+            "n_requests": profile.n_requests,
+            "n_unique_queries": profile.n_unique,
+            "tables": list(profile.tables),
+            "seed": profile.seed,
+            "repeats": repeats,
+            "available_cpus": available_cpus(),
+        },
+        "n_unique_fingerprints": n_unique,
+        "in_process": in_best,
+        "multi_process": multi_best,
+        "speedup": in_best["wall_s"] / multi_best["wall_s"],
+        "plans_agree": plans_agree,
+        "one_run_per_fingerprint": one_run_per_fingerprint,
+    }
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_multi_process_throughput_at_least_in_process():
+    """Acceptance: shard server processes serve the 64-client Zipf herd no
+    slower than the in-process threaded gateway (given >= 2 CPUs; on one
+    CPU the wire-tax bound applies — see the module docstring), with both
+    stacks agreeing on every plan and paying exactly one DP run per unique
+    fingerprint — the singleflight invariant held *across process
+    boundaries*."""
+    report = run_benchmark(repeats=2)
+    assert report["plans_agree"], report
+    assert report["one_run_per_fingerprint"], report
+    assert report["speedup"] >= effective_floor(1.0), report
+
+
+# ------------------------------------------------------------------ script
+
+
+def _print_report(report: dict) -> None:
+    config = report["config"]
+    print(
+        f"network benchmark: {config['n_clients']} clients, "
+        f"{config['n_requests']} requests over "
+        f"{report['n_unique_fingerprints']} unique fingerprints, "
+        f"{config['n_shards']} shards, repeats={config['repeats']}"
+    )
+    for label, side in (
+        ("in-process", report["in_process"]),
+        ("multi-proc", report["multi_process"]),
+    ):
+        latency = side["latency_ms"]
+        print(
+            f"  {label:>10}: {side['wall_s'] * 1e3:8.1f} ms  "
+            f"({side['throughput_qps']:8.1f} req/s, "
+            f"{side['optimizations']} DP runs)  "
+            f"p50/p90/p99 = {latency['p50']:.2f}/{latency['p90']:.2f}/"
+            f"{latency['p99']:.2f} ms"
+        )
+    for name, shard in report["multi_process"]["per_shard"].items():
+        print(
+            f"    {name}: {shard['optimizations']} DP runs, "
+            f"{shard['served']} served, {shard['cache_hits']} cache hits, "
+            f"{shard['rejected_overload']} overload rejections"
+        )
+    print(
+        f"  speedup {report['speedup']:5.2f}x "
+        f"({config['available_cpus']} CPU(s) available)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=N_CLIENTS)
+    parser.add_argument("--shards", type=int, default=N_SHARDS)
+    parser.add_argument("--requests", type=int, default=PROFILE.n_requests)
+    parser.add_argument("--uniques", type=int, default=PROFILE.n_unique)
+    parser.add_argument("--seed", type=int, default=PROFILE.seed)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--json", default=None, help="write the full report to this file"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail unless multi-process throughput reaches this multiple "
+        "of the in-process gateway",
+    )
+    args = parser.parse_args(argv)
+    profile = TrafficProfile(
+        n_requests=args.requests,
+        n_unique=args.uniques,
+        tables=PROFILE.tables,
+        seed=args.seed,
+    )
+    report = run_benchmark(
+        n_clients=args.clients,
+        n_shards=args.shards,
+        profile=profile,
+        repeats=args.repeats,
+    )
+    floor = effective_floor(args.min_speedup)
+    report["gate"] = {
+        "min_speedup": args.min_speedup,
+        "applied_floor": floor,
+        "parallel_hardware": available_cpus() >= 2,
+        "passed": (
+            report["plans_agree"]
+            and report["one_run_per_fingerprint"]
+            and report["speedup"] >= floor
+        ),
+    }
+    _print_report(report)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["plans_agree"]:
+        print(
+            "FAIL: a network-served answer diverged from the in-process "
+            "gateway",
+            file=sys.stderr,
+        )
+        return 2
+    if not report["one_run_per_fingerprint"]:
+        print(
+            "FAIL: more than one DP run for a fingerprint across the shard "
+            "processes (routing/coalescing broken), or a shard failed to "
+            "drain",
+            file=sys.stderr,
+        )
+        return 3
+    if report["speedup"] < floor:
+        print(
+            f"FAIL: multi-process speedup {report['speedup']:.2f}x below "
+            f"the {floor:.2f}x floor "
+            f"({available_cpus()} CPU(s) available)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

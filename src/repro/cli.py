@@ -21,6 +21,15 @@ Commands:
   tier (append-only log ``DIR/shard-N.log``), so a later invocation with
   the same directory serves previously-seen queries from disk without
   re-optimizing — warm-restart serving;
+  with ``--connect ADDR[,ADDR...]`` the batch is instead routed to
+  out-of-process shard servers through the
+  :class:`~repro.service.NetworkOptimizerGateway` (consistent-hash
+  fingerprint routing, per-shard circuit breakers);
+* ``shard-server`` — run one optimizer shard as a long-lived server
+  process speaking the length-prefixed frame protocol on a unix socket or
+  TCP port; N of these behind a ``--connect`` router are the
+  out-of-process deployment shape (each owns its worker pool and, with
+  ``--cache-dir``, its own single-writer disk cache log);
 * ``cache`` — inspect and manage those persistent plan-cache logs:
   ``inspect`` (entries and their provenance records), ``export`` (write a
   compacted snapshot shippable to another shard or machine), ``import``
@@ -42,6 +51,9 @@ Examples::
     python -m repro serve-batch q*.json --shards 4 --gateway-threads 8
     python -m repro serve-batch q*.json --shards 4 --async --batch-window-ms 2
     python -m repro serve-batch q*.json --shards 4 --cache-dir /var/cache/mpq
+    python -m repro shard-server --listen unix:/run/mpq/shard-0.sock --shard-id 0
+    python -m repro shard-server --listen 127.0.0.1:7401 --cache-dir /var/cache/mpq
+    python -m repro serve-batch q*.json --connect unix:/run/mpq/shard-0.sock,unix:/run/mpq/shard-1.sock
     python -m repro cache inspect /var/cache/mpq/shard-*.log
     python -m repro cache export /var/cache/mpq/shard-0.log -o snapshot.log
     python -m repro cache import snapshot.log --into /var/cache/mpq/shard-0.log
@@ -212,7 +224,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "(requires --async; default 256)",
     )
     serve.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help="route the batch to running shard servers at these endpoints "
+        "(unix:/path or host:port, comma-separated) through the "
+        "consistent-hash network gateway instead of optimizing in-process",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    shard_server = commands.add_parser(
+        "shard-server",
+        help="serve one optimizer shard over a unix socket or TCP port",
+    )
+    shard_server.add_argument(
+        "--listen",
+        required=True,
+        help="endpoint to bind: unix:/path/to.sock or host:port",
+    )
+    shard_server.add_argument(
+        "--shard-id",
+        type=int,
+        default=0,
+        help="this shard's number (names its cache log and hello frame)",
+    )
+    shard_server.add_argument("--workers", type=int, default=4)
+    shard_server.add_argument(
+        "--space",
+        choices=[space.value for space in PlanSpace],
+        default=PlanSpace.LINEAR.value,
+    )
+    shard_server.add_argument(
+        "--objectives",
+        default="time",
+        help="comma-separated cost metrics: time[,buffer]",
+    )
+    shard_server.add_argument("--alpha", type=float, default=1.0)
+    shard_server.add_argument(
+        "--orders", action="store_true", help="track interesting orders"
+    )
+    shard_server.add_argument(
+        "--backend",
+        choices=[backend.value for backend in Backend],
+        default=Backend.AUTO.value,
+        help="enumeration core: auto (fastest capable, default), the "
+        "legacy object DP, or the fastdp bitset core",
+    )
+    shard_server.add_argument(
+        "--cache-size", type=int, default=256, help="plan-cache capacity"
+    )
+    shard_server.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for this shard's persistent cache log "
+        "(shard-<id>.log; single-writer, flock-protected)",
+    )
+    shard_server.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=8,
+        help="admission bound on concurrently running optimizations; "
+        "beyond it requests are rejected 'overloaded' with a retry-after",
+    )
+    shard_server.add_argument(
+        "--handler-threads",
+        type=int,
+        default=None,
+        help="blocking-optimization thread pool size "
+        "(default: --max-in-flight)",
     )
 
     cache = commands.add_parser(
@@ -433,6 +514,13 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     if args.gateway_threads is not None and args.shards < 2:
         raise SystemExit("--gateway-threads requires --shards > 1")
+    if args.connect is not None:
+        if args.shards > 1 or args.use_async or args.cache_dir is not None:
+            raise SystemExit(
+                "--connect routes to remote shard servers; "
+                "--shards/--async/--cache-dir are server-side options"
+            )
+        return _run_serve_batch_remote(args)
     if not args.use_async and any(
         value is not None
         for value in (args.batch_window_ms, args.max_batch, args.max_pending)
@@ -681,6 +769,104 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_batch_remote(args: argparse.Namespace) -> int:
+    """Serve the batch through running shard servers (``--connect``)."""
+    import time
+
+    from repro.service import NetworkOptimizerGateway
+
+    settings = _settings_from_args(args)
+    queries = [load_query(path) for path in args.queries]
+    specs = [spec.strip() for spec in args.connect.split(",") if spec.strip()]
+    if not specs:
+        raise SystemExit("--connect needs at least one endpoint")
+    rounds = []
+    with NetworkOptimizerGateway(
+        specs,
+        settings=settings,
+        n_workers=args.workers,
+        # The CLI submits the whole batch at once; ride out the servers'
+        # admission control instead of failing the batch on a burst.
+        overload_retries=1000,
+    ) as gateway:
+        for __ in range(max(1, args.repeat)):
+            started = time.perf_counter()
+            results = gateway.optimize_batch(queries)
+            rounds.append((time.perf_counter() - started, results))
+        net_stats = gateway.stats()
+    if args.json:
+        payload = {
+            "workers": args.workers,
+            "connect": specs,
+            "rounds": [
+                {
+                    "wall_s": wall,
+                    "results": [
+                        {
+                            "query": query.name,
+                            "cached": result.cached,
+                            "fingerprint": result.fingerprint,
+                            "partitions": result.n_partitions,
+                            "backend_used": result.backend_used,
+                            "best_cost": list(result.best.cost),
+                            "plans": len(result.plans),
+                        }
+                        for query, result in zip(queries, results)
+                    ],
+                }
+                for wall, results in rounds
+            ],
+            "network": net_stats,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for round_number, (wall, results) in enumerate(rounds, start=1):
+        print(f"round {round_number}: {len(results)} queries in {wall * 1e3:.1f} ms")
+        for query, result in zip(queries, results):
+            marker = "HIT " if result.cached else "MISS"
+            print(
+                f"  [{marker}] {query.name}: best cost {tuple(result.best.cost)} "
+                f"({result.n_partitions} partitions, "
+                f"backend {result.backend_used})"
+            )
+    print(
+        f"network: {net_stats['requests']} requests over "
+        f"{len(net_stats['shards'])} shards, "
+        f"{net_stats['breaker_rejections']} breaker rejections"
+    )
+    for name, shard in sorted(net_stats["shards"].items()):
+        optimizations = shard.get("optimizations", "?")
+        print(
+            f"  {name} ({shard['address']}): breaker {shard['breaker']}, "
+            f"{optimizations} DP runs server-side"
+        )
+    return 0
+
+
+def _run_shard_server(args: argparse.Namespace) -> int:
+    from repro.service import run_shard_server
+
+    settings = _settings_from_args(args)
+    print(
+        f"shard-server {args.shard_id} listening on {args.listen} "
+        f"(workers={args.workers}, max in-flight={args.max_in_flight}"
+        + (f", cache log in {args.cache_dir}" if args.cache_dir else "")
+        + ")",
+        flush=True,
+    )
+    run_shard_server(
+        listen=args.listen,
+        shard_id=args.shard_id,
+        n_workers=args.workers,
+        settings=settings,
+        cache_capacity=args.cache_size,
+        cache_dir=args.cache_dir,
+        max_in_flight=args.max_in_flight,
+        handler_threads=args.handler_threads,
+    )
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     from repro.service import DiskTier, InvalidationPredicate
 
@@ -818,6 +1004,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_generate(args)
     if args.command == "serve-batch":
         return _run_serve_batch(args)
+    if args.command == "shard-server":
+        return _run_shard_server(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "backends":

@@ -11,20 +11,30 @@ Two layers live here:
   functions return integer byte counts and are pure;
 
 * **actual wire codecs** for the objects the persistent plan-cache tier and
-  the (future) out-of-process gateway ship between processes: plan trees
-  (including interesting orders and parametric cost vectors — a serialized
-  frontier is just a list of plans), and simulated run timings.  Encoding
-  is plain JSON-compatible data; floats survive **bit-identically** because
-  Python's ``repr``-based float formatting is shortest-round-trip exact,
-  which both ``json`` and these codecs rely on.  The codecs are pure
-  functions of their input and never import service-layer types — the
-  cache-entry codec composing them lives in :mod:`repro.service.tiers`.
+  the out-of-process gateway ship between processes: plan trees (including
+  interesting orders and parametric cost vectors — a serialized frontier is
+  just a list of plans), optimizer settings, and simulated run timings.
+  Encoding is **strict standard JSON**: finite floats survive
+  bit-identically because Python's ``repr``-based float formatting is
+  shortest-round-trip exact, and *non-finite* floats — parametric envelopes
+  legitimately use ``±inf`` sentinels — are encoded as the sentinel strings
+  ``"inf"``/``"-inf"`` (:func:`float_to_wire`) rather than the bare
+  ``Infinity`` token ``json.dumps`` would otherwise emit, which is not JSON
+  and which a non-Python peer or strict parser rejects.  ``NaN`` is
+  rejected outright: a NaN cardinality or cost is never meaningful, and
+  encoding one would only smuggle corruption across a process boundary.
+  The codecs are pure functions of their input and never import
+  service-layer types — the cache-entry codec composing them lives in
+  :mod:`repro.service.tiers`, the service-result codec in
+  :mod:`repro.service.net`.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
+from repro.config import Backend, Objective, OptimizerSettings, PlanSpace
 from repro.plans.operators import JoinAlgorithm, ScanAlgorithm
 from repro.plans.orders import SortOrder
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
@@ -121,6 +131,46 @@ def sma_task_bytes(n_sets: int) -> int:
 # ----------------------------------------------------------------- wire codecs
 
 
+#: Sentinel strings carrying the two meaningful non-finite floats across
+#: the wire as valid standard JSON.
+_FLOAT_SENTINELS = {"inf": math.inf, "-inf": -math.inf}
+
+
+def float_to_wire(value: float) -> float | str:
+    """Encode one float as a standard-JSON-safe value.
+
+    Finite floats pass through unchanged (and round-trip bit-identically
+    through ``json``); ``±inf`` becomes the sentinel string ``"inf"`` /
+    ``"-inf"``.  ``NaN`` raises ``ValueError`` — no optimizer quantity
+    (cardinality, cost, timing) is meaningfully NaN, so shipping one would
+    only propagate corruption.
+    """
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError("NaN cannot be encoded on the wire; refusing")
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def float_from_wire(value: Any) -> float:
+    """Inverse of :func:`float_to_wire`.
+
+    Also tolerates *reading* bare non-finite floats (Python's ``json``
+    parses legacy ``Infinity`` tokens from logs written before sentinel
+    encoding existed), but still rejects NaN from any source.
+    """
+    if isinstance(value, str):
+        try:
+            return _FLOAT_SENTINELS[value]
+        except KeyError:
+            raise ValueError(f"unknown float sentinel {value!r}") from None
+    result = float(value)
+    if math.isnan(result):
+        raise ValueError("NaN on the wire; record is corrupt")
+    return result
+
+
 def order_to_wire(order: SortOrder | None) -> list | None:
     """Wire form of a sort order: ``[table, column]``, or ``None``."""
     if order is None:
@@ -147,8 +197,8 @@ def plan_to_wire(plan: Plan) -> dict[str, Any]:
     """
     common: dict[str, Any] = {
         "mask": plan.mask,
-        "rows": plan.rows,
-        "cost": list(plan.cost),
+        "rows": float_to_wire(plan.rows),
+        "cost": [float_to_wire(value) for value in plan.cost],
         "order": order_to_wire(plan.order),
     }
     if isinstance(plan, ScanPlan):
@@ -172,8 +222,8 @@ def plan_from_wire(data: dict[str, Any]) -> Plan:
     try:
         common = {
             "mask": int(data["mask"]),
-            "rows": float(data["rows"]),
-            "cost": tuple(float(value) for value in data["cost"]),
+            "rows": float_from_wire(data["rows"]),
+            "cost": tuple(float_from_wire(value) for value in data["cost"]),
             "order": order_from_wire(data["order"]),
         }
         if data["op"] == "scan":
@@ -206,6 +256,40 @@ def plans_to_wire(plans: list[Plan]) -> list[dict[str, Any]]:
 def plans_from_wire(data: list[dict[str, Any]]) -> list[Plan]:
     """Inverse of :func:`plans_to_wire`, preserving frontier order."""
     return [plan_from_wire(item) for item in data]
+
+
+def settings_to_wire(settings: OptimizerSettings) -> dict[str, Any]:
+    """JSON-compatible encoding of an :class:`OptimizerSettings` value.
+
+    The networked gateway ships settings with every request — a shard
+    server rebuilds the exact frozen value, so fingerprints computed on
+    either side of the wire agree.
+    """
+    return {
+        "plan_space": settings.plan_space.value,
+        "objectives": [objective.value for objective in settings.objectives],
+        "alpha": float_to_wire(settings.alpha),
+        "consider_orders": settings.consider_orders,
+        "use_all_join_algorithms": settings.use_all_join_algorithms,
+        "parametric": settings.parametric,
+        "backend": settings.backend.value,
+    }
+
+
+def settings_from_wire(data: dict[str, Any]) -> OptimizerSettings:
+    """Inverse of :func:`settings_to_wire`; raises ``ValueError`` when malformed."""
+    try:
+        return OptimizerSettings(
+            plan_space=PlanSpace(data["plan_space"]),
+            objectives=tuple(Objective(value) for value in data["objectives"]),
+            alpha=float_from_wire(data["alpha"]),
+            consider_orders=bool(data["consider_orders"]),
+            use_all_join_algorithms=bool(data["use_all_join_algorithms"]),
+            parametric=bool(data["parametric"]),
+            backend=Backend(data["backend"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed settings record: {error!r}") from error
 
 
 def timing_to_wire(timing: Any) -> dict[str, Any]:

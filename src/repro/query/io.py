@@ -34,22 +34,30 @@ from repro.query.query import Query
 from repro.query.schema import Catalog, Column, Table
 
 
+def _table_to_dict(table: Table) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "name": table.name,
+        "cardinality": table.cardinality,
+        "row_bytes": table.row_bytes,
+        "columns": [
+            {"name": column.name, "domain_size": column.domain_size}
+            for column in table.columns
+        ],
+    }
+    # Physical clustering changes which leaf orders the optimizer sees, so
+    # dropping it would silently change plans (and fingerprints) for any
+    # query crossing the wire.  Omitted entirely for unclustered tables to
+    # keep hand-written query files plain.
+    if table.clustered_on is not None:
+        record["clustered_on"] = table.clustered_on
+    return record
+
+
 def query_to_dict(query: Query) -> dict[str, Any]:
     """Plain-JSON representation of a query."""
     return {
         "name": query.name,
-        "tables": [
-            {
-                "name": table.name,
-                "cardinality": table.cardinality,
-                "row_bytes": table.row_bytes,
-                "columns": [
-                    {"name": column.name, "domain_size": column.domain_size}
-                    for column in table.columns
-                ],
-            }
-            for table in query.tables
-        ],
+        "tables": [_table_to_dict(table) for table in query.tables],
         "predicates": [
             {
                 "left_table": predicate.left_table,
@@ -69,18 +77,7 @@ def query_from_dict(data: dict[str, Any]) -> Query:
     Raises ``ValueError`` with a readable message on malformed input.
     """
     try:
-        tables = tuple(
-            Table(
-                name=raw["name"],
-                cardinality=int(raw["cardinality"]),
-                row_bytes=int(raw.get("row_bytes", 64)),
-                columns=tuple(
-                    Column(name=col["name"], domain_size=int(col["domain_size"]))
-                    for col in raw.get("columns", ())
-                ),
-            )
-            for raw in data["tables"]
-        )
+        tables = tuple(_table_from_dict(raw) for raw in data["tables"])
     except (KeyError, TypeError) as exc:
         raise ValueError(f"malformed table definition: {exc}") from exc
     predicates = []
@@ -134,6 +131,7 @@ def _table_from_dict(raw: dict[str, Any]) -> Table:
                 Column(name=col["name"], domain_size=int(col["domain_size"]))
                 for col in raw.get("columns", ())
             ),
+            clustered_on=raw.get("clustered_on"),
         )
     except (KeyError, TypeError) as exc:
         raise ValueError(f"malformed table definition: {exc}") from exc
@@ -141,20 +139,7 @@ def _table_from_dict(raw: dict[str, Any]) -> Table:
 
 def catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
     """Plain-JSON representation of a catalog (for the SQL frontend)."""
-    return {
-        "tables": [
-            {
-                "name": table.name,
-                "cardinality": table.cardinality,
-                "row_bytes": table.row_bytes,
-                "columns": [
-                    {"name": column.name, "domain_size": column.domain_size}
-                    for column in table.columns
-                ],
-            }
-            for table in catalog.tables.values()
-        ]
-    }
+    return {"tables": [_table_to_dict(table) for table in catalog.tables.values()]}
 
 
 def catalog_from_dict(data: dict[str, Any]) -> Catalog:

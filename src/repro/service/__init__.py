@@ -6,7 +6,11 @@ repeated (or isomorphic) queries and keeping worker processes warm between
 requests.  See :class:`OptimizerService` for the single-service front door,
 :class:`ShardedOptimizerGateway` for the concurrency-safe sharded gateway
 over it, and :class:`AsyncOptimizerGateway` for the asyncio front-end that
-adds adaptive micro-batching and per-tenant backpressure on top.
+adds adaptive micro-batching and per-tenant backpressure on top.  The
+out-of-process layer crosses machine boundaries:
+:class:`ShardServer` serves one shard over a unix socket or TCP port, and
+:class:`NetworkOptimizerGateway` routes fingerprints to shard servers on a
+consistent-hash ring with per-shard circuit breakers.
 
 Caching is tiered and pluggable (:class:`CacheTier`): the default
 :class:`MemoryTier` LRU (historical name :class:`PlanCache`) can be
@@ -31,14 +35,28 @@ from repro.service.fingerprint import (
     settings_signature,
 )
 from repro.service.gateway import GatewayStats, ShardedOptimizerGateway, ShardStats
+from repro.service.net import (
+    Address,
+    CircuitBreaker,
+    ConsistentHashRing,
+    NetworkOptimizerGateway,
+    RemoteOptimizationError,
+    ShardUnavailableError,
+)
 from repro.service.provenance import (
     InvalidationPredicate,
     Provenance,
     aggregate_worker_stats,
 )
 from repro.service.remap import invert, remap_mask, remap_plan
+from repro.service.server import ShardServer, run_shard_server
 from repro.service.service import CacheEntry, OptimizerService, ServiceResult
-from repro.service.tiers import DiskTier, TieredPlanCache, TieredStats
+from repro.service.tiers import (
+    DiskTier,
+    DiskTierLockedError,
+    TieredPlanCache,
+    TieredStats,
+)
 
 __all__ = [
     "AsyncGatewayStats",
@@ -51,8 +69,17 @@ __all__ = [
     "MemoryTier",
     "PlanCache",
     "DiskTier",
+    "DiskTierLockedError",
     "TieredPlanCache",
     "TieredStats",
+    "Address",
+    "CircuitBreaker",
+    "ConsistentHashRing",
+    "NetworkOptimizerGateway",
+    "RemoteOptimizationError",
+    "ShardUnavailableError",
+    "ShardServer",
+    "run_shard_server",
     "Provenance",
     "InvalidationPredicate",
     "aggregate_worker_stats",

@@ -1,0 +1,430 @@
+"""The shard server process: one optimizer shard behind a socket.
+
+Each :class:`ShardServer` owns a complete optimizer stack — a
+:class:`~repro.service.gateway.ShardedOptimizerGateway` (``n_shards=1``,
+giving it the in-process singleflight table), a worker pool, and optionally
+a per-shard :class:`~repro.service.tiers.DiskTier` cache log — and serves
+it over the length-prefixed frame protocol of
+:mod:`repro.cluster.network` on a unix socket or TCP port.  The client-side
+router (:mod:`repro.service.net`) routes each fingerprint to exactly one
+such process, so the shard's singleflight is the *global* singleflight for
+the keys it owns: one DP run per unique fingerprint, across any number of
+client processes.
+
+Protocol (all frames are strict-JSON objects):
+
+* on connect the server sends a **hello** frame
+  ``{"op": "hello", "format": "repro-net", "version": 1, "shard_id": ...}``;
+  a client that reads anything else hangs up;
+* **optimize** ``{"op": "optimize", "query": ..., "settings": ...,
+  "workers": n}`` → ``{"ok": true, "result": ...}`` or ``{"ok": false,
+  "error": {"type": ..., "message": ..., "retry_after_s": ...}}``.  Error
+  types: ``overloaded`` (admission control: in-flight optimizations at
+  ``max_in_flight``; ``retry_after_s`` estimates one service time),
+  ``draining`` (shutdown in progress), ``bad-request`` (malformed query or
+  settings), ``optimization-failed`` (the DP itself raised);
+* **health** → ``{"ok": true, "status": "serving"|"draining",
+  "in_flight": n, "shard_id": ...}``;
+* **stats** → ``{"ok": true, "stats": {...}}`` including the internal
+  gateway's ``optimizations`` counter — the number of DP runs this process
+  actually paid, which the cross-process one-run-per-fingerprint tests sum
+  over shards;
+* **drain** → finish in-flight optimizations, flush and close the cache
+  (the disk tier's log handles), answer ``{"ok": true, "drained": true}``,
+  then stop accepting and exit the serve loop.
+
+Blocking DP runs execute on a bounded handler thread pool via
+``run_in_executor``; the asyncio loop itself only frames, dispatches, and
+enforces admission, so health checks stay responsive while every handler
+thread is deep in an enumeration.  A connection that violates the protocol
+(torn frame, malformed JSON, oversized frame) gets a best-effort
+``protocol`` error frame and is closed; other connections are unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.network import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.cluster.serialization import settings_from_wire
+from repro.config import DEFAULT_SETTINGS, OptimizerSettings
+from repro.query.io import query_from_dict
+from repro.service.gateway import ShardedOptimizerGateway
+from repro.service.net import PROTOCOL_FORMAT, PROTOCOL_VERSION, Address, result_to_wire
+
+
+class ShardServer:
+    """Serve one optimizer shard over the frame protocol.
+
+    Args:
+        listen: endpoint spec — ``unix:/path/to.sock`` or ``host:port``.
+        shard_id: this shard's name/number, echoed in the hello frame and
+            health responses (purely observational; routing lives in the
+            client's ring).
+        n_workers: default per-query parallelism of the embedded service.
+        settings: default :class:`OptimizerSettings` (requests carry their
+            own settings; these fill in when a request omits them).
+        cache_capacity: in-memory plan-cache capacity.
+        cache_dir: when set, the shard persists its cache to
+            ``cache_dir/shard-<shard_id>.log`` through a
+            :class:`~repro.service.tiers.TieredPlanCache` — the single-writer
+            lock (PR 7) makes two shard processes sharing one log fail fast
+            instead of corrupting it.
+        max_in_flight: admission bound on concurrently *running*
+            optimizations; requests beyond it are rejected ``overloaded``
+            with a ``retry_after_s`` estimating one service time.
+        handler_threads: blocking-DP thread pool size (defaults to
+            ``max_in_flight``).
+        max_frame_bytes: protocol frame-size bound.
+    """
+
+    def __init__(
+        self,
+        listen: str,
+        shard_id: int = 0,
+        n_workers: int = 8,
+        settings: OptimizerSettings = DEFAULT_SETTINGS,
+        cache_capacity: int = 256,
+        cache_dir: str | Path | None = None,
+        max_in_flight: int = 8,
+        handler_threads: int | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.address = Address.parse(listen)
+        self.shard_id = shard_id
+        self.max_in_flight = max_in_flight
+        self.max_frame_bytes = max_frame_bytes
+        self._handler_pool = ThreadPoolExecutor(
+            max_workers=handler_threads if handler_threads is not None else max_in_flight,
+            thread_name_prefix=f"shard-{shard_id}",
+        )
+        cache_factory = None
+        if cache_dir is not None:
+            from repro.service.tiers import DiskTier, TieredPlanCache
+
+            log_path = Path(cache_dir) / f"shard-{shard_id}.log"
+
+            def cache_factory(index: int) -> "TieredPlanCache":
+                return TieredPlanCache(
+                    memory_capacity=cache_capacity, disk=DiskTier(log_path)
+                )
+
+        self.gateway = ShardedOptimizerGateway(
+            n_shards=1,
+            n_workers=n_workers,
+            settings=settings,
+            cache_capacity=cache_capacity,
+            cache_factory=cache_factory,
+            gateway_threads=max_in_flight,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._service_time_ewma_s = 0.05
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._served = 0
+        self._rejected_overload = 0
+        self._rejected_draining = 0
+        self._protocol_errors = 0
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the listening socket and begin accepting connections."""
+        if self.address.kind == "unix":
+            Path(self.address.path).unlink(missing_ok=True)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.address.path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.address.host, port=self.address.port
+            )
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`drain` (or :meth:`stop`) completes."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._stopped.wait()
+
+    async def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful shutdown: reject new work, finish in-flight, flush, stop.
+
+        Returns ``True`` when every in-flight optimization finished within
+        ``timeout_s`` (the cache is then flushed and closed); ``False`` on
+        timeout — the server still stops, but stragglers are abandoned.
+        """
+        drained = await self._quiesce(timeout_s)
+        await self.stop()
+        return drained
+
+    async def _quiesce(self, timeout_s: float) -> bool:
+        """Reject new work, wait out in-flight runs, flush and close the cache.
+
+        Separate from :meth:`stop` so a drain *request* can be answered on
+        its own connection after the flush but before the listener and that
+        connection are torn down.
+        """
+        self._draining = True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        # Flush: the gateway close drains its handler pool and closes every
+        # shard service, which closes the tiered cache and with it the disk
+        # tier's log handles (and releases the writer lock).
+        await asyncio.get_running_loop().run_in_executor(None, self.gateway.close)
+        return True
+
+    async def stop(self) -> None:
+        """Stop accepting and wake :meth:`serve_forever`.  Idempotent."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        # Closing live client connections here lets their handler tasks end
+        # on a clean EOF instead of being cancelled at loop teardown.
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._handler_pool.shutdown(wait=False)
+        if self.address.kind == "unix":
+            Path(self.address.path).unlink(missing_ok=True)
+        self._stopped.set()
+
+    # --------------------------------------------------------------- connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            await self._send(
+                writer,
+                {
+                    "op": "hello",
+                    "format": PROTOCOL_FORMAT,
+                    "version": PROTOCOL_VERSION,
+                    "shard_id": self.shard_id,
+                },
+            )
+            while True:
+                try:
+                    payload = await read_frame(reader, self.max_frame_bytes)
+                except FrameError as error:
+                    # A torn/oversized/malformed frame desynchronizes the
+                    # byte stream: answer (best-effort) and drop only this
+                    # connection; the listener and every other connection
+                    # keep serving.
+                    self._protocol_errors += 1
+                    with contextlib.suppress(Exception):
+                        await self._send(
+                            writer,
+                            self._error("protocol", str(error)),
+                        )
+                    return
+                if payload is None:
+                    return  # clean close between frames
+                response = await self._dispatch(payload)
+                if isinstance(response, bytes):  # pre-encoded off-loop
+                    writer.write(response)
+                    await writer.drain()
+                else:
+                    await self._send(writer, response)
+                if payload.get("op") == "drain":
+                    # The drain response was this connection's last frame;
+                    # now that the client has its answer, stop the listener
+                    # and every other connection.
+                    await self.stop()
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            self._connections.discard(writer)
+            # Close without awaiting wait_closed(): awaiting inside this
+            # finally re-raises CancelledError at loop teardown, turning a
+            # clean shutdown into logged stream-callback exceptions.
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+        writer.write(encode_frame(payload, self.max_frame_bytes))
+        await writer.drain()
+
+    # ----------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, payload: dict[str, Any]) -> dict[str, Any] | bytes:
+        op = payload.get("op")
+        if op == "optimize":
+            return await self._handle_optimize(payload)
+        if op == "health":
+            return {
+                "ok": True,
+                "status": "draining" if self._draining else "serving",
+                "in_flight": self._in_flight,
+                "shard_id": self.shard_id,
+            }
+        if op == "stats":
+            return {"ok": True, "stats": self._stats()}
+        if op == "drain":
+            drained = await self._quiesce(float(payload.get("timeout_s", 30.0)))
+            return {"ok": True, "drained": drained}
+        return self._error("bad-request", f"unknown op {op!r}")
+
+    async def _handle_optimize(self, payload: dict[str, Any]) -> dict[str, Any] | bytes:
+        if self._draining:
+            self._rejected_draining += 1
+            return self._error(
+                "draining", "shard is draining; route elsewhere", retry_after_s=1.0
+            )
+        if self._in_flight >= self.max_in_flight:
+            self._rejected_overload += 1
+            return self._error(
+                "overloaded",
+                f"{self._in_flight} optimizations in flight "
+                f"(limit {self.max_in_flight})",
+                retry_after_s=max(0.005, self._service_time_ewma_s),
+            )
+        self._in_flight += 1
+        self._idle.clear()
+        started = time.monotonic()
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._handler_pool, self._optimize_frame, payload
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced as a typed frame
+            return self._error("optimization-failed", f"{type(error).__name__}: {error}")
+        finally:
+            elapsed = time.monotonic() - started
+            self._service_time_ewma_s = (
+                0.8 * self._service_time_ewma_s + 0.2 * elapsed
+            )
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    def _optimize_frame(self, payload: dict[str, Any]) -> bytes:
+        """Parse, optimize, and encode the response on a handler thread.
+
+        Keeping the codec work off the event loop matters under load: the
+        loop thread then only shuttles opaque bytes, so a pending frame
+        read or write never waits behind another request's JSON encoding
+        for the GIL while DP threads are busy.
+        """
+        try:
+            query = query_from_dict(payload["query"])
+            settings = (
+                settings_from_wire(payload["settings"])
+                if payload.get("settings") is not None
+                else None
+            )
+            workers = (
+                int(payload["workers"]) if payload.get("workers") is not None else None
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            return encode_frame(
+                self._error("bad-request", f"malformed optimize request: {error}"),
+                self.max_frame_bytes,
+            )
+        try:
+            result = self.gateway.optimize(query, settings, workers)
+            response = encode_frame(
+                {"ok": True, "result": result_to_wire(result)}, self.max_frame_bytes
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced as a typed frame
+            return encode_frame(
+                self._error(
+                    "optimization-failed", f"{type(error).__name__}: {error}"
+                ),
+                self.max_frame_bytes,
+            )
+        self._served += 1
+        return response
+
+    @staticmethod
+    def _error(
+        error_type: str, message: str, retry_after_s: float | None = None
+    ) -> dict[str, Any]:
+        error: dict[str, Any] = {"type": error_type, "message": message}
+        if retry_after_s is not None:
+            error["retry_after_s"] = retry_after_s
+        return {"ok": False, "error": error}
+
+    def _stats(self) -> dict[str, Any]:
+        gateway = self.gateway.stats()
+        return {
+            "shard_id": self.shard_id,
+            "status": "draining" if self._draining else "serving",
+            "served": self._served,
+            "rejected_overload": self._rejected_overload,
+            "rejected_draining": self._rejected_draining,
+            "protocol_errors": self._protocol_errors,
+            "in_flight": self._in_flight,
+            "requests": gateway.requests,
+            "optimizations": gateway.optimizations,
+            "coalesced": gateway.coalesced,
+            "cache_hits": gateway.hits,
+            "cache_misses": gateway.misses,
+        }
+
+
+async def _run_until_signalled(server: ShardServer) -> None:
+    """Serve, draining gracefully on SIGTERM/SIGINT."""
+    import signal
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.drain())
+            )
+    await server.serve_forever()
+
+
+def run_shard_server(
+    listen: str,
+    shard_id: int = 0,
+    n_workers: int = 8,
+    settings: OptimizerSettings = DEFAULT_SETTINGS,
+    cache_capacity: int = 256,
+    cache_dir: str | Path | None = None,
+    max_in_flight: int = 8,
+    handler_threads: int | None = None,
+) -> None:
+    """Blocking entry point used by ``python -m repro shard-server``."""
+    # A shard server mixes an IO loop with CPU-bound DP handler threads;
+    # at the default 5 ms GIL switch interval every loop wakeup (accept,
+    # frame read, response write) can stall behind a DP thread's full
+    # quantum.  A shorter interval trades a little enumeration throughput
+    # for far lower protocol latency under load.
+    sys.setswitchinterval(1e-3)
+    server = ShardServer(
+        listen=listen,
+        shard_id=shard_id,
+        n_workers=n_workers,
+        settings=settings,
+        cache_capacity=cache_capacity,
+        cache_dir=cache_dir,
+        max_in_flight=max_in_flight,
+        handler_threads=handler_threads,
+    )
+    asyncio.run(_run_until_signalled(server))

@@ -39,6 +39,11 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterator
 
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.cluster.serialization import (
     plans_from_wire,
     plans_to_wire,
@@ -51,6 +56,17 @@ from repro.service.service import CacheEntry
 
 #: First line of every log and snapshot file; readers reject other formats.
 LOG_MAGIC = {"t": "header", "format": "repro-plan-cache", "version": 1}
+
+
+class DiskTierLockedError(RuntimeError):
+    """The log is already open for writing in another process.
+
+    The log format is single-writer: interleaved appends from two processes
+    (say, ``cache invalidate`` against a directory a live ``serve-batch``
+    is using) would corrupt records.  Each :class:`DiskTier` therefore holds
+    an exclusive advisory lock for the lifetime of its handles, and a
+    second opener fails fast with this error instead of silently writing.
+    """
 
 
 # ------------------------------------------------------------------ entry codec
@@ -110,10 +126,65 @@ class DiskTier:
         self._lock = threading.RLock()
         self._offsets: dict[str, int] = {}
         self._provenance: dict[str, Provenance | None] = {}
+        self._lockfile: io.BufferedRandom | None = None
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._recover()
-        self._appender = open(self.path, "ab")
-        self._reader = open(self.path, "rb")
+        self._acquire_writer_lock()
+        # An orphaned temp file means a previous process died between
+        # exporting its compaction snapshot and swapping it in; the live log
+        # is the source of truth, so the leftover is garbage.  Safe to drop
+        # only now, under the writer lock — a *live* compaction elsewhere
+        # would have kept the lock, and we would not be here.
+        self.path.with_suffix(self.path.suffix + ".compact").unlink(
+            missing_ok=True
+        )
+        try:
+            self._recover()
+            self._appender = open(self.path, "ab")
+            self._reader = open(self.path, "rb")
+        except BaseException:
+            self._release_writer_lock()
+            raise
+
+    # ----------------------------------------------------------- writer lock
+
+    def _acquire_writer_lock(self) -> None:
+        """Take the log's exclusive advisory lock, or fail fast.
+
+        The lock lives on a sibling ``.lock`` file (not the log itself) so
+        compaction can close and replace the log without a window in which
+        another process could sneak in as writer.  No-op where ``fcntl`` is
+        unavailable.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return
+        lockfile = open(self.path.with_suffix(self.path.suffix + ".lock"), "a+b")
+        try:
+            fcntl.flock(lockfile.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            lockfile.seek(0)
+            holder = lockfile.read(64).decode(errors="replace").strip()
+            lockfile.close()
+            raise DiskTierLockedError(
+                f"plan-cache log {self.path} is in use by pid "
+                f"{holder or 'unknown'}; the log is single-writer — close "
+                "that process (or point this one at another cache directory)"
+            ) from None
+        lockfile.truncate(0)
+        lockfile.seek(0)
+        lockfile.write(str(os.getpid()).encode())
+        lockfile.flush()
+        self._lockfile = lockfile
+
+    def _release_writer_lock(self) -> None:
+        if self._lockfile is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._lockfile.fileno(), fcntl.LOCK_UN)
+            self._lockfile.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        self._lockfile = None
 
     # ---------------------------------------------------------------- recovery
 
@@ -336,19 +407,41 @@ class DiskTier:
         return imported
 
     def compact(self) -> int:
-        """Rewrite the log with live records only; returns bytes reclaimed."""
+        """Rewrite the log with live records only; returns bytes reclaimed.
+
+        Crash-safe at every step: a failure while exporting the snapshot
+        (ENOSPC is the classic) leaves the live log, the open handles, and
+        the index untouched — the tier keeps serving; a failure at or after
+        the swap still reopens usable handles on whichever file owns the
+        path.  The ``.compact`` temp file never outlives this call, and one
+        orphaned by a crashed *process* is removed at the next open.
+        """
         with self._lock:
             before = self._appender.tell()
             replacement = self.path.with_suffix(self.path.suffix + ".compact")
-            self.export_snapshot(replacement)
+            try:
+                self.export_snapshot(replacement)
+            except BaseException:
+                replacement.unlink(missing_ok=True)
+                raise
+            # The snapshot is complete and durable under the temp name; only
+            # now is it safe to release the handles for the swap.
             self._appender.close()
             self._reader.close()
-            os.replace(replacement, self.path)
-            self._offsets.clear()
-            self._provenance.clear()
-            self._recover()
-            self._appender = open(self.path, "ab")
-            self._reader = open(self.path, "rb")
+            try:
+                os.replace(replacement, self.path)
+            finally:
+                try:
+                    self._offsets.clear()
+                    self._provenance.clear()
+                    self._recover()
+                finally:
+                    # Whatever happened above — swap refused, recovery
+                    # failed — the tier must come back with open handles, or
+                    # every later get/put dies on a closed file.
+                    self._appender = open(self.path, "ab")
+                    self._reader = open(self.path, "rb")
+                    replacement.unlink(missing_ok=True)
             return before - self._appender.tell()
 
     # ------------------------------------------------------------------- stats
@@ -377,13 +470,14 @@ class DiskTier:
     # --------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Flush and release the file handles.  Idempotent."""
+        """Flush and release the file handles and writer lock.  Idempotent."""
         with self._lock:
             for handle in (self._appender, self._reader):
                 try:
                     handle.close()
                 except ValueError:  # pragma: no cover - already closed
                     pass
+            self._release_writer_lock()
 
     def __enter__(self) -> "DiskTier":
         return self
@@ -401,8 +495,14 @@ class DiskTier:
 
 
 def _record_bytes(record: dict[str, Any]) -> bytes:
-    """One log line: compact separators, no embedded newlines, newline end."""
-    return json.dumps(record, separators=(",", ":")).encode() + b"\n"
+    """One log line: compact separators, no embedded newlines, newline end.
+
+    ``allow_nan=False`` keeps every record strict standard JSON — the wire
+    codecs encode non-finite floats as sentinel strings, and a bare
+    ``Infinity``/``NaN`` token reaching this point is a codec bug worth an
+    exception, not a silently unparseable log.
+    """
+    return json.dumps(record, separators=(",", ":"), allow_nan=False).encode() + b"\n"
 
 
 # -------------------------------------------------------------------- composite

@@ -62,6 +62,23 @@ class TestQueryRoundTrip:
         reloaded = best_plan(optimize_serial(clone, OptimizerSettings()))
         assert original.cost == reloaded.cost
 
+    def test_clustering_survives_roundtrip(self):
+        # Regression: clustered_on used to be dropped by the codec, so a
+        # clustered query crossing the wire lost its leaf orders — changing
+        # both its plans and its fingerprint relative to the sender's.
+        query = SteinbrunnGenerator(7, clustered_tables=True).query(5)
+        assert any(table.clustered_on for table in query.tables)
+        clone = query_from_dict(json.loads(json.dumps(query_to_dict(query))))
+        assert clone == query
+        from repro.service import fingerprint
+
+        settings = OptimizerSettings()
+        assert fingerprint(clone, settings, 8) == fingerprint(query, settings, 8)
+
+    def test_unclustered_tables_omit_the_field(self):
+        data = query_to_dict(make_manual_query([10, 20], [(0, 1, 0.5)]))
+        assert all("clustered_on" not in table for table in data["tables"])
+
 
 class TestPlanToDict:
     def test_structure(self):

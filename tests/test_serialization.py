@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import math
 
 import pytest
 
 from repro.cluster.serialization import (
     MEMO_ENTRY_BYTES,
+    float_from_wire,
+    float_to_wire,
+    settings_from_wire,
+    settings_to_wire,
     MESSAGE_HEADER_BYTES,
     PER_METRIC_BYTES,
     PER_PREDICATE_BYTES,
@@ -182,3 +188,85 @@ class TestWireCodecs:
         )
         decoded = timing_from_wire(json.loads(json.dumps(timing_to_wire(timing))))
         assert decoded == timing
+
+
+class TestNonFiniteFloats:
+    """Non-finite costs must cross the wire as *standard* JSON.
+
+    Parametric lower envelopes legitimately use ``±inf`` sentinels;
+    ``json.dumps`` would emit bare ``Infinity`` for them — a token no
+    strict parser (or non-Python peer) accepts.  The codecs carry them as
+    sentinel strings instead, and reject NaN in both directions.
+    """
+
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, -0.0, 1.0 / 3.0, 2.5e-308, 1.8e308, -7.7, math.inf, -math.inf],
+    )
+    def test_values_round_trip_bit_identically(self, value):
+        wire = float_to_wire(value)
+        decoded = float_from_wire(json.loads(json.dumps(wire, allow_nan=False)))
+        assert decoded == value
+        assert math.copysign(1.0, decoded) == math.copysign(1.0, value)
+
+    def test_infinities_become_sentinel_strings(self):
+        assert float_to_wire(math.inf) == "inf"
+        assert float_to_wire(-math.inf) == "-inf"
+        assert float_from_wire("inf") == math.inf
+        assert float_from_wire("-inf") == -math.inf
+
+    def test_nan_rejected_on_encode_and_decode(self):
+        with pytest.raises(ValueError):
+            float_to_wire(math.nan)
+        with pytest.raises(ValueError):
+            float_from_wire(math.nan)
+        with pytest.raises(ValueError):
+            float_from_wire("nan")
+
+    def test_unknown_sentinel_rejected(self):
+        with pytest.raises(ValueError):
+            float_from_wire("infinity")
+
+    def test_legacy_bare_infinity_still_decodes(self):
+        # Logs written before sentinel encoding hold bare Infinity tokens;
+        # Python's json parses them to float inf, which decode tolerates.
+        assert float_from_wire(json.loads("Infinity")) == math.inf
+
+    @pytest.mark.parametrize("class_name", sorted(QUERY_CLASSES))
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_infinite_costs_survive_strict_json(self, class_name, seed):
+        """The bit-identity sweep extended to non-finite cost vectors: a
+        frontier whose every cost vector carries an inf round-trips through
+        ``json.dumps(..., allow_nan=False)`` — i.e. the encoding really is
+        standard JSON even with non-finite members."""
+        settings = QUERY_CLASSES[class_name]
+        query = SteinbrunnGenerator(seed, clustered_tables=True).query(5)
+        frontier = [
+            dataclasses.replace(
+                plan, cost=(math.inf,) + tuple(plan.cost[1:]), rows=math.inf
+            )
+            for plan in optimize_serial(query, settings).plans
+        ]
+        text = json.dumps(plans_to_wire(frontier), allow_nan=False)
+        assert "Infinity" not in text and "NaN" not in text
+        decoded = plans_from_wire(json.loads(text))
+        assert decoded == frontier
+
+    def test_nan_cost_refused_at_encode_time(self, plan):
+        poisoned = dataclasses.replace(plan, cost=(math.nan,))
+        with pytest.raises(ValueError):
+            plan_to_wire(poisoned)
+
+    @pytest.mark.parametrize("class_name", sorted(QUERY_CLASSES))
+    def test_settings_round_trip(self, class_name):
+        settings = dataclasses.replace(QUERY_CLASSES[class_name], alpha=1.1 + 0.2)
+        decoded = settings_from_wire(
+            json.loads(json.dumps(settings_to_wire(settings), allow_nan=False))
+        )
+        assert decoded == settings
+
+    def test_malformed_settings_fail_loudly(self):
+        record = settings_to_wire(OptimizerSettings())
+        del record["objectives"]
+        with pytest.raises(ValueError):
+            settings_from_wire(record)

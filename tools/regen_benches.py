@@ -1,11 +1,11 @@
 """Regenerate every committed BENCH_*.json with one command.
 
-The benchmark reports in the repository root are produced by four dual-use
+The benchmark reports in the repository root are produced by five dual-use
 scripts under ``benchmarks/``; each is a regression gate in CI with its own
 flags.  This runner invokes them exactly as CI does (same flags, same
 output files) so the committed reports never drift from the workflow:
 
-    python tools/regen_benches.py             # all four, in order
+    python tools/regen_benches.py             # all five, in order
     python tools/regen_benches.py --only persist,async
     python tools/regen_benches.py --list
 
@@ -61,6 +61,15 @@ BENCHES: dict[str, tuple[str, list[str]]] = {
             "benchmarks/bench_persist.py",
             "--json", "BENCH_persist.json",
             "--max-latency-ratio", "5.0",
+        ],
+    ),
+    "net": (
+        "BENCH_net.json",
+        [
+            "benchmarks/bench_net.py",
+            "--repeats", "2",
+            "--json", "BENCH_net.json",
+            "--min-speedup", "1.0",
         ],
     ),
 }
