@@ -1,11 +1,14 @@
-"""fastdp vs legacy enumeration core: measured speedup on the DP hot path.
+"""Enumeration-core speedups on the DP hot path, one pair per configuration.
 
-Three benchmark configurations, matching the query classes the fast core
-covers natively:
+Four benchmark configurations, matching the query classes each core covers
+natively.  The first three race ``fastdp`` against the ``legacy`` object DP;
+the fourth races the array-native ``vecdp`` core against ``fastdp`` itself:
 
-* ``plain`` — classical single-objective optimization (the headline run);
+* ``plain`` — classical single-objective optimization (legacy vs fastdp);
 * ``orders`` — interesting-order tracking over clustered tables;
-* ``parametric`` — one-parameter lower-envelope optimization.
+* ``parametric`` — one-parameter lower-envelope optimization;
+* ``vecdp`` — plain 14-relation queries, fastdp as the baseline.  Skipped
+  (and excluded from the gate) when numpy is not installed.
 
 Dual-use module:
 
@@ -16,24 +19,31 @@ Dual-use module:
 * **script** (the CI benchmark-regression job)::
 
       PYTHONPATH=src python benchmarks/bench_fastdp.py \
-          --features plain,orders,parametric --repeats 2 \
-          --json BENCH_fastdp.json --min-speedup 1.0
+          --features plain,orders,parametric,vecdp --repeats 2 \
+          --json BENCH_fastdp.json --min-speedup 1.0 --floor vecdp=5.0
 
   Exits non-zero if, for *any* configuration, the best observed speedup
-  across topologies falls below ``--min-speedup``, or if the two backends
+  across topologies falls below its floor (``--min-speedup`` globally,
+  ``--floor feature=value`` per configuration), or if the two backends
   ever disagree on the best plan cost — a benchmark that silently
   benchmarks a *wrong* optimizer is worse than no benchmark.
 
 The measured quantity is end-to-end serial optimization (identical settings,
 identical queries) under each value of ``OptimizerSettings.backend``; each
 backend takes the minimum over ``--repeats`` runs to suppress scheduler
-noise.
+noise.  The report records the hardware it ran on: speedup factors are only
+comparable against the same class of machine, and the vecdp target (≥10× on
+developer hardware, ≥5× floor on shared single-CPU CI runners) is stated
+relative to that record.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
+import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -57,19 +67,41 @@ from repro.query.query import JoinGraphKind
 #: extremes of join-graph density.
 DEFAULT_TOPOLOGIES = ("chain", "star", "clique")
 
-#: Benchmark configurations: feature -> (default tables, clustered tables).
-#: Orders multiply per-set entries and parametric pruning pays envelope
-#: arithmetic per candidate, so those configurations use smaller queries to
-#: keep the regression job fast at comparable per-case wall time.
-FEATURES: dict[str, tuple[int, bool]] = {
-    "plain": (12, False),
-    "orders": (11, True),
-    "parametric": (10, False),
+#: Benchmark configurations: feature -> (default tables, clustered tables,
+#: baseline backend, candidate backend).  Orders multiply per-set entries
+#: and parametric pruning pays envelope arithmetic per candidate, so those
+#: configurations use smaller queries to keep the regression job fast at
+#: comparable per-case wall time; the vecdp configuration uses the larger
+#: 14-relation queries its ≥10× target is stated for.
+FEATURES: dict[str, tuple[int, bool, Backend, Backend]] = {
+    "plain": (12, False, Backend.LEGACY, Backend.FASTDP),
+    "orders": (11, True, Backend.LEGACY, Backend.FASTDP),
+    "parametric": (10, False, Backend.LEGACY, Backend.FASTDP),
+    "vecdp": (14, False, Backend.FASTDP, Backend.VECDP),
 }
 
 
+def feature_unavailable_reason(feature: str) -> str | None:
+    """Why a configuration cannot run here, or ``None`` if it can."""
+    if feature == "vecdp" and importlib.util.find_spec("numpy") is None:
+        return "numpy not installed"
+    return None
+
+
+def hardware_record() -> dict:
+    """What this report's wall-clock numbers were measured on."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
 def _feature_settings(feature: str, plan_space: PlanSpace) -> OptimizerSettings:
-    if feature == "plain":
+    if feature in ("plain", "vecdp"):
         return OptimizerSettings(plan_space=plan_space)
     if feature == "orders":
         return OptimizerSettings(plan_space=plan_space, consider_orders=True)
@@ -107,8 +139,8 @@ def run_benchmark(
     plan_space: PlanSpace = PlanSpace.LINEAR,
     feature: str = "plain",
 ) -> dict:
-    """Benchmark both backends on one query per topology; return the report."""
-    default_tables, clustered = FEATURES[feature]
+    """Benchmark the feature's backend pair on one query per topology."""
+    default_tables, clustered, baseline, candidate = FEATURES[feature]
     if n_tables is None:
         n_tables = default_tables
     rows = []
@@ -117,11 +149,11 @@ def run_benchmark(
             n_tables, JoinGraphKind(topology)
         )
         base = _feature_settings(feature, plan_space)
-        legacy_s, legacy_cost, legacy_ran = _time_backend(
-            query, base.replace(backend=Backend.LEGACY), repeats
+        baseline_s, baseline_cost, baseline_ran = _time_backend(
+            query, base.replace(backend=baseline), repeats
         )
-        fastdp_s, fastdp_cost, fastdp_ran = _time_backend(
-            query, base.replace(backend=Backend.FASTDP), repeats
+        candidate_s, candidate_cost, candidate_ran = _time_backend(
+            query, base.replace(backend=candidate), repeats
         )
         rows.append(
             {
@@ -129,15 +161,17 @@ def run_benchmark(
                 "topology": topology,
                 "n_tables": n_tables,
                 "plan_space": plan_space.value,
-                "legacy_s": legacy_s,
-                "fastdp_s": fastdp_s,
-                "speedup": legacy_s / fastdp_s if fastdp_s > 0 else float("inf"),
-                "best_cost": legacy_cost,
-                "plans_agree": legacy_cost == fastdp_cost,
-                # Routing honesty: a fastdp row that secretly ran the legacy
-                # core would report a meaningless 1.0x "speedup".
-                "backends_honest": legacy_ran == "legacy"
-                and fastdp_ran == "fastdp",
+                "baseline_s": baseline_s,
+                "candidate_s": candidate_s,
+                "speedup": baseline_s / candidate_s
+                if candidate_s > 0
+                else float("inf"),
+                "best_cost": baseline_cost,
+                "plans_agree": baseline_cost == candidate_cost,
+                # Routing honesty: a candidate row that secretly ran the
+                # baseline core would report a meaningless 1.0x "speedup".
+                "backends_honest": baseline_ran == baseline.value
+                and candidate_ran == candidate.value,
             }
         )
     speedups = [row["speedup"] for row in rows]
@@ -149,6 +183,8 @@ def run_benchmark(
             "seed": seed,
             "repeats": repeats,
             "plan_space": plan_space.value,
+            "baseline": baseline.value,
+            "candidate": candidate.value,
         },
         "results": rows,
         "max_speedup": max(speedups),
@@ -166,7 +202,17 @@ def run_all_features(
     repeats: int = 2,
     plan_space: PlanSpace = PlanSpace.LINEAR,
 ) -> dict:
-    """Run every requested configuration; aggregate into one report."""
+    """Run every requested configuration; aggregate into one report.
+
+    Configurations whose backend pair cannot run here (vecdp without numpy)
+    are recorded under ``"skipped"`` with the reason instead of failing the
+    whole run — the regression gate then covers what actually ran.
+    """
+    skipped = {
+        feature: reason
+        for feature in features
+        if (reason := feature_unavailable_reason(feature)) is not None
+    }
     configurations = {
         feature: run_benchmark(
             n_tables=n_tables,
@@ -177,9 +223,12 @@ def run_all_features(
             feature=feature,
         )
         for feature in features
+        if feature not in skipped
     }
     return {
+        "hardware": hardware_record(),
         "configurations": configurations,
+        "skipped": skipped,
         "all_plans_agree": all(
             report["all_plans_agree"] for report in configurations.values()
         ),
@@ -227,20 +276,46 @@ def test_fastdp_never_changes_the_answer_at_bench_scale():
         assert report["all_plans_agree"], report
 
 
+def test_vecdp_speedup_at_14_relations():
+    """Acceptance: the array core clears the ≥5× CI floor over fastdp on
+    plain 14-relation queries (the target on quiet hardware is ≥10×)."""
+    if feature_unavailable_reason("vecdp"):
+        import pytest
+
+        pytest.skip(feature_unavailable_reason("vecdp"))
+    report = run_benchmark(repeats=2, feature="vecdp")
+    assert report["all_plans_agree"], report
+    assert report["all_backends_honest"], report
+    assert report["max_speedup"] >= 5.0, report
+
+
+def test_vecdp_never_changes_the_answer_at_bench_scale():
+    if feature_unavailable_reason("vecdp"):
+        import pytest
+
+        pytest.skip(feature_unavailable_reason("vecdp"))
+    report = run_benchmark(n_tables=10, repeats=1, feature="vecdp")
+    assert report["all_plans_agree"], report
+    assert report["all_backends_honest"], report
+
+
 # ------------------------------------------------------------------ script
 
 
 def _print_report(report: dict) -> None:
     config = report["config"]
+    baseline, candidate = config["baseline"], config["candidate"]
     print(
-        f"fastdp benchmark [{config['feature']}]: {config['n_tables']} tables, "
-        f"{config['plan_space']} space, repeats={config['repeats']}"
+        f"{candidate} benchmark [{config['feature']}]: "
+        f"{config['n_tables']} tables, {config['plan_space']} space, "
+        f"repeats={config['repeats']}, baseline={baseline}"
     )
     for row in report["results"]:
         agree = "ok" if row["plans_agree"] else "DISAGREE"
         print(
-            f"  {row['topology']:>6}: legacy {row['legacy_s'] * 1e3:8.1f} ms   "
-            f"fastdp {row['fastdp_s'] * 1e3:8.1f} ms   "
+            f"  {row['topology']:>6}: "
+            f"{baseline} {row['baseline_s'] * 1e3:8.1f} ms   "
+            f"{candidate} {row['candidate_s'] * 1e3:8.1f} ms   "
             f"speedup {row['speedup']:5.2f}x   plans {agree}"
         )
     print(
@@ -256,7 +331,7 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="override per-feature default table counts "
-        f"({ {f: n for f, (n, _c) in FEATURES.items()} })",
+        f"({ {f: spec[0] for f, spec in FEATURES.items()} })",
     )
     parser.add_argument(
         "--topologies",
@@ -286,7 +361,23 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless every configuration's best topology speedup "
         "reaches this factor",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="FEATURE=FACTOR",
+        help="per-configuration speedup floor overriding --min-speedup "
+        "(e.g. --floor vecdp=5.0); repeatable",
+    )
     args = parser.parse_args(argv)
+    floors: dict[str, float] = {}
+    for spec in args.floor:
+        feature, _sep, value = spec.partition("=")
+        if not _sep:
+            parser.error(f"--floor expects FEATURE=FACTOR, got {spec!r}")
+        if feature not in FEATURES:
+            parser.error(f"unknown feature {feature!r}; known: {list(FEATURES)}")
+        floors[feature] = float(value)
     features = tuple(f.strip() for f in args.features.split(",") if f.strip())
     for feature in features:
         if feature not in FEATURES:
@@ -303,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     for feature_report in report["configurations"].values():
         _print_report(feature_report)
+    for feature, reason in report["skipped"].items():
+        print(f"skipping {feature} configuration: {reason}")
     print(
         "per-feature speedup: "
         + ", ".join(
@@ -323,15 +416,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 3
     failing = {
-        feature: speedup
+        feature: (speedup, floors.get(feature, args.min_speedup))
         for feature, speedup in report["per_feature_max_speedup"].items()
-        if speedup < args.min_speedup
+        if speedup < floors.get(feature, args.min_speedup)
     }
     if failing:
         print(
-            "FAIL: configurations below the "
-            f"{args.min_speedup:.2f}x floor: "
-            + ", ".join(f"{f} ({s:.2f}x)" for f, s in failing.items()),
+            "FAIL: configurations below their speedup floor: "
+            + ", ".join(
+                f"{feature} ({speedup:.2f}x < {floor:.2f}x)"
+                for feature, (speedup, floor) in failing.items()
+            ),
             file=sys.stderr,
         )
         return 1

@@ -14,4 +14,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # The core package is dependency-free.  The `vec` extra enables the
+    # vecdp array-native enumeration backend; without it vecdp registers
+    # but reports itself unavailable and AUTO routes to fastdp.
+    extras_require={"vec": ["numpy"]},
 )

@@ -123,8 +123,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=[backend.value for backend in Backend],
         default=Backend.AUTO.value,
-        help="enumeration core: auto (fastest capable, default), the "
-        "legacy object DP, or the fastdp bitset core",
+        help="enumeration core: auto (fastest capable and available, "
+        "default), the legacy object DP, the fastdp bitset core, or the "
+        "vecdp array core (needs numpy)",
     )
     optimize.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
@@ -154,8 +155,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=[backend.value for backend in Backend],
         default=Backend.AUTO.value,
-        help="enumeration core: auto (fastest capable, default), the "
-        "legacy object DP, or the fastdp bitset core",
+        help="enumeration core: auto (fastest capable and available, "
+        "default), the legacy object DP, the fastdp bitset core, or the "
+        "vecdp array core (needs numpy)",
     )
     serve.add_argument(
         "--repeat",
@@ -269,8 +271,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=[backend.value for backend in Backend],
         default=Backend.AUTO.value,
-        help="enumeration core: auto (fastest capable, default), the "
-        "legacy object DP, or the fastdp bitset core",
+        help="enumeration core: auto (fastest capable and available, "
+        "default), the legacy object DP, the fastdp bitset core, or the "
+        "vecdp array core (needs numpy)",
     )
     shard_server.add_argument(
         "--cache-size", type=int, default=256, help="plan-cache capacity"
@@ -372,6 +375,13 @@ def _build_parser() -> argparse.ArgumentParser:
     backends = commands.add_parser(
         "backends",
         help="list registered enumeration backends and their capabilities",
+    )
+    backends.add_argument(
+        "--require",
+        default=None,
+        metavar="NAME",
+        help="exit non-zero unless backend NAME is registered and available "
+        "(deployment preflight check)",
     )
     backends.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
@@ -979,21 +989,46 @@ def _run_backends(args: argparse.Namespace) -> int:
             descriptor.name: {
                 "speed_rank": descriptor.speed_rank,
                 "capabilities": matrix[descriptor.name],
+                "requires": list(descriptor.requires),
+                "available": descriptor.available(),
+                "unavailable_reason": descriptor.unavailable_reason(),
             }
             for descriptor in descriptors
         }
         print(json.dumps(payload, indent=2))
-        return 0
-    print("registered enumeration backends (AUTO picks the first capable):")
-    for descriptor in descriptors:
-        declared = ", ".join(
-            name
-            for name, declared_flag in matrix[descriptor.name].items()
-            if declared_flag
-        )
+    else:
         print(
-            f"  {descriptor.name:>8} (rank {descriptor.speed_rank}): {declared}"
+            "registered enumeration backends "
+            "(AUTO picks the first capable, available one):"
         )
+        for descriptor in descriptors:
+            declared = ", ".join(
+                name
+                for name, declared_flag in matrix[descriptor.name].items()
+                if declared_flag
+            )
+            reason = descriptor.unavailable_reason()
+            status = "" if reason is None else f" [unavailable: {reason}]"
+            print(
+                f"  {descriptor.name:>8} (rank {descriptor.speed_rank})"
+                f"{status}: {declared}"
+            )
+    if args.require is not None:
+        wanted = {d.name: d for d in descriptors}.get(args.require)
+        if wanted is None:
+            print(
+                f"error: backend {args.require!r} is not registered "
+                f"(registered: {', '.join(d.name for d in descriptors)})",
+                file=sys.stderr,
+            )
+            return 1
+        reason = wanted.unavailable_reason()
+        if reason is not None:
+            print(
+                f"error: backend {args.require!r} is unavailable: {reason}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -47,10 +47,19 @@ class Backend(enum.Enum):
       for the single-objective case.  Covers interesting orders (interned
       order ids) and parametric costs (lower-envelope frontiers) natively;
       plan trees are materialized once, at the end.
+    * :attr:`VECDP` — the array-native core in ``repro.core.vecdp``:
+      level-at-a-time DP over contiguous numpy arrays (dense per-mask cost
+      columns, bulk split generation, whole-array join costing, vectorized
+      dominance pruning).  Declares plain and multi-objective optimization
+      over both plan spaces; interesting orders, parametric costs, and
+      α-approximation are honestly undeclared, so ``AUTO`` routes those to
+      ``fastdp``.  Requires numpy (an optional extra); registered always,
+      *available* only when numpy is importable.
     * :attr:`AUTO` — not a core of its own: the dispatch in
-      :mod:`repro.core.worker` resolves it to the fastest *registered*
-      backend whose declared capabilities cover the settings (see
-      :class:`repro.core.worker.EnumerationBackend`).  This is the default.
+      :mod:`repro.core.worker` resolves it to the fastest *registered*,
+      *available* backend whose declared capabilities cover the settings
+      (see :class:`repro.core.worker.EnumerationBackend`).  This is the
+      default.
 
     Explicitly requesting a backend that does not declare the capabilities a
     settings value needs is an error — there is no silent fallback; the
@@ -60,6 +69,7 @@ class Backend(enum.Enum):
 
     LEGACY = "legacy"
     FASTDP = "fastdp"
+    VECDP = "vecdp"
     AUTO = "auto"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

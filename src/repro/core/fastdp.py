@@ -302,6 +302,7 @@ def _run_single(
     cost: dict[int, float] = {}
     back: dict[int, object] = {}
     rows: dict[int, float] = {}
+    cost_get = cost.get  # hoisted: one method lookup, not one per split
     scan_cost = [0.0] * n
     card = [0.0] * n
     for table_number in range(n):
@@ -335,7 +336,7 @@ def _run_single(
                     if after[inner] & mask:
                         continue
                     rest = mask ^ low
-                    left_cost = cost.get(rest)
+                    left_cost = cost_get(rest)
                     if left_cost is None:
                         continue
                     splits += 1
@@ -407,10 +408,10 @@ def _run_single(
                     if left_mask == 0 or left_mask == mask:
                         continue
                     right_mask = mask ^ left_mask
-                    left_cost = cost.get(left_mask)
+                    left_cost = cost_get(left_mask)
                     if left_cost is None:
                         continue
-                    right_cost = cost.get(right_mask)
+                    right_cost = cost_get(right_mask)
                     if right_cost is None:
                         continue
                     splits += 1
@@ -560,10 +561,11 @@ def _run_single_orders(
     # ScanPlan itself as pointer, joins the 5-tuple described at module top.
     entries: dict[int, list[tuple[float, int, object]]] = {}
     rows: dict[int, float] = {}
+    entries_get = entries.get  # hoisted: one method lookup, not one per call
 
     def consider(mask: int, cost: float, order_id: int, pointer: object) -> bool:
         """InterestingOrderPruning.consider on flat entries; True iff kept."""
-        entry = entries.get(mask)
+        entry = entries_get(mask)
         if entry is None:
             entries[mask] = [(cost, order_id, pointer)]
             return True
@@ -595,11 +597,15 @@ def _run_single_orders(
     else:
         groups = _bushy_groups(n, constraints)
 
+    # One split buffer per level sweep, preallocated once and reused for
+    # every mask (a level's masks admit at most n splits each), instead of
+    # a fresh list allocation per mask.
+    splits_iter: list[tuple[int, int]] = []
     for size in range(2, n + 1):
         for mask in by_size.get(size, ()):
             out_rows = -1.0
+            del splits_iter[:]
             if linear:
-                splits_iter = []
                 remaining = mask
                 while remaining:
                     low = remaining & -remaining
@@ -609,16 +615,15 @@ def _run_single_orders(
                         continue
                     splits_iter.append((mask ^ low, low))
             else:
-                splits_iter = []
                 for left_mask in bushy_operands(mask, groups):
                     if left_mask == 0 or left_mask == mask:
                         continue
                     splits_iter.append((left_mask, mask ^ left_mask))
             for left_mask, right_mask in splits_iter:
-                left_entry = entries.get(left_mask)
+                left_entry = entries_get(left_mask)
                 if left_entry is None:
                     continue
-                right_entry = entries.get(right_mask)
+                right_entry = entries_get(right_mask)
                 if right_entry is None:
                     continue
                 splits += 1
@@ -836,6 +841,7 @@ def _run_frontier(
     # finalized entry lists.
     entries: dict[int, list[tuple[tuple[float, ...], int, object]]] = {}
     rows: dict[int, float] = {}
+    entries_get = entries.get  # hoisted: one method lookup, not one per call
 
     if parametric:
 
@@ -846,7 +852,7 @@ def _run_frontier(
             pointer: object,
         ) -> bool:
             """ParametricPruning.consider; True iff the candidate was kept."""
-            entry = entries.get(mask)
+            entry = entries_get(mask)
             if entry is None:
                 entries[mask] = [(candidate, order_id, pointer)]
                 return True
@@ -876,7 +882,7 @@ def _run_frontier(
             pointer: object,
         ) -> bool:
             """ParetoPruning.consider (α = 1); True iff kept."""
-            entry = entries.get(mask)
+            entry = entries_get(mask)
             if entry is None:
                 entries[mask] = [(candidate, order_id, pointer)]
                 return True
@@ -913,7 +919,7 @@ def _run_frontier(
             pointer: object,
         ) -> bool:
             """ParetoPruning.consider (α > 1); True iff kept."""
-            entry = entries.get(mask)
+            entry = entries_get(mask)
             if entry is None:
                 entries[mask] = [(candidate, order_id, pointer)]
                 return True
@@ -954,11 +960,15 @@ def _run_frontier(
     else:
         groups = _bushy_groups(n, constraints)
 
+    # One split buffer per level sweep, preallocated once and reused for
+    # every mask (a level's masks admit at most n splits each), instead of
+    # a fresh list allocation per mask.
+    splits_iter: list[tuple[int, int]] = []
     for size in range(2, n + 1):
         for mask in by_size.get(size, ()):
             out_rows = -1.0
+            del splits_iter[:]
             if linear:
-                splits_iter = []
                 remaining = mask
                 while remaining:
                     low = remaining & -remaining
@@ -968,16 +978,15 @@ def _run_frontier(
                         continue
                     splits_iter.append((mask ^ low, low))
             else:
-                splits_iter = []
                 for left_mask in bushy_operands(mask, groups):
                     if left_mask == 0 or left_mask == mask:
                         continue
                     splits_iter.append((left_mask, mask ^ left_mask))
             for left_mask, right_mask in splits_iter:
-                left_entry = entries.get(left_mask)
+                left_entry = entries_get(left_mask)
                 if left_entry is None:
                     continue
-                right_entry = entries.get(right_mask)
+                right_entry = entries_get(right_mask)
                 if right_entry is None:
                     continue
                 splits += 1

@@ -1,0 +1,917 @@
+"""Vectorized array-native enumeration core — the ``vecdp`` backend.
+
+A level-at-a-time reformulation of the worker DP where each level's state
+lives in contiguous numpy ``float64``/``int64`` arrays instead of per-entry
+Python objects, selected via
+:attr:`repro.config.OptimizerSettings.backend`.  It searches exactly the
+same plan space under exactly the same partition constraints as the
+``legacy`` and ``fastdp`` cores and produces the same plans and worker
+statistics; the differential-testing oracle in :mod:`repro.testing`
+enforces the equivalence plan-for-plan.
+
+Flat-array state layout (single objective):
+
+* ``cost``   — dense ``float64[2**n]`` indexed by table-set bitmask;
+  ``+inf`` means "no stored plan" (the dict-miss of the scalar cores);
+* ``rows``   — estimated cardinality per stored mask, filled level by level
+  from a vectorized replication of the cardinality estimator;
+* ``sort_term`` — ``rows·log2(max(rows, 2))`` per stored mask, precomputed
+  with ``math.log2`` (numpy's ``log2`` is *not* bit-identical to the
+  scalar library's, so the only transcendental in the cost model is kept
+  out of the array expressions entirely — one scalar call per stored mask,
+  every per-candidate operation a pure elementwise IEEE add/mul/max);
+* ``bp_left``/``bp_right``/``bp_algo`` — packed back-pointers (operand
+  masks plus an index into ``ALL_JOIN_ALGORITHMS``) from which plan trees
+  are materialized once, at the end.
+
+Per level, candidate joins are generated in bulk: a ``(masks, splits, 3)``
+cost cube whose row-major order replicates the scalar candidate order —
+splits ascending (bit-peel order for linear, ``bushy_operands`` order for
+bushy), operators in ``ALL_JOIN_ALGORITHMS`` order — with ``+inf``
+placeholders for inapplicable cells.  ``argmin`` over the flattened rows
+then lands on the *first* candidate achieving the minimum, which is
+exactly the strict-``<`` running-minimum tie rule of the scalar cores, and
+an exclusive prefix-minimum recovers ``plans_kept`` (the number of
+improvements the scalar loop would have counted).
+
+Multi-objective frontiers (α = 1 only) use the same bulk candidate
+generation followed by an incremental blockwise Pareto filter.  Weak
+dominance is transitive, so a candidate is rejected iff *some earlier
+candidate* weakly dominates it — a property of the candidate stream alone,
+independent of the evolving frontier — and the final frontier is the
+accepted candidates not weakly dominated by any later accepted one, in
+acceptance order.  Both conditions are whole-array broadcast comparisons
+per block; the decisions, counters, and entry order match
+:class:`~repro.cost.pruning.ParetoPruning` fed the same stream.  α > 1 is
+*not* vectorizable this way — α-dominance is not transitive, so pruning
+decisions depend on arrival order — which is why this backend declares
+:class:`~repro.core.worker.Capability` ``MULTI_OBJECTIVE | BUSHY_SPACE``
+and leaves ``ALPHA_APPROXIMATION``, ``INTERESTING_ORDERS``, and
+``PARAMETRIC_COSTS`` honestly undeclared: ``AUTO`` routes those query
+classes to fastdp.
+
+The module self-registers with the backend registry at import with
+``speed_rank`` 5 (below fastdp's 10) and ``requires=("numpy",)``: the
+registration is unconditional — ``python -m repro backends`` always shows
+the row — but resolution treats the backend as unavailable (with the
+reason) until numpy is importable.  numpy itself is imported lazily, on
+the first partition run.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from math import inf, log2
+
+from repro.config import Backend, OptimizerSettings, PlanSpace
+from repro.core.constraints import partition_constraints
+from repro.core.fastdp import _adjacency_masks, _connected
+from repro.core.partitioning import admissible_results_by_size
+from repro.core.worker import (
+    Capability,
+    EnumerationBackend,
+    PartitionResult,
+    WorkerStats,
+    _bushy_groups,
+    bushy_operands,
+    linear_after_masks,
+    register_backend,
+)
+from repro.cost.costmodel import CostModel
+from repro.cost.metrics import (
+    BNL_BLOCK_TUPLES,
+    HASH_FACTOR,
+    BufferSpaceMetric,
+    ExecutionTimeMetric,
+    OutputRowsMetric,
+)
+from repro.plans.operators import ALL_JOIN_ALGORITHMS
+from repro.plans.plan import JoinPlan, Plan
+from repro.query.query import Query
+
+#: The capability set this core declares: plain and exact multi-objective
+#: optimization over both plan spaces.  Interesting orders, parametric
+#: costs, and α-approximate pruning stay undeclared (see module docstring).
+CAPABILITIES = Capability.MULTI_OBJECTIVE | Capability.BUSHY_SPACE
+
+#: Cap on cells per single-objective candidate cube; levels whose cube
+#: would exceed it are processed in row chunks (rows are independent).
+_CELL_BUDGET = 1 << 22
+
+#: Rows per block of the incremental Pareto filter (block² comparisons).
+_PARETO_BLOCK = 512
+
+_NUMPY = None
+
+
+def _numpy():
+    """Import numpy on first use (the registry registers without it)."""
+    global _NUMPY
+    if _NUMPY is None:
+        import numpy
+
+        _NUMPY = numpy
+    return _NUMPY
+
+
+def optimize_partition_vecdp(
+    query: Query,
+    partition_id: int,
+    n_partitions: int,
+    settings: OptimizerSettings,
+) -> PartitionResult:
+    """Optimize one plan-space partition with the array-native core.
+
+    Same contract as :func:`repro.core.worker.optimize_partition`; callers
+    normally go through the worker registry, which only routes settings
+    covered by :data:`CAPABILITIES` here.
+    """
+    np = _numpy()
+    started = time.perf_counter()
+    n = query.n_tables
+    constraints = partition_constraints(
+        n, partition_id, n_partitions, settings.plan_space
+    )
+    stats = WorkerStats(
+        partition_id=partition_id,
+        n_partitions=n_partitions,
+        n_constraints=len(constraints),
+        backend_used=Backend.VECDP.value,
+    )
+    by_size = _levels(np, n, constraints, settings.plan_space, stats)
+
+    cost_model = CostModel(query, settings)
+    adjacency = _adjacency_masks(query)
+    # Genuine candidate costs may overflow to +inf (the scalar cores
+    # produce the same IEEE inf silently); placeholder cells add inf to
+    # finite garbage.  Neither is an error worth a RuntimeWarning.
+    with np.errstate(over="ignore", invalid="ignore"):
+        if settings.is_multi_objective:
+            plans = _run_frontier_vec(
+                np, query, constraints, by_size, cost_model, adjacency, stats
+            )
+        else:
+            plans = _run_single_vec(
+                np, query, constraints, by_size, cost_model, adjacency, stats
+            )
+    stats.result_plans = len(plans)
+    stats.wall_time_s = time.perf_counter() - started
+    return PartitionResult(plans=plans, stats=stats)
+
+
+# ------------------------------------------------------------ shared helpers
+
+
+def _levels(np, n: int, constraints: tuple, plan_space, stats: WorkerStats):
+    """Per-level admissible-mask arrays, plus ``stats.admissible_results``.
+
+    An unconstrained partition (serial runs, partition 0 of 1) admits every
+    table subset, so its levels are one bulk popcount-bucketing of
+    ``arange(2**n)`` — the scalar Cartesian-product enumeration would cost
+    more than the whole DP at this backend's speed.  Constrained partitions
+    (already far smaller) reuse the shared scalar enumeration, so the two
+    backends cannot drift on which splits a partition admits.  Mask *order*
+    within a level is irrelevant to results: every level mask is costed
+    independently from strictly smaller levels.
+    """
+    if not constraints and hasattr(np, "bitwise_count"):
+        masks = np.arange(1 << n, dtype=np.int64)
+        sizes = np.bitwise_count(masks)
+        stats.admissible_results = (1 << n) - n - 1
+        return {
+            size: masks[sizes == size] for size in range(2, n + 1)
+        }
+    by_size = admissible_results_by_size(n, constraints, plan_space)
+    stats.admissible_results = sum(len(masks) for masks in by_size.values())
+    return {
+        size: np.asarray(level, dtype=np.int64)
+        for size, level in by_size.items()
+        if level
+    }
+
+
+def _metric_kind(metric) -> str:
+    """Dispatch tag for the vectorized cost formulas."""
+    if type(metric) is ExecutionTimeMetric:
+        return "time"
+    if type(metric) is BufferSpaceMetric:
+        return "buffer"
+    if type(metric) is OutputRowsMetric:
+        return "io"
+    raise ValueError(
+        f"vecdp has no vectorized formula for metric {metric!r}"
+    )  # pragma: no cover - make_metrics only builds the three above
+
+
+def _dense_rows(np, query: Query, n: int):
+    """``CardinalityEstimator.rows`` for every mask of a dense 2**n state.
+
+    Same multiplication sequence as :func:`_level_rows`, but the masks with
+    a given bit (or bit pair) set form regular strided slices of the dense
+    layout, so each factor is one in-place strided multiply of exactly the
+    selected elements — no compares, no temporaries.  Multiplying only the
+    selected elements in the same factor order keeps every element
+    bit-identical to the scalar estimator's memoized value.
+    """
+    rows = np.ones(1 << n, dtype=np.float64)
+    for number, table in enumerate(query.tables):
+        view = rows.reshape(1 << (n - 1 - number), 2, 1 << number)
+        view[:, 1, :] *= float(table.cardinality)
+    for predicate in query.predicates:
+        low = min(predicate.left_table, predicate.right_table)
+        high = max(predicate.left_table, predicate.right_table)
+        view = rows.reshape(
+            1 << (n - 1 - high), 2, 1 << (high - 1 - low), 2, 1 << low
+        )
+        view[:, 1, :, 1, :] *= predicate.selectivity
+    return np.maximum(rows, 1.0, out=rows)
+
+
+def _level_rows(np, query: Query, masks):
+    """``CardinalityEstimator.rows`` for a whole array of masks (size ≥ 2).
+
+    Applies the exact same multiplication sequence per mask — base
+    cardinalities in ascending table order, then predicate selectivities in
+    query order where both endpoints are present, then the ``max(·, 1.0)``
+    floor — as ``np.where`` chains, so every element is bit-identical to
+    the scalar estimator's memoized value.
+    """
+    rows = np.ones(masks.shape[0], dtype=np.float64)
+    for number, table in enumerate(query.tables):
+        bit = np.int64(1 << number)
+        rows = np.where(masks & bit != 0, rows * float(table.cardinality), rows)
+    for predicate in query.predicates:
+        pair = np.int64(
+            (1 << predicate.left_table) | (1 << predicate.right_table)
+        )
+        rows = np.where(masks & pair == pair, rows * predicate.selectivity, rows)
+    return np.maximum(rows, 1.0)
+
+
+def _connected_array(np, query: Query, left, right):
+    """Vectorized ``_connected``: any predicate straddling each (L, R) pair."""
+    connected = np.zeros(left.shape, dtype=bool)
+    for predicate in query.predicates:
+        left_bit = np.int64(1 << predicate.left_table)
+        right_bit = np.int64(1 << predicate.right_table)
+        connected |= ((left & left_bit) != 0) & ((right & right_bit) != 0)
+        connected |= ((left & right_bit) != 0) & ((right & left_bit) != 0)
+    return connected
+
+
+def _bushy_split_rect(np, level_masks: list[int], groups):
+    """Padded ``(masks, max splits)`` operand rectangles for a bushy level.
+
+    Row ``i`` lists the admissible ``(left, right)`` splits of
+    ``level_masks[i]`` in ``bushy_operands`` order; ``real`` marks
+    non-padding cells.  Padding cells carry mask 0, whose dense-state cost
+    is ``+inf``, so they can never validate.
+    """
+    split_lists = []
+    width = 1
+    for mask in level_masks:
+        operands = [
+            left
+            for left in bushy_operands(mask, groups)
+            if left != 0 and left != mask
+        ]
+        split_lists.append(operands)
+        if len(operands) > width:
+            width = len(operands)
+    left = np.zeros((len(level_masks), width), dtype=np.int64)
+    real = np.zeros(left.shape, dtype=bool)
+    for index, operands in enumerate(split_lists):
+        if operands:
+            left[index, : len(operands)] = operands
+            real[index, : len(operands)] = True
+    masks = np.asarray(level_masks, dtype=np.int64)
+    right = np.where(real, masks[:, None] ^ left, 0)
+    return left, right, real
+
+
+# --------------------------------------------------------------------- single
+
+
+def _run_single_vec(
+    np,
+    query: Query,
+    constraints: tuple,
+    by_size: dict[int, list[int]],
+    cost_model: CostModel,
+    adjacency: list[int],
+    stats: WorkerStats,
+) -> list[Plan]:
+    """Single-objective DP on dense per-mask arrays.
+
+    Per level the candidate cube's flattened row order replicates the
+    scalar generation order, so first-occurrence ``argmin`` reproduces the
+    strict-``<`` running-minimum tie rule and the exclusive prefix-minimum
+    reproduces the improvement count (``plans_kept``) exactly.
+    """
+    n = query.n_tables
+    settings = cost_model.settings
+    kind = _metric_kind(cost_model.metrics[0])
+    algos_all = settings.use_all_join_algorithms
+    state = 1 << n
+    cost = np.full(state, inf, dtype=np.float64)
+    bp_left = np.zeros(state, dtype=np.int64)
+    bp_right = np.zeros(state, dtype=np.int64)
+    bp_algo = np.full(state, -1, dtype=np.int8)
+
+    # An unconstrained partition admits every mask, so cardinalities (and
+    # the sort terms derived from them) can be prefilled for the whole
+    # dense state in one shot; constrained partitions fill them level by
+    # level as entries are stored.  Values for masks that never store an
+    # entry are dead — every read is gated on a finite stored cost.
+    prefill = not constraints and hasattr(np, "bitwise_count")
+    if prefill:
+        rows = _dense_rows(np, query, n)
+    else:
+        rows = np.zeros(state, dtype=np.float64)
+    if prefill and kind == "time":
+        # The only transcendental: one scalar math.log2 per mask (numpy's
+        # log2 is not bit-identical to the scalar library's), then one
+        # vectorized multiply of the exact operand pairs the scalar cores
+        # multiply.  max(rows, 2.0) is the scalar clamp, applied in bulk.
+        sort_term = rows * np.fromiter(
+            map(log2, np.maximum(rows, 2.0).tolist()),
+            dtype=np.float64,
+            count=state,
+        )
+    else:
+        sort_term = np.zeros(state, dtype=np.float64)
+
+    scans: dict[int, Plan] = {}
+    for table_number in range(n):
+        scan = cost_model.scan_plans(table_number)[0]
+        mask = 1 << table_number
+        scans[mask] = scan
+        cost[mask] = scan.cost[0]
+        rows[mask] = scan.rows
+        sort_term[mask] = scan.rows * log2(
+            scan.rows if scan.rows > 2.0 else 2.0
+        )
+
+    splits = considered = kept = 0
+    stored = n
+    linear = settings.plan_space is PlanSpace.LINEAR
+    if linear:
+        after = np.asarray(
+            linear_after_masks(n, constraints), dtype=np.int64
+        )
+        bit_values = np.int64(1) << np.arange(n, dtype=np.int64)
+        # Singleton state never changes after init; in the linear space the
+        # right operand is always a singleton, so its cost/rows/sort-term
+        # columns are n-vectors broadcast over every level.  The dense
+        # ``cost``/``rows``/``sort_term`` arrays double as lookups keyed by
+        # singleton *mask*; adjacency gets the same dense keying for the
+        # compact path, whose rectangles hold bit values, not bit numbers.
+        scan_cost_v = cost[bit_values]
+        scan_rows_v = rows[bit_values]
+        scan_sort_v = sort_term[bit_values]
+        adjacency_by_mask = np.zeros(state, dtype=np.int64)
+        adjacency_by_mask[bit_values] = np.asarray(adjacency, dtype=np.int64)
+    else:
+        groups = _bushy_groups(n, constraints)
+    adjacency_arr = np.asarray(adjacency, dtype=np.int64)
+    # True while every admissible mask so far stored an entry — the normal
+    # case, since the always-applicable BNL candidate only fails by
+    # overflowing to +inf.  Lets the compact path skip validity scans.
+    all_stored = True
+
+    for size in range(2, n + 1):
+        masks = by_size.get(size)
+        if masks is None or masks.shape[0] == 0:
+            continue
+        level_entries = 0
+        level_est = None if prefill else _level_rows(np, query, masks)
+        compact = linear and prefill
+        if compact:
+            # Unconstrained linear level: every mask admits exactly `size`
+            # splits, so the candidate table is a dense (masks, size)
+            # rectangle of each mask's set bits in ascending order — the
+            # scalar bit-peel order — with no padding cells at all.
+            bit_rect = np.empty((masks.shape[0], size), dtype=np.int64)
+            remaining = masks.copy()
+            for column in range(size):
+                low = remaining & -remaining
+                bit_rect[:, column] = low
+                remaining ^= low
+            left_all = masks[:, None] ^ bit_rect
+            usable_all = None
+        elif linear:
+            left_all = masks[:, None] ^ bit_values[None, :]
+            usable_all = ((masks[:, None] & bit_values[None, :]) != 0) & (
+                (after[None, :] & masks[:, None]) == 0
+            )
+        else:
+            left_all, right_all, usable_all = _bushy_split_rect(
+                np, masks.tolist(), groups
+            )
+        width = left_all.shape[1]
+        chunk = max(1, _CELL_BUDGET // (3 * width))
+        for start in range(0, masks.shape[0], chunk):
+            stop = start + chunk
+            left = left_all[start:stop]
+            left_cost = cost[left]
+            if compact:
+                right = None
+                rbits = bit_rect[start:stop]
+                right_cost = cost[rbits]
+                right_rows = rows[rbits]
+                adjacency_cols = adjacency_by_mask[rbits]
+                # Every admissible mask normally stores an entry (the BNL
+                # candidate is always applicable), so validity gating is
+                # skipped until a level fails to — only possible when every
+                # candidate cost overflows to +inf.
+                valid = None if all_stored else (left_cost < inf)
+            elif linear:
+                right = None
+                right_cost = scan_cost_v
+                right_rows = scan_rows_v
+                adjacency_cols = adjacency_arr[None, :]
+                valid = usable_all[start:stop] & (left_cost < inf)
+            else:
+                right = right_all[start:stop]
+                right_cost = cost[right]
+                right_rows = rows[right]
+                valid = (
+                    usable_all[start:stop]
+                    & (left_cost < inf)
+                    & (right_cost < inf)
+                )
+            if algos_all:
+                # For "io" the equi-join candidates can never win (below),
+                # but they still count toward plans_considered.
+                if linear:
+                    equi = (adjacency_cols & left) != 0
+                else:
+                    equi = _connected_array(np, query, left, right)
+                if valid is not None:
+                    equi &= valid
+                equi_total = int(equi.sum())
+            else:
+                equi_total = 0
+            valid_total = left.size if valid is None else int(valid.sum())
+            splits += valid_total
+            considered += valid_total + 2 * equi_total
+
+            left_rows = rows[left]
+            if kind == "time":
+                base = left_cost + right_cost
+                c_bnl = base + left_rows * right_rows
+                if equi_total:
+                    c_hash = base + HASH_FACTOR * (left_rows + right_rows)
+                    operator = left_rows + right_rows
+                    operator = operator + sort_term[left]
+                    if compact:
+                        operator = operator + sort_term[rbits]
+                    elif linear:
+                        operator = operator + scan_sort_v
+                    else:
+                        operator = operator + sort_term[right]
+                    c_sm = base + operator
+            elif kind == "buffer":
+                pair = np.maximum(left_cost, right_cost)
+                c_bnl = np.maximum(pair, BNL_BLOCK_TUPLES)
+                if equi_total:
+                    c_hash = np.maximum(pair, right_rows)
+                    c_sm = np.maximum(
+                        pair, np.maximum(left_rows + right_rows, 1.0)
+                    )
+            else:  # io: all three operators cost the same, so the hash
+                # and sort-merge candidates can never strictly improve on
+                # the block-nested-loop one generated just before them —
+                # they contribute to plans_considered (above) only.
+                if prefill:
+                    est_col = rows[masks[start:stop]][:, None]
+                else:
+                    est_col = level_est[start:stop][:, None]
+                c_bnl = (left_cost + right_cost) + est_col
+
+            if valid is not None and valid_total != valid.size:
+                np.copyto(c_bnl, inf, where=~valid)
+            if kind != "io" and equi_total:
+                not_equi = ~equi
+                np.copyto(c_hash, inf, where=not_equi)
+                np.copyto(c_sm, inf, where=not_equi)
+                # Interleaved candidate order per mask is (split: bnl,
+                # hash, sm) — fold the three columns into a per-split
+                # minimum, prefix-scan that, and count strict improvements
+                # of each column against its exclusive prefix (bnl sees
+                # the previous splits' minimum; hash additionally sees
+                # bnl; sm sees both).  Identical to the scalar running
+                # minimum, in one pass per column.
+                best3 = np.minimum(np.minimum(c_bnl, c_hash), c_sm)
+                pm = np.minimum.accumulate(best3, axis=1)
+                running = c_bnl.copy()
+                np.minimum(running[:, 1:], pm[:, :-1], out=running[:, 1:])
+                kept += int((c_bnl[:, 0] < inf).sum())
+                kept += int((c_bnl[:, 1:] < pm[:, :-1]).sum())
+                kept += int((c_hash < running).sum())
+                np.minimum(running, c_hash, out=running)
+                kept += int((c_sm < running).sum())
+                best = pm[:, -1]
+                entry_rows = np.flatnonzero(best < inf)
+                if entry_rows.shape[0] == 0:
+                    continue
+                entry_best = best[entry_rows]
+                # First split achieving the row minimum, then the first
+                # algorithm within it — the scalar first-wins tie rule.
+                win_split = best3[entry_rows].argmin(axis=1)
+                bnl_at = c_bnl[entry_rows, win_split]
+                hash_at = c_hash[entry_rows, win_split]
+                win_algo = np.where(
+                    bnl_at == entry_best,
+                    0,
+                    np.where(hash_at == entry_best, 1, 2),
+                ).astype(np.int8)
+            else:
+                pm = np.minimum.accumulate(c_bnl, axis=1)
+                kept += int((c_bnl[:, 0] < inf).sum())
+                kept += int((c_bnl[:, 1:] < pm[:, :-1]).sum())
+                best = pm[:, -1]
+                entry_rows = np.flatnonzero(best < inf)
+                if entry_rows.shape[0] == 0:
+                    continue
+                entry_best = best[entry_rows]
+                win_split = c_bnl[entry_rows].argmin(axis=1)
+                win_algo = np.zeros(entry_rows.shape[0], dtype=np.int8)
+
+            entry_masks = masks[start:stop][entry_rows]
+            cost[entry_masks] = entry_best
+            bp_left[entry_masks] = left[entry_rows, win_split]
+            if compact:
+                bp_right[entry_masks] = bit_rect[start:stop][
+                    entry_rows, win_split
+                ]
+            elif linear:
+                bp_right[entry_masks] = bit_values[win_split]
+            else:
+                bp_right[entry_masks] = right[entry_rows, win_split]
+            bp_algo[entry_masks] = win_algo
+            stored += entry_masks.shape[0]
+            level_entries += entry_masks.shape[0]
+            if not prefill:
+                entry_est = level_est[start:stop][entry_rows]
+                rows[entry_masks] = entry_est
+                if kind == "time":
+                    # The only transcendental: one math.log2 per stored
+                    # mask (numpy's log2 is not bit-identical to the
+                    # scalar library's), then one vectorized multiply of
+                    # the exact same operand pairs the scalar cores
+                    # multiply.
+                    sort_term[entry_masks] = entry_est * np.asarray(
+                        [
+                            log2(row_est) if row_est > 2.0 else 1.0
+                            for row_est in entry_est.tolist()
+                        ],
+                        dtype=np.float64,
+                    )
+        if level_entries != masks.shape[0]:
+            all_stored = False
+
+    stats.splits_considered = splits
+    stats.plans_considered = considered
+    stats.plans_kept = kept
+    stats.table_entries = stored
+    stats.stored_plans = stored
+    full_mask = query.all_tables_mask
+    if full_mask in scans:
+        return [scans[full_mask]]
+    if not cost[full_mask] < inf:
+        return []
+    memo: dict[int, Plan] = {}
+    return [
+        _build_single_vec(
+            full_mask, scans, cost, rows, bp_left, bp_right, bp_algo, memo
+        )
+    ]
+
+
+def _build_single_vec(
+    mask: int,
+    scans: dict[int, Plan],
+    cost,
+    rows,
+    bp_left,
+    bp_right,
+    bp_algo,
+    memo: dict[int, Plan],
+) -> Plan:
+    """Materialize the stored plan for ``mask`` from the packed arrays."""
+    plan = memo.get(mask)
+    if plan is not None:
+        return plan
+    scan = scans.get(mask)
+    if scan is not None:
+        memo[mask] = scan
+        return scan
+    plan = JoinPlan(
+        mask=mask,
+        rows=float(rows[mask]),
+        cost=(float(cost[mask]),),
+        order=None,
+        left=_build_single_vec(
+            int(bp_left[mask]), scans, cost, rows, bp_left, bp_right,
+            bp_algo, memo,
+        ),
+        right=_build_single_vec(
+            int(bp_right[mask]), scans, cost, rows, bp_left, bp_right,
+            bp_algo, memo,
+        ),
+        algorithm=ALL_JOIN_ALGORITHMS[int(bp_algo[mask])],
+    )
+    memo[mask] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------- multi
+
+
+def _pareto_order_filter(np, candidates):
+    """Order-faithful weak-Pareto filter over a candidate stream.
+
+    Returns ``(survivor costs, survivor candidate indices, accepted)``
+    where *accepted* counts every candidate the sequential
+    :class:`~repro.cost.pruning.ParetoPruning` (α = 1, no orders) would
+    have appended — its ``plans_kept`` contribution — and the survivors
+    are the final frontier in acceptance order.
+
+    Correctness rests on transitivity of weak dominance: a candidate is
+    rejected by the sequential filter iff *some earlier candidate* weakly
+    dominates it (chase the dominator through evictions/rejections to a
+    live entry), so acceptance is decided by blockwise broadcast
+    comparisons against the running frontier plus the in-block prefix; a
+    survivor is an accepted candidate no later accepted one dominates.
+    """
+    total, n_metrics = candidates.shape
+    frontier = np.empty((0, n_metrics), dtype=np.float64)
+    frontier_idx = np.empty(0, dtype=np.int64)
+    accepted = 0
+    for start in range(0, total, _PARETO_BLOCK):
+        block = candidates[start : start + _PARETO_BLOCK]
+        size = block.shape[0]
+        indices = np.arange(start, start + size, dtype=np.int64)
+        if frontier.shape[0]:
+            dominated = (
+                (frontier[:, None, :] <= block[None, :, :])
+                .all(axis=2)
+                .any(axis=0)
+            )
+        else:
+            dominated = np.zeros(size, dtype=bool)
+        # weak_le[j, i]: candidate j dominates candidate i (within block).
+        weak_le = (block[:, None, :] <= block[None, :, :]).all(axis=2)
+        earlier = np.tri(size, k=-1, dtype=bool).T  # earlier[j, i] ⇔ j < i
+        dominated |= (weak_le & earlier).any(axis=0)
+        keep = ~dominated
+        new_costs = block[keep]
+        new_idx = indices[keep]
+        accepted += new_costs.shape[0]
+        if not new_costs.shape[0]:
+            continue
+        if frontier.shape[0]:
+            evicted = (
+                (new_costs[:, None, :] <= frontier[None, :, :])
+                .all(axis=2)
+                .any(axis=0)
+            )
+            frontier = frontier[~evicted]
+            frontier_idx = frontier_idx[~evicted]
+        # Among the block's accepted rows, a later accept evicts an
+        # earlier one it weakly dominates.
+        new_le = (new_costs[:, None, :] <= new_costs[None, :, :]).all(axis=2)
+        later = np.tri(new_costs.shape[0], k=-1, dtype=bool)  # later[k, i] ⇔ k > i
+        evicted_new = (new_le & later).any(axis=0)
+        frontier = np.concatenate([frontier, new_costs[~evicted_new]])
+        frontier_idx = np.concatenate([frontier_idx, new_idx[~evicted_new]])
+    return frontier, frontier_idx, accepted
+
+
+def _run_frontier_vec(
+    np,
+    query: Query,
+    constraints: tuple,
+    by_size: dict[int, list[int]],
+    cost_model: CostModel,
+    adjacency: list[int],
+    stats: WorkerStats,
+) -> list[Plan]:
+    """Exact (α = 1) Pareto-frontier DP with blockwise dominance filtering.
+
+    Per split the operator cost is a *scalar* (it depends only on the
+    operand masks' cardinalities), so each candidate block is one
+    broadcast ``(left frontier) ⊕ (right frontier)`` per metric — built in
+    the scalar candidate order (splits, then left index, then right index,
+    then operators) so the order-faithful filter sees the same stream the
+    sequential pruning would.
+    """
+    n = query.n_tables
+    settings = cost_model.settings
+    kinds = [_metric_kind(metric) for metric in cost_model.metrics]
+    n_metrics = len(kinds)
+    algos_all = settings.use_all_join_algorithms
+
+    entry_costs: dict[int, object] = {}
+    entry_ptrs: dict[int, list] = {}
+    rows_of: dict[int, float] = {}
+    for table_number in range(n):
+        scan = cost_model.scan_plans(table_number)[0]
+        mask = 1 << table_number
+        entry_costs[mask] = np.asarray([scan.cost], dtype=np.float64)
+        entry_ptrs[mask] = [scan]
+        rows_of[mask] = scan.rows
+
+    splits = considered = kept = 0
+    linear = settings.plan_space is PlanSpace.LINEAR
+    if linear:
+        after = linear_after_masks(n, constraints)
+    else:
+        groups = _bushy_groups(n, constraints)
+
+    for size in range(2, n + 1):
+        level = by_size.get(size)
+        if level is None or level.shape[0] == 0:
+            continue
+        level_est = _level_rows(np, query, level).tolist()
+        for mask, out_rows in zip(level.tolist(), level_est):
+            if linear:
+                split_pairs = []
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    if after[low.bit_length() - 1] & mask:
+                        continue
+                    split_pairs.append((mask ^ low, low))
+            else:
+                split_pairs = [
+                    (left_mask, mask ^ left_mask)
+                    for left_mask in bushy_operands(mask, groups)
+                    if left_mask != 0 and left_mask != mask
+                ]
+            blocks = []
+            offsets = []
+            meta = []
+            total = 0
+            for left_mask, right_mask in split_pairs:
+                left_entry = entry_costs.get(left_mask)
+                if left_entry is None:
+                    continue
+                right_entry = entry_costs.get(right_mask)
+                if right_entry is None:
+                    continue
+                splits += 1
+                n_left = left_entry.shape[0]
+                n_right = right_entry.shape[0]
+                left_rows = rows_of[left_mask]
+                right_rows = rows_of[right_mask]
+                equi = algos_all and _connected(
+                    left_mask, right_mask, adjacency
+                )
+                n_algos = 3 if equi else 1
+                considered += n_left * n_right * n_algos
+                # Scalar operator costs, replicated operation-for-operation
+                # from repro.cost.metrics (sort flags are always True
+                # without order tracking).
+                operators = []
+                for kind in kinds:
+                    if kind == "time":
+                        sm = left_rows + right_rows
+                        sm += left_rows * log2(
+                            left_rows if left_rows > 2.0 else 2.0
+                        )
+                        sm += right_rows * log2(
+                            right_rows if right_rows > 2.0 else 2.0
+                        )
+                        operators.append(
+                            (
+                                left_rows * right_rows,
+                                HASH_FACTOR * (left_rows + right_rows),
+                                sm,
+                            )
+                        )
+                    elif kind == "buffer":
+                        operators.append(
+                            (
+                                BNL_BLOCK_TUPLES,
+                                right_rows,
+                                max(left_rows + right_rows, 1.0),
+                            )
+                        )
+                    else:  # io
+                        operators.append((out_rows, out_rows, out_rows))
+                cube = np.empty(
+                    (n_left * n_right, n_algos, n_metrics), dtype=np.float64
+                )
+                for metric_index, kind in enumerate(kinds):
+                    left_col = left_entry[:, None, metric_index]
+                    right_col = right_entry[None, :, metric_index]
+                    for algo_index in range(n_algos):
+                        operator = operators[metric_index][algo_index]
+                        if kind == "buffer":
+                            values = np.maximum(
+                                np.maximum(left_col, right_col), operator
+                            )
+                        else:
+                            values = (left_col + right_col) + operator
+                        cube[:, algo_index, metric_index] = values.reshape(-1)
+                blocks.append(cube.reshape(-1, n_metrics))
+                offsets.append(total)
+                meta.append((left_mask, right_mask, n_right, n_algos))
+                total += n_left * n_right * n_algos
+            if total == 0:
+                continue
+            candidates = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+            frontier, frontier_idx, accepted = _pareto_order_filter(
+                np, candidates
+            )
+            kept += accepted
+            pointers = []
+            for flat_index in frontier_idx.tolist():
+                split_index = bisect_right(offsets, flat_index) - 1
+                left_mask, right_mask, n_right, n_algos = meta[split_index]
+                pair, algo_index = divmod(
+                    flat_index - offsets[split_index], n_algos
+                )
+                left_index, right_index = divmod(pair, n_right)
+                pointers.append(
+                    (
+                        left_mask,
+                        left_index,
+                        right_mask,
+                        right_index,
+                        ALL_JOIN_ALGORITHMS[algo_index],
+                    )
+                )
+            entry_costs[mask] = frontier
+            entry_ptrs[mask] = pointers
+            rows_of[mask] = out_rows
+
+    stats.splits_considered = splits
+    stats.plans_considered = considered
+    stats.plans_kept = kept
+    stats.table_entries = len(entry_ptrs)
+    stats.stored_plans = sum(len(ptrs) for ptrs in entry_ptrs.values())
+    full_mask = query.all_tables_mask
+    final = entry_ptrs.get(full_mask)
+    if not final:
+        return []
+    memo: dict[tuple[int, int], Plan] = {}
+    return [
+        _build_frontier_vec(
+            full_mask, index, entry_costs, entry_ptrs, rows_of, memo
+        )
+        for index in range(len(final))
+    ]
+
+
+def _build_frontier_vec(
+    mask: int,
+    index: int,
+    entry_costs: dict[int, object],
+    entry_ptrs: dict[int, list],
+    rows_of: dict[int, float],
+    memo: dict[tuple[int, int], Plan],
+) -> Plan:
+    """Materialize frontier entry ``index`` of ``mask`` from flat state."""
+    key = (mask, index)
+    plan = memo.get(key)
+    if plan is not None:
+        return plan
+    pointer = entry_ptrs[mask][index]
+    if isinstance(pointer, Plan):
+        memo[key] = pointer
+        return pointer
+    left_mask, left_index, right_mask, right_index, algorithm = pointer
+    plan = JoinPlan(
+        mask=mask,
+        rows=rows_of[mask],
+        cost=tuple(float(c) for c in entry_costs[mask][index]),
+        order=None,
+        left=_build_frontier_vec(
+            left_mask, left_index, entry_costs, entry_ptrs, rows_of, memo
+        ),
+        right=_build_frontier_vec(
+            right_mask, right_index, entry_costs, entry_ptrs, rows_of, memo
+        ),
+        algorithm=algorithm,
+    )
+    memo[key] = plan
+    return plan
+
+
+# Registration is unconditional so the backends matrix always lists vecdp;
+# availability (numpy importable) is checked at resolution time, and AUTO
+# silently routes around the backend while it is unavailable.
+register_backend(
+    EnumerationBackend(
+        backend=Backend.VECDP,
+        capabilities=CAPABILITIES,
+        speed_rank=5,
+        loader=lambda: optimize_partition_vecdp,
+        requires=("numpy",),
+    )
+)

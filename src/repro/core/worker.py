@@ -19,9 +19,11 @@ Two split-enumeration strategies, as in the paper:
 from __future__ import annotations
 
 import enum
+import importlib.util
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.config import Backend, OptimizerSettings, PlanSpace
 from repro.core.constraints import (
@@ -94,7 +96,7 @@ class Capability(enum.Flag):
     can never be handed a query class it would silently approximate.
     """
 
-    #: Pareto frontiers over several cost metrics (incl. α-approximation).
+    #: Pareto frontiers over several cost metrics (exact, α = 1).
     MULTI_OBJECTIVE = enum.auto()
     #: Selinger interesting orders: one best plan per (table set, order).
     INTERESTING_ORDERS = enum.auto()
@@ -102,6 +104,13 @@ class Capability(enum.Flag):
     PARAMETRIC_COSTS = enum.auto()
     #: Bushy plan spaces (admissible-split generation per Algorithm 5).
     BUSHY_SPACE = enum.auto()
+    #: α-approximate Pareto pruning with α > 1.  Split out from
+    #: MULTI_OBJECTIVE because α-dominance is not transitive: pruning
+    #: decisions depend on candidate arrival order, which rules out the
+    #: order-parallel dominance filtering a vectorized core relies on —
+    #: exactly the kind of silent approximation the declaration system
+    #: exists to prevent.
+    ALPHA_APPROXIMATION = enum.auto()
 
 
 #: Everything a backend can currently be asked to do.
@@ -110,6 +119,7 @@ ALL_CAPABILITIES = (
     | Capability.INTERESTING_ORDERS
     | Capability.PARAMETRIC_COSTS
     | Capability.BUSHY_SPACE
+    | Capability.ALPHA_APPROXIMATION
 )
 
 
@@ -118,6 +128,10 @@ def required_capabilities(settings: OptimizerSettings) -> Capability:
     needed = Capability(0)
     if settings.is_multi_objective:
         needed |= Capability.MULTI_OBJECTIVE
+        # The parametric path prunes by lower envelope and ignores alpha,
+        # so the order-sensitivity of α-dominance never arises there.
+        if settings.alpha != 1.0 and not settings.parametric:
+            needed |= Capability.ALPHA_APPROXIMATION
     if settings.consider_orders:
         needed |= Capability.INTERESTING_ORDERS
     if settings.parametric:
@@ -125,6 +139,17 @@ def required_capabilities(settings: OptimizerSettings) -> Capability:
     if settings.plan_space is PlanSpace.BUSHY:
         needed |= Capability.BUSHY_SPACE
     return needed
+
+
+@lru_cache(maxsize=None)
+def _module_importable(module: str) -> bool:
+    """Whether ``module`` can be imported (spec probe, no actual import)."""
+    return importlib.util.find_spec(module) is not None
+
+
+def _find_module(module: str) -> bool:
+    """Availability probe seam: tests monkeypatch this to simulate absence."""
+    return _module_importable(module)
 
 
 #: A backend's entry point: same contract as :func:`optimize_partition`.
@@ -148,12 +173,33 @@ class EnumerationBackend:
     #: AUTO picks the capable backend with the smallest rank.
     speed_rank: int
     loader: Callable[[], PartitionRunner]
+    #: Modules the backend needs at run time (e.g. ``("numpy",)``).
+    #: Registration is unconditional — the matrix always shows the backend —
+    #: but resolution treats it as unavailable while any requirement is
+    #: missing, with the reason reportable instead of a silent omission.
+    requires: tuple[str, ...] = ()
     _runner: list = field(default_factory=list, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         """The backend's wire name (the :class:`Backend` enum value)."""
         return self.backend.value
+
+    def unavailable_reason(self) -> str | None:
+        """Why this backend cannot run here, or ``None`` if it can.
+
+        Checked against the declared ``requires`` modules; the string is
+        surfaced by ``python -m repro backends`` and by the error raised
+        when the backend is requested explicitly.
+        """
+        missing = [module for module in self.requires if not _find_module(module)]
+        if missing:
+            return f"{', '.join(missing)} not installed"
+        return None
+
+    def available(self) -> bool:
+        """Whether every required module is importable."""
+        return self.unavailable_reason() is None
 
     def supports(self, settings: OptimizerSettings) -> bool:
         """Whether the declared capabilities cover these settings."""
@@ -186,7 +232,16 @@ _REGISTRY_GENERATION = 0
 
 
 def registry_generation() -> int:
-    """A counter that changes whenever the backend registry changes."""
+    """A counter that changes whenever the backend registry changes.
+
+    Built-in backends are import-registered first: a generation observed by
+    a memoizer (e.g. the service's settings-signature cache) must describe
+    the *fully initialized* registry, or a signature computed before the
+    lazy built-in imports would be keyed to a generation that silently
+    advances moments later — the mid-process-registration instability this
+    counter exists to make observable.
+    """
+    _ensure_builtin_backends()
     return _REGISTRY_GENERATION
 
 
@@ -227,23 +282,27 @@ def _ensure_builtin_backends() -> None:
     """Import-register the built-in cores that self-register on import."""
     if Backend.FASTDP not in _BACKEND_REGISTRY:
         from repro.core import fastdp  # noqa: F401  (registers itself)
+    if Backend.VECDP not in _BACKEND_REGISTRY:
+        from repro.core import vecdp  # noqa: F401  (registers itself)
 
 
 def resolve_backend(settings: OptimizerSettings) -> EnumerationBackend:
     """The backend that will run these settings.
 
     :attr:`~repro.config.Backend.AUTO` resolves to the fastest capable
-    registered backend.  An explicitly requested backend must declare every
-    needed capability — routing around an incapable core silently would make
-    a fallback indistinguishable from the requested run, which is exactly
-    the failure mode ``WorkerStats.backend_used`` exists to rule out.
+    *available* registered backend (a backend whose required modules are
+    missing is skipped, not an error).  An explicitly requested backend must
+    declare every needed capability and be available — routing around an
+    incapable or absent core silently would make a fallback
+    indistinguishable from the requested run, which is exactly the failure
+    mode ``WorkerStats.backend_used`` exists to rule out.
     """
     _ensure_builtin_backends()
     if settings.backend is Backend.AUTO:
         capable = [
             descriptor
             for descriptor in _BACKEND_REGISTRY.values()
-            if descriptor.supports(settings)
+            if descriptor.supports(settings) and descriptor.available()
         ]
         if not capable:
             raise ValueError(
@@ -254,6 +313,12 @@ def resolve_backend(settings: OptimizerSettings) -> EnumerationBackend:
     descriptor = _BACKEND_REGISTRY.get(settings.backend)
     if descriptor is None:
         raise ValueError(f"backend {settings.backend.value!r} is not registered")
+    reason = descriptor.unavailable_reason()
+    if reason is not None:
+        raise ValueError(
+            f"backend {descriptor.name!r} is unavailable: {reason}; use "
+            f"Backend.AUTO to pick an available backend"
+        )
     if not descriptor.supports(settings):
         raise ValueError(
             f"backend {descriptor.name!r} does not declare "

@@ -7,6 +7,9 @@ the Pareto frontier of final plans produced by independent enumeration
 
 * ``"legacy"`` — the object-based worker DP (:mod:`repro.core.worker`);
 * ``"fastdp"`` — the flat bitset core (:mod:`repro.core.fastdp`);
+* ``"vecdp"`` — the array-native numpy core (:mod:`repro.core.vecdp`);
+  needs numpy, and declares only plain and multi-objective optimization,
+  so sweeps include it for exactly those feature sets;
 * ``"exhaustive"`` — brute-force enumeration of the *entire* plan space
   (:mod:`repro.core.exhaustive`), ground truth for small queries;
 * any callable ``(query, settings) -> iterable of cost vectors`` — useful
@@ -116,6 +119,10 @@ def _fastdp_backend(query: Query, settings: OptimizerSettings):
     return _dp_cost_vectors(query, settings, Backend.FASTDP)
 
 
+def _vecdp_backend(query: Query, settings: OptimizerSettings):
+    return _dp_cost_vectors(query, settings, Backend.VECDP)
+
+
 def _exhaustive_backend(query: Query, settings: OptimizerSettings):
     if settings.alpha != 1.0:
         raise ValueError(
@@ -139,6 +146,7 @@ def _exhaustive_backend(query: Query, settings: OptimizerSettings):
 _NAMED_BACKENDS: dict[str, Callable[[Query, OptimizerSettings], Iterable]] = {
     "legacy": _legacy_backend,
     "fastdp": _fastdp_backend,
+    "vecdp": _vecdp_backend,
     "exhaustive": _exhaustive_backend,
 }
 

@@ -10,6 +10,8 @@ the oracle machinery itself — shrinking, sub-query induction, guards.
 
 from __future__ import annotations
 
+import importlib.util
+
 import pytest
 
 from repro.config import (
@@ -48,6 +50,17 @@ THREE_OBJECTIVES = (
     Objective.EXECUTION_TIME,
     Objective.BUFFER_SPACE,
     Objective.OUTPUT_ROWS,
+)
+
+#: vecdp sweep sizes: 200 linear + 120 bushy = 320 seeded queries pitting
+#: the array core against both scalar cores and ground truth on every
+#: capability it declares (1/2/3 objectives, both plan spaces).
+VECDP_LINEAR_SWEEP_QUERIES = 200
+VECDP_BUSHY_SWEEP_QUERIES = 120
+VECDP_BACKENDS = ("legacy", "fastdp", "vecdp", "exhaustive")
+
+needs_numpy = pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None, reason="vecdp requires numpy"
 )
 
 
@@ -153,6 +166,79 @@ class TestOracleSweeps:
                     f"-{kind.value}-" in line and f"space={space.value}" in line
                     for line in outcome.case_log
                 ), f"sweep never pairs {kind.value} with {space.value}"
+
+
+@needs_numpy
+class TestVecdpSweeps:
+    """320 seeded queries where the array core must match both scalar cores
+    and exhaustive ground truth on every capability vecdp declares."""
+
+    def test_linear_sweep(self):
+        outcome = run_differential_oracle(
+            n_queries=VECDP_LINEAR_SWEEP_QUERIES,
+            seed=20,
+            table_range=(3, 5),
+            plan_spaces=(PlanSpace.LINEAR,),
+            backends=VECDP_BACKENDS,
+        )
+        assert outcome.cases_run == VECDP_LINEAR_SWEEP_QUERIES
+        assert outcome.passed, "\n\n".join(str(f) for f in outcome.failures)
+
+    def test_bushy_sweep(self):
+        outcome = run_differential_oracle(
+            n_queries=VECDP_BUSHY_SWEEP_QUERIES,
+            seed=21,
+            table_range=(3, 4),
+            plan_spaces=(PlanSpace.BUSHY,),
+            backends=VECDP_BACKENDS,
+        )
+        assert outcome.cases_run == VECDP_BUSHY_SWEEP_QUERIES
+        assert outcome.passed, "\n\n".join(str(f) for f in outcome.failures)
+
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    @pytest.mark.parametrize("n_tables", [8, 10])
+    def test_linear_at_scale_without_exhaustive(self, kind, n_tables):
+        query = SteinbrunnGenerator(seed=25).query(n_tables, kind)
+        assert_equivalent_frontiers(
+            query, OptimizerSettings(), backends=("fastdp", "vecdp")
+        )
+
+    @pytest.mark.parametrize("kind", [JoinGraphKind.CHAIN, JoinGraphKind.STAR])
+    def test_bushy_multi_objective_at_scale(self, kind):
+        query = SteinbrunnGenerator(seed=26).query(8, kind)
+        assert_equivalent_frontiers(
+            query,
+            OptimizerSettings(
+                plan_space=PlanSpace.BUSHY, objectives=MULTI_OBJECTIVE
+            ),
+            backends=("legacy", "fastdp", "vecdp"),
+        )
+
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    def test_three_objectives(self, kind):
+        query = SteinbrunnGenerator(seed=27).query(7, kind)
+        assert_equivalent_frontiers(
+            query,
+            OptimizerSettings(objectives=THREE_OBJECTIVES),
+            backends=("legacy", "fastdp", "vecdp"),
+        )
+
+    def test_undeclared_capability_is_a_loud_error(self):
+        """The oracle must not be able to compare vecdp on settings it does
+        not declare — explicit resolution raises instead of falling back."""
+        query = SteinbrunnGenerator(seed=28).query(4, JoinGraphKind.CHAIN)
+        with pytest.raises(ValueError, match="INTERESTING_ORDERS"):
+            frontier(
+                query, OptimizerSettings(consider_orders=True), "vecdp"
+            )
+        with pytest.raises(ValueError, match="PARAMETRIC_COSTS"):
+            frontier(
+                query,
+                OptimizerSettings(
+                    objectives=PARAMETRIC_OBJECTIVES, parametric=True
+                ),
+                "vecdp",
+            )
 
 
 class TestExplicitTopologies:

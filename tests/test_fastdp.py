@@ -11,6 +11,8 @@ config/CLI/service wiring of ``OptimizerSettings.backend``.
 
 from __future__ import annotations
 
+import importlib.util
+
 import pytest
 
 from repro.config import (
@@ -36,6 +38,12 @@ from repro.core.worker import (
 from repro.plans.plan import plan_signature
 from repro.query.generator import SteinbrunnGenerator
 from repro.query.query import JoinGraphKind
+
+#: vecdp registers unconditionally but is *available* only with numpy, so
+#: what AUTO resolves to for a plain query depends on the environment.  The
+#: tests assert the resolution honestly instead of assuming either extreme.
+HAS_NUMPY = importlib.util.find_spec("numpy") is not None
+AUTO_BACKEND = "vecdp" if HAS_NUMPY else "fastdp"
 
 STAT_FIELDS = (
     "n_constraints",
@@ -225,15 +233,84 @@ class TestPlanTreeEquality:
             assert plan_signature(legacy_plan) == plan_signature(fast_plan)
 
 
+@pytest.mark.skipif(not HAS_NUMPY, reason="vecdp requires numpy")
+class TestVecdpStatisticsParity:
+    """The array core is a drop-in on its declared capabilities: identical
+    WorkerStats counters, identical plan trees, honest backend_used."""
+
+    @staticmethod
+    def _vec_pair(query, settings, partition_id=0, n_partitions=1):
+        legacy = optimize_partition(
+            query, partition_id, n_partitions, settings.replace(backend=Backend.LEGACY)
+        )
+        vec = optimize_partition(
+            query, partition_id, n_partitions, settings.replace(backend=Backend.VECDP)
+        )
+        assert legacy.stats.backend_used == "legacy"
+        assert vec.stats.backend_used == "vecdp"
+        return legacy, vec
+
+    @pytest.mark.parametrize("kind", list(JoinGraphKind))
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_serial_single_objective(self, kind, space):
+        query = SteinbrunnGenerator(seed=21).query(7, kind)
+        legacy, vec = self._vec_pair(query, OptimizerSettings(plan_space=space))
+        _assert_stats_equal(legacy, vec, f"vecdp {kind.value}/{space.value}")
+
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_serial_multi_objective(self, space):
+        query = SteinbrunnGenerator(seed=22).query(7, JoinGraphKind.STAR)
+        settings = OptimizerSettings(plan_space=space, objectives=MULTI_OBJECTIVE)
+        legacy, vec = self._vec_pair(query, settings)
+        _assert_stats_equal(legacy, vec, f"vecdp multi/{space.value}")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in vec.plans]
+
+    def test_partitioned_runs(self):
+        query = SteinbrunnGenerator(seed=23).query(8, JoinGraphKind.CYCLE)
+        for n_partitions in (2, 4, 8):
+            for partition_id in range(n_partitions):
+                legacy, vec = self._vec_pair(
+                    query,
+                    OptimizerSettings(),
+                    partition_id=partition_id,
+                    n_partitions=n_partitions,
+                )
+                _assert_stats_equal(
+                    legacy, vec, f"vecdp partition {partition_id}/{n_partitions}"
+                )
+
+    @pytest.mark.parametrize("space", list(PlanSpace))
+    def test_plan_trees_identical_in_order(self, space):
+        query = SteinbrunnGenerator(seed=24).query(7, JoinGraphKind.CHAIN)
+        settings = OptimizerSettings(plan_space=space, objectives=MULTI_OBJECTIVE)
+        legacy, vec = self._vec_pair(query, settings)
+        assert len(legacy.plans) == len(vec.plans)
+        for legacy_plan, vec_plan in zip(legacy.plans, vec.plans):
+            assert plan_signature(legacy_plan) == plan_signature(vec_plan)
+
+    def test_bnl_only_operator_restriction(self):
+        query = SteinbrunnGenerator(seed=25).query(6, JoinGraphKind.CLIQUE)
+        settings = OptimizerSettings(use_all_join_algorithms=False)
+        legacy, vec = self._vec_pair(query, settings)
+        _assert_stats_equal(legacy, vec, "vecdp bnl-only")
+        assert [p.cost for p in legacy.plans] == [p.cost for p in vec.plans]
+
+
 class TestCapabilityRegistry:
     """The capability-declaring backend architecture and AUTO resolution."""
 
     def test_fastdp_declares_everything(self):
         assert fastdp.CAPABILITIES == ALL_CAPABILITIES
         matrix = capability_matrix()
-        assert set(matrix) == {"legacy", "fastdp"}
-        for row in matrix.values():
-            assert all(row.values()), matrix
+        assert set(matrix) == {"legacy", "fastdp", "vecdp"}
+        for name in ("legacy", "fastdp"):
+            assert all(matrix[name].values()), matrix
+        # vecdp is honest about its narrower feature set.
+        assert matrix["vecdp"]["multi_objective"]
+        assert matrix["vecdp"]["bushy_space"]
+        assert not matrix["vecdp"]["interesting_orders"]
+        assert not matrix["vecdp"]["parametric_costs"]
+        assert not matrix["vecdp"]["alpha_approximation"]
 
     def test_required_capabilities_derivation(self):
         assert required_capabilities(OptimizerSettings()) == Capability(0)
@@ -252,22 +329,33 @@ class TestCapabilityRegistry:
         assert Capability.BUSHY_SPACE in needed
         assert Capability.MULTI_OBJECTIVE in needed
         assert Capability.INTERESTING_ORDERS not in needed
+        # alpha > 1 pruning is its own capability: it matters only for
+        # multi-objective non-parametric runs, where it changes the frontier.
+        alpha = required_capabilities(
+            OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=2.0)
+        )
+        assert Capability.ALPHA_APPROXIMATION in alpha
+        assert (
+            Capability.ALPHA_APPROXIMATION
+            not in required_capabilities(OptimizerSettings(alpha=2.0))
+        )
 
     @pytest.mark.parametrize(
-        "settings",
+        ("settings", "expected"),
         [
-            OptimizerSettings(),
-            OptimizerSettings(consider_orders=True),
-            OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=10.0),
-            OptimizerSettings(
-                objectives=PARAMETRIC_OBJECTIVES, parametric=True
+            (OptimizerSettings(), AUTO_BACKEND),
+            (OptimizerSettings(consider_orders=True), "fastdp"),
+            (OptimizerSettings(objectives=MULTI_OBJECTIVE, alpha=10.0), "fastdp"),
+            (
+                OptimizerSettings(objectives=PARAMETRIC_OBJECTIVES, parametric=True),
+                "fastdp",
             ),
         ],
         ids=["plain", "orders", "multi-alpha", "parametric"],
     )
-    def test_auto_resolves_to_fastdp_for_every_query_class(self, settings):
+    def test_auto_resolves_to_fastest_capable_backend(self, settings, expected):
         assert settings.backend is Backend.AUTO
-        assert resolve_backend(settings).backend is Backend.FASTDP
+        assert resolve_backend(settings).backend.value == expected
 
     def test_explicit_backends_resolve_to_themselves(self):
         for backend in (Backend.LEGACY, Backend.FASTDP):
@@ -303,7 +391,10 @@ class TestCapabilityRegistry:
     def test_registered_backends_sorted_by_speed_rank(self):
         ranks = [d.speed_rank for d in registered_backends()]
         assert ranks == sorted(ranks)
-        assert registered_backends()[0].backend is Backend.FASTDP
+        assert registered_backends()[0].backend is Backend.VECDP
+        available = [d for d in registered_backends() if d.available()]
+        expected = Backend.VECDP if HAS_NUMPY else Backend.FASTDP
+        assert available[0].backend is expected
 
     def test_auto_is_not_registrable(self):
         from repro.core import worker
@@ -318,6 +409,25 @@ class TestCapabilityRegistry:
                 )
             )
 
+    def test_auto_falls_back_to_fastdp_without_numpy(self, monkeypatch):
+        """With numpy absent, vecdp stays registered but unavailable: AUTO
+        routes plain queries to fastdp, and requesting vecdp explicitly is a
+        loud error naming the missing module."""
+        from repro.core import worker
+
+        monkeypatch.setattr(
+            worker, "_find_module", lambda module: module != "numpy"
+        )
+        try:
+            vec = worker._BACKEND_REGISTRY[Backend.VECDP]
+            assert not vec.available()
+            assert "numpy not installed" == vec.unavailable_reason()
+            assert resolve_backend(OptimizerSettings()).backend is Backend.FASTDP
+            with pytest.raises(ValueError, match="numpy not installed"):
+                resolve_backend(OptimizerSettings(backend=Backend.VECDP))
+        finally:
+            monkeypatch.undo()
+
 
 class TestBackendUsedObservability:
     """backend_used is recorded per partition and surfaced at every layer."""
@@ -325,7 +435,7 @@ class TestBackendUsedObservability:
     def test_worker_stats_record_backend(self):
         query = SteinbrunnGenerator(seed=50).query(5, JoinGraphKind.CHAIN)
         auto = optimize_partition(query, 0, 1, OptimizerSettings())
-        assert auto.stats.backend_used == "fastdp"
+        assert auto.stats.backend_used == AUTO_BACKEND
         legacy = optimize_partition(
             query, 0, 1, OptimizerSettings(backend=Backend.LEGACY)
         )
@@ -336,9 +446,10 @@ class TestBackendUsedObservability:
 
         query = SteinbrunnGenerator(seed=51).query(7, JoinGraphKind.STAR)
         result = optimize_parallel(query, 4, OptimizerSettings())
-        assert result.backend_used == "fastdp"
+        assert result.backend_used == AUTO_BACKEND
         assert all(
-            r.stats.backend_used == "fastdp" for r in result.partition_results
+            r.stats.backend_used == AUTO_BACKEND
+            for r in result.partition_results
         )
 
     def test_mpq_report_surfaces_backend(self):
@@ -358,8 +469,8 @@ class TestBackendUsedObservability:
             fresh = service.optimize(query)
             hit = service.optimize(query)
         assert not fresh.cached and hit.cached
-        assert fresh.backend_used == "fastdp"
-        assert hit.backend_used == "fastdp"
+        assert fresh.backend_used == AUTO_BACKEND
+        assert hit.backend_used == AUTO_BACKEND
 
     def test_serve_batch_json_reports_backend(self, tmp_path, capsys):
         import json
@@ -373,7 +484,7 @@ class TestBackendUsedObservability:
         assert main(["serve-batch", str(path), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         result = payload["rounds"][0]["results"][0]
-        assert result["backend_used"] == "fastdp"
+        assert result["backend_used"] == AUTO_BACKEND
 
     def test_cli_backends_command_lists_matrix(self, capsys):
         import json
@@ -382,9 +493,15 @@ class TestBackendUsedObservability:
 
         assert main(["backends", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"legacy", "fastdp"}
+        assert set(payload) == {"legacy", "fastdp", "vecdp"}
         assert payload["fastdp"]["capabilities"]["interesting_orders"]
         assert payload["fastdp"]["capabilities"]["parametric_costs"]
+        assert payload["vecdp"]["requires"] == ["numpy"]
+        assert payload["vecdp"]["available"] is HAS_NUMPY
+        if HAS_NUMPY:
+            assert payload["vecdp"]["unavailable_reason"] is None
+        else:
+            assert "numpy" in payload["vecdp"]["unavailable_reason"]
 
 
 class TestBackendWiring:
@@ -428,7 +545,7 @@ class TestBackendWiring:
         assert not fast.cached and fast_again.cached
         assert fast_again.best.cost == fast.best.cost
 
-    def test_service_auto_and_explicit_fastdp_share_cache_entries(self):
+    def test_service_auto_and_explicit_backend_share_cache_entries(self):
         """AUTO is fingerprinted as the backend it resolves to."""
         from repro.service import OptimizerService
 
@@ -436,7 +553,7 @@ class TestBackendWiring:
         with OptimizerService(n_workers=2) as service:
             via_auto = service.optimize(query, OptimizerSettings())
             via_explicit = service.optimize(
-                query, OptimizerSettings(backend=Backend.FASTDP)
+                query, OptimizerSettings(backend=AUTO_BACKEND)
             )
         assert via_auto.fingerprint == via_explicit.fingerprint
         assert not via_auto.cached and via_explicit.cached
@@ -456,9 +573,9 @@ class TestBackendWiring:
         legacy_payload = json.loads(capsys.readouterr().out)
         assert fast_payload["plans"] == legacy_payload["plans"]
 
-    def test_default_backend_is_auto_resolving_to_fastdp(self):
+    def test_default_backend_is_auto_resolving_to_fastest_available(self):
         assert OptimizerSettings().backend is Backend.AUTO
-        assert resolve_backend(OptimizerSettings()).backend is Backend.FASTDP
+        assert resolve_backend(OptimizerSettings()).backend.value == AUTO_BACKEND
 
     def test_empty_partition_result_possible(self):
         """A 1-table query exercises the degenerate no-join path."""

@@ -16,6 +16,8 @@ backend-independent by construction.
 
 from __future__ import annotations
 
+import importlib.util
+
 import pytest
 
 from repro.config import (
@@ -38,6 +40,13 @@ from repro.query.generator import (
 from repro.query.query import JoinGraphKind
 
 BACKENDS = [Backend.LEGACY, Backend.FASTDP]
+
+#: Snapshots for the capabilities vecdp declares (plain and multi-objective
+#: over both plan spaces) additionally run on the array core when numpy is
+#: present; the orders/parametric snapshots keep the two scalar backends.
+PLAIN_BACKENDS = list(BACKENDS)
+if importlib.util.find_spec("numpy") is not None:
+    PLAIN_BACKENDS.append(Backend.VECDP)
 
 #: (query factory, seed, expected left-deep join order, expected cost).
 LEFTDEEP_GOLDEN = [
@@ -72,7 +81,7 @@ BUSHY_GOLDEN_SIGNATURE = (
 )
 
 
-@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+@pytest.mark.parametrize("backend", PLAIN_BACKENDS, ids=lambda b: b.value)
 @pytest.mark.parametrize(
     "label,factory,n_tables,seed,expected_order,expected_cost",
     LEFTDEEP_GOLDEN,
@@ -88,7 +97,7 @@ def test_leftdeep_golden_plan(
     assert plan.cost[0] == pytest.approx(expected_cost, rel=1e-12)
 
 
-@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+@pytest.mark.parametrize("backend", PLAIN_BACKENDS, ids=lambda b: b.value)
 def test_multi_objective_golden_frontier(backend):
     query = make_star_query(5, seed=7)
     settings = OptimizerSettings(objectives=MULTI_OBJECTIVE, backend=backend)
@@ -102,7 +111,7 @@ def test_multi_objective_golden_frontier(backend):
     assert best.join_order() == (0, 3, 1, 4, 2)
 
 
-@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.value)
+@pytest.mark.parametrize("backend", PLAIN_BACKENDS, ids=lambda b: b.value)
 def test_bushy_golden_plan(backend):
     query = make_chain_query(5, seed=11)
     settings = OptimizerSettings(plan_space=PlanSpace.BUSHY, backend=backend)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import importlib.util
 import json
 
 import pytest
@@ -18,6 +19,12 @@ from repro.query.io import (
     save_query,
 )
 from tests.conftest import make_manual_query
+
+#: Cached provenance records the backend AUTO resolved to, which depends on
+#: whether numpy (and hence vecdp) is available in this environment.
+AUTO_BACKEND = (
+    "vecdp" if importlib.util.find_spec("numpy") is not None else "fastdp"
+)
 
 
 class TestQueryRoundTrip:
@@ -227,11 +234,11 @@ class TestCacheCLI:
         [report] = json.loads(capsys.readouterr().out)
         assert report["entries"] == 2
         for record in report["records"]:
-            assert record["provenance"]["backend_used"] == "fastdp"
+            assert record["provenance"]["backend_used"] == AUTO_BACKEND
             assert record["provenance"]["registry_generation"] >= 1
         # The human-readable rendering works on the same log.
         assert main(["cache", "inspect", log]) == 0
-        assert "backend=fastdp" in capsys.readouterr().out
+        assert f"backend={AUTO_BACKEND}" in capsys.readouterr().out
 
     def test_export_then_import_moves_entries(
         self, tmp_path, query_files, capsys
@@ -257,7 +264,7 @@ class TestCacheCLI:
         assert (
             main([
                 "cache", "invalidate", log,
-                "--backend", "fastdp", "--below-generation", "1000000",
+                "--backend", AUTO_BACKEND, "--below-generation", "1000000",
                 "--json",
             ])
             == 0

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import threading
 
@@ -463,3 +464,106 @@ class TestSelectiveInvalidationAcceptance:
             assert [p.registry_generation for p in refreshed] == [
                 new_generation
             ]
+
+
+class TestMidProcessRegistrationStability:
+    """ISSUE acceptance: registering a backend mid-process must not disturb
+    entries pinned to explicit backends — their resolved settings signatures
+    (and hence fingerprints and provenance) are stable across the registry
+    generation bump — while entries keyed on AUTO's *old* resolution become
+    unreachable and can be retired selectively by signature + generation."""
+
+    @pytest.mark.skipif(
+        importlib.util.find_spec("numpy") is None,
+        reason="the resolution change needs a second available backend (vecdp)",
+    )
+    def test_vecdp_registration_retires_only_auto_resolved_entries(
+        self, tmp_path
+    ):
+        from repro.config import MULTI_OBJECTIVE
+        from repro.core import worker
+        from repro.service.fingerprint import settings_signature
+
+        # Simulate a process in which vecdp has not registered yet: pop the
+        # descriptor and advance the generation the way any registry change
+        # would, so memoized signatures cannot leak the popped backend.
+        saved = worker._BACKEND_REGISTRY.pop(Backend.VECDP)
+        worker._REGISTRY_GENERATION += 1
+
+        executor = CountingSerialExecutor()
+        cache = TieredPlanCache(
+            memory_capacity=16, disk=DiskTier(tmp_path / "cache.log")
+        )
+        pinned = OptimizerSettings(
+            backend=Backend.FASTDP, objectives=MULTI_OBJECTIVE
+        )
+        auto = OptimizerSettings()
+        try:
+            with OptimizerService(
+                n_workers=2, executor=executor, cache=cache
+            ) as service:
+                assert worker.resolve_backend(auto).backend is Backend.FASTDP
+                pinned_signature = settings_signature(pinned)
+                auto_signature_old = settings_signature(auto)
+                assert "'fastdp'" in auto_signature_old
+
+                query_a, query_b = make_chain_query(5), make_star_query(5)
+                service.optimize(query_a, pinned)
+                service.optimize(query_b, auto)
+                assert executor.calls == 2
+
+                # The mid-process registration: vecdp comes (back) online.
+                register_backend(saved)
+                new_generation = registry_generation()
+                assert worker.resolve_backend(auto).backend is Backend.VECDP
+
+                # Pinned signatures are bit-stable across the bump, so the
+                # pinned entry keeps serving without a fresh DP run.
+                assert settings_signature(pinned) == pinned_signature
+                result_a = service.optimize(query_a, pinned)
+                assert result_a.cached
+                assert executor.calls == 2
+
+                # AUTO's signature now embeds the new resolution: the old
+                # entry is unreachable, and exactly it matches the retire
+                # predicate (old resolved signature, below new generation).
+                auto_signature_new = settings_signature(auto)
+                assert auto_signature_new != auto_signature_old
+                assert "'vecdp'" in auto_signature_new
+                doomed = cache.invalidate(
+                    InvalidationPredicate(
+                        settings_signature=auto_signature_old,
+                        below_generation=new_generation,
+                    )
+                )
+                assert len(doomed) == 1
+
+                # Re-optimizing under AUTO runs the new backend and stamps
+                # provenance with the new resolution, the new generation,
+                # and a complete aggregated WorkerStats summary.
+                result_b = service.optimize(query_b, auto)
+                assert not result_b.cached
+                assert executor.calls == 3
+                assert result_b.backend_used == "vecdp"
+                refreshed = [
+                    provenance
+                    for __, provenance in cache.disk.entries()
+                    if provenance.settings_signature == auto_signature_new
+                ]
+                assert len(refreshed) == 1
+                assert refreshed[0].backend_used == "vecdp"
+                assert refreshed[0].registry_generation == new_generation
+                summary = refreshed[0].worker_stats
+                assert summary["result_plans"] >= 1
+                assert summary["plans_considered"] > 0
+                assert summary["wall_time_s"] >= 0.0
+                # The pinned entry's provenance never moved.
+                stale_free = [
+                    provenance
+                    for __, provenance in cache.disk.entries()
+                    if provenance.settings_signature == pinned_signature
+                ]
+                assert [p.backend_used for p in stale_free] == ["fastdp"]
+        finally:
+            if Backend.VECDP not in worker._BACKEND_REGISTRY:
+                register_backend(saved)

@@ -31,10 +31,11 @@ BENCHES: dict[str, tuple[str, list[str]]] = {
         "BENCH_fastdp.json",
         [
             "benchmarks/bench_fastdp.py",
-            "--features", "plain,orders,parametric",
+            "--features", "plain,orders,parametric,vecdp",
             "--repeats", "2",
             "--json", "BENCH_fastdp.json",
             "--min-speedup", "1.0",
+            "--floor", "vecdp=5.0",
         ],
     ),
     "gateway": (
