@@ -259,6 +259,71 @@ def measure_zipf(seed: int = 71):
     }
 
 
+# ------------------------------------------------------------- parametric
+
+
+def measure_parametric_serve(seed: int = 71):
+    """θ-varying parametric replay: one envelope DP per shape, zero after.
+
+    Every request is parametric with a concrete θ drawn from a fixed grid.
+    Fingerprints are θ-free, so the first request per shape materializes the
+    lower-envelope entry and every later θ — same shape, any θ — binds by
+    breakpoint lookup.  Measured on both stacks; the envelope-hit counters
+    and the DP-run invariant (runs == unique shapes, not unique (shape, θ)
+    pairs) are part of the report.
+    """
+    profile = TrafficProfile(
+        n_requests=192,
+        n_unique=12,
+        tables=(5, 7),
+        features=(("parametric", 1.0),),
+        parametric_thetas=(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        seed=seed,
+    )
+    schedule = generate_traffic(profile)
+    n_unique = len(unique_fingerprints(schedule))
+    n_bound = sum(1 for request in schedule if request.theta is not None)
+
+    with ShardedOptimizerGateway(n_shards=N_SHARDS, n_workers=N_WORKERS) as gateway:
+        threaded = replay_threaded(gateway, schedule, n_clients=N_CLIENTS)
+        threaded_stats = gateway.stats()
+
+    async def run():
+        async with AsyncOptimizerGateway(
+            n_shards=N_SHARDS, n_workers=N_WORKERS, max_pending=256
+        ) as front:
+            report = await replay_async(front, schedule, n_clients=N_CLIENTS)
+            return report, front.stats()
+
+    async_report, async_stats = asyncio.run(run())
+    return {
+        "n_requests": len(schedule),
+        "n_unique_shapes": n_unique,
+        "n_theta_bound_requests": n_bound,
+        "threaded": {
+            "wall_s": threaded.wall_s,
+            "throughput_qps": threaded.throughput_qps,
+            "optimizations": threaded_stats.optimizations,
+            "envelope_hits": threaded_stats.envelope_hits,
+            "latency_ms": threaded.latency_percentiles(),
+        },
+        "async": {
+            "wall_s": async_report.wall_s,
+            "throughput_qps": async_report.throughput_qps,
+            "optimizations": async_stats.gateway.optimizations,
+            "envelope_hits": async_stats.gateway.envelope_hits,
+            "retries": async_report.retries,
+            "latency_ms": async_report.latency_percentiles(),
+        },
+        # The tentpole invariant: after the first envelope materialization
+        # per shape, θ-varying traffic costs zero additional DP runs.
+        "zero_additional_dp_runs": (
+            threaded_stats.optimizations == n_unique
+            and async_stats.gateway.optimizations == n_unique
+        ),
+    }
+
+
 # ------------------------------------------------------------------ report
 
 
@@ -317,6 +382,7 @@ def run_benchmark(
     }
     if include_zipf:
         report["zipf_replay"] = measure_zipf(seed)
+        report["parametric_serve"] = measure_parametric_serve(seed)
     return report
 
 
@@ -338,6 +404,16 @@ def test_zipf_replay_preserves_singleflight_on_both_stacks():
     zipf = measure_zipf()
     assert zipf["one_run_per_fingerprint"], zipf
     assert zipf["async"]["optimizations"] == zipf["n_unique_fingerprints"], zipf
+
+
+def test_parametric_serve_costs_zero_additional_dp_runs():
+    """Acceptance: θ-varying parametric traffic on both stacks pays exactly
+    one DP run per query *shape* — every other θ binds from the cached
+    envelope, and the envelope-hit counters prove the fast path ran."""
+    report = measure_parametric_serve()
+    assert report["zero_additional_dp_runs"], report
+    assert report["threaded"]["envelope_hits"] > 0, report
+    assert report["async"]["envelope_hits"] > 0, report
 
 
 # ------------------------------------------------------------------ script
@@ -370,6 +446,17 @@ def _print_report(report: dict) -> None:
             f"{zipf['n_unique_fingerprints']} unique fingerprints, "
             f"async p99 {zipf['async']['latency_ms']['p99']:.2f} ms, "
             f"retries {zipf['async']['retries']}"
+        )
+    parametric = report.get("parametric_serve")
+    if parametric:
+        print(
+            f"  parametric serve: {parametric['n_requests']} requests "
+            f"({parametric['n_theta_bound_requests']} theta-bound) over "
+            f"{parametric['n_unique_shapes']} shapes -> "
+            f"{parametric['threaded']['optimizations']} DP runs threaded / "
+            f"{parametric['async']['optimizations']} async, "
+            f"envelope hits {parametric['threaded']['envelope_hits']}/"
+            f"{parametric['async']['envelope_hits']}"
         )
 
 

@@ -103,6 +103,12 @@ class TrafficProfile:
     burst_mean: float = 8.0
     intra_gap_ms: float = 0.05
     inter_gap_ms: float = 2.0
+    #: θ values drawn (uniformly) for parametric-feature requests.  Empty
+    #: (default) leaves parametric requests unbound — the pre-envelope
+    #: behavior — so existing seeded schedules replay unchanged; a non-empty
+    #: tuple makes each parametric request ask for a concrete θ, exercising
+    #: the serve-from-envelope path.
+    parametric_thetas: tuple[float, ...] = ()
     seed: int = 0
 
 
@@ -118,11 +124,18 @@ class TrafficRequest:
     n_workers: int
     #: Popularity rank of the query in the profile's pool (0 = hottest).
     rank: int
+    #: θ binding for a parametric request (``None`` = unbound).  θ is not
+    #: part of the fingerprint, so requests differing only in θ share one
+    #: cache entry — the envelope — by design.
+    theta: float | None = None
 
     @property
     def settings(self) -> OptimizerSettings:
         """The settings this request optimizes under."""
-        return settings_for(self.feature)
+        base = settings_for(self.feature)
+        if self.theta is None:
+            return base
+        return base.replace(theta=self.theta)
 
 
 def generate_traffic(profile: TrafficProfile = TrafficProfile()) -> list[TrafficRequest]:
@@ -165,14 +178,21 @@ def generate_traffic(profile: TrafficProfile = TrafficProfile()) -> list[Traffic
             at_s += rng.expovariate(1.0) * profile.intra_gap_ms / 1e3
         burst_left -= 1
         rank = rng.choices(ranks, weights=rank_weights)[0]
+        feature = rng.choices(feature_names, weights=feature_weights)[0]
+        theta = (
+            rng.choice(profile.parametric_thetas)
+            if feature == "parametric" and profile.parametric_thetas
+            else None
+        )
         schedule.append(
             TrafficRequest(
                 at_s=at_s,
                 tenant=rng.choices(tenant_names, weights=tenant_weights)[0],
                 query=pool[rank],
-                feature=rng.choices(feature_names, weights=feature_weights)[0],
+                feature=feature,
                 n_workers=rng.choice(profile.workers),
                 rank=rank,
+                theta=theta,
             )
         )
     return schedule

@@ -128,6 +128,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "vecdp array core (needs numpy)",
     )
     optimize.add_argument(
+        "--parametric",
+        action="store_true",
+        help="optimize over the parameter theta in [0,1] weighting the two "
+        "objectives; returns the full lower-envelope frontier unless "
+        "--theta picks one point",
+    )
+    optimize.add_argument(
+        "--theta",
+        type=float,
+        default=None,
+        metavar="T",
+        help="bind the parametric request at this theta (requires "
+        "--parametric); served from a cached envelope when one exists",
+    )
+    optimize.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -158,6 +173,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enumeration core: auto (fastest capable and available, "
         "default), the legacy object DP, the fastdp bitset core, or the "
         "vecdp array core (needs numpy)",
+    )
+    serve.add_argument(
+        "--parametric",
+        action="store_true",
+        help="optimize over the parameter theta in [0,1] weighting the two "
+        "objectives; returns the full lower-envelope frontier unless "
+        "--theta picks one point",
+    )
+    serve.add_argument(
+        "--theta",
+        type=float,
+        default=None,
+        metavar="T",
+        help="bind the parametric request at this theta (requires "
+        "--parametric); served from a cached envelope when one exists",
     )
     serve.add_argument(
         "--repeat",
@@ -402,12 +432,23 @@ def _settings_from_args(args: argparse.Namespace) -> OptimizerSettings:
                 f"unknown objective {token!r}; choose from "
                 f"{[o.value for o in Objective]}"
             )
+    theta = getattr(args, "theta", None)
+    parametric = getattr(args, "parametric", False)
+    if theta is not None and not parametric:
+        raise SystemExit("--theta requires --parametric")
+    if parametric and len(objectives) != 2:
+        raise SystemExit(
+            "--parametric needs exactly two objectives "
+            "(e.g. --objectives time,buffer)"
+        )
     return OptimizerSettings(
         plan_space=PlanSpace(args.space),
         objectives=tuple(objectives),
         alpha=args.alpha,
         consider_orders=args.orders,
         backend=Backend(args.backend),
+        parametric=parametric,
+        theta=theta,
     )
 
 
@@ -646,6 +687,9 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 results = service.optimize_batch(queries)
                 rounds.append((time.perf_counter() - started, results))
             stats = service.cache.snapshot()
+            envelope_hits = service.envelope_hits
+    if gateway_stats is not None:
+        envelope_hits = gateway_stats.envelope_hits
     if args.json:
         payload = {
             "workers": args.workers,
@@ -675,6 +719,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         tier_totals = _tier_totals(gateway_stats)
         if tier_totals is not None:
             payload["cache"].update(tier_totals)
+        payload["envelope_hits"] = envelope_hits
         if args.cache_dir is not None:
             payload["cache_dir"] = args.cache_dir
         if gateway_stats is not None:
@@ -683,10 +728,12 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
                 "optimizations": gateway_stats.optimizations,
                 "coalesced": gateway_stats.coalesced,
                 "peak_in_flight": gateway_stats.peak_in_flight,
+                "envelope_hits": gateway_stats.envelope_hits,
                 "shards": [
                     {
                         "shard": shard.shard,
                         "entries": shard.entries,
+                        "envelope_hits": shard.envelope_hits,
                         **_stats_dict(shard.cache),
                     }
                     for shard in gateway_stats.shards
@@ -737,6 +784,11 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate), {stats.evictions} evictions"
     )
+    if envelope_hits:
+        print(
+            f"envelopes: {envelope_hits} theta bindings served from cached "
+            "envelopes (no DP run)"
+        )
     if hasattr(stats, "disk_hits"):
         print(
             f"tiers: {stats.memory_hits} memory hits, {stats.disk_hits} disk "
@@ -768,6 +820,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             f"gateway: {gateway_stats.requests} requests, "
             f"{gateway_stats.optimizations} optimizations, "
             f"{gateway_stats.coalesced} coalesced, "
+            f"{gateway_stats.envelope_hits} envelope hits, "
             f"peak in-flight {gateway_stats.peak_in_flight}"
         )
         for shard in gateway_stats.shards:
@@ -846,9 +899,11 @@ def _run_serve_batch_remote(args: argparse.Namespace) -> int:
     )
     for name, shard in sorted(net_stats["shards"].items()):
         optimizations = shard.get("optimizations", "?")
+        envelope_hits = shard.get("envelope_hits", 0)
         print(
             f"  {name} ({shard['address']}): breaker {shard['breaker']}, "
-            f"{optimizations} DP runs server-side"
+            f"{optimizations} DP runs server-side, "
+            f"{envelope_hits} envelope hits"
         )
     return 0
 
@@ -881,17 +936,26 @@ def _run_cache(args: argparse.Namespace) -> int:
     from repro.service import DiskTier, InvalidationPredicate
 
     if args.cache_command == "inspect":
+        import time as _time
+
+        now_s = _time.time()
         reports = []
         for path in args.logs:
             with DiskTier(path) as tier:
                 entries = [
                     {
                         "fingerprint": key,
+                        "kind": kind,
+                        "age_s": (
+                            round(max(0.0, now_s - provenance.created_at_s), 3)
+                            if provenance is not None
+                            else None
+                        ),
                         "provenance": (
                             provenance.to_wire() if provenance is not None else None
                         ),
                     }
-                    for key, provenance in tier.entries()
+                    for key, provenance, kind in tier.entries()
                 ]
                 reports.append(
                     {
@@ -912,14 +976,18 @@ def _run_cache(args: argparse.Namespace) -> int:
             for record in report["records"]:
                 provenance = record["provenance"]
                 if provenance is None:
-                    print(f"  {record['fingerprint'][:16]}…  (no provenance)")
+                    print(
+                        f"  {record['fingerprint'][:16]}…  "
+                        f"kind={record['kind']} (no provenance)"
+                    )
                     continue
                 print(
                     f"  {record['fingerprint'][:16]}…  "
+                    f"kind={record['kind']} "
                     f"backend={provenance['backend_used']} "
                     f"generation={provenance['registry_generation']} "
                     f"partitions={provenance['n_partitions']} "
-                    f"created_at={provenance['created_at_s']:.0f}"
+                    f"age={record['age_s']:.0f}s"
                 )
         return 0
 

@@ -273,6 +273,10 @@ def settings_to_wire(settings: OptimizerSettings) -> dict[str, Any]:
         "use_all_join_algorithms": settings.use_all_join_algorithms,
         "parametric": settings.parametric,
         "backend": settings.backend.value,
+        # θ is a request parameter, not part of the optimization problem;
+        # shipped so a shard server binds the right plan, omitted when
+        # unset so pre-parametric peers keep decoding these records.
+        **({"theta": settings.theta} if settings.theta is not None else {}),
     }
 
 
@@ -287,6 +291,9 @@ def settings_from_wire(data: dict[str, Any]) -> OptimizerSettings:
             use_all_join_algorithms=bool(data["use_all_join_algorithms"]),
             parametric=bool(data["parametric"]),
             backend=Backend(data["backend"]),
+            theta=(
+                float(data["theta"]) if data.get("theta") is not None else None
+            ),
         )
     except (KeyError, TypeError) as error:
         raise ValueError(f"malformed settings record: {error!r}") from error

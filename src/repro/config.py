@@ -129,6 +129,15 @@ class OptimizerSettings:
             a parametric cost function ``(1-θ)·cost[0] + θ·cost[1]`` and keep
             exactly the plans optimal for some θ in [0, 1] (lower-envelope
             pruning; see ``repro.algorithms.pqo``).
+        theta: an optional θ *binding* for a parametric request: the caller
+            wants the single plan optimal at this θ, not the whole envelope.
+            θ is a request parameter, **not** part of the optimization
+            problem — the DP always computes the full lower envelope, and
+            the serving layer answers a bound request by envelope lookup
+            (:mod:`repro.core.envelope`).  Accordingly θ is excluded from
+            settings signatures and cache fingerprints
+            (:mod:`repro.service.fingerprint`), so every θ of one query
+            shape shares one cache entry.  Requires ``parametric=True``.
         backend: which enumeration core runs the worker DP (see
             :class:`Backend`).  Accepts the enum or its string value.  The
             default :attr:`Backend.AUTO` resolves to the fastest registered
@@ -143,6 +152,7 @@ class OptimizerSettings:
     use_all_join_algorithms: bool = True
     parametric: bool = False
     backend: Backend = Backend.AUTO
+    theta: float | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.backend, str):
@@ -165,6 +175,11 @@ class OptimizerSettings:
                 raise ValueError(
                     "parametric optimization does not support interesting orders"
                 )
+        if self.theta is not None:
+            if not self.parametric:
+                raise ValueError("theta requires parametric=True")
+            if not 0.0 <= self.theta <= 1.0:
+                raise ValueError(f"theta must be in [0, 1], got {self.theta}")
 
     @property
     def is_multi_objective(self) -> bool:
@@ -176,6 +191,16 @@ class OptimizerSettings:
         import dataclasses
 
         return dataclasses.replace(self, **changes)
+
+    def without_theta(self) -> "OptimizerSettings":
+        """The θ-free base settings — what fingerprints and DP runs use.
+
+        Identity (no copy) when no θ is bound, so the common non-parametric
+        path pays nothing.
+        """
+        if self.theta is None:
+            return self
+        return self.replace(theta=None)
 
 
 #: Settings used when none are supplied: classical single-objective

@@ -18,6 +18,12 @@ composed over a persistent :class:`DiskTier` via :class:`TieredPlanCache`,
 so cached plans — each carrying a :class:`Provenance` record — survive
 restarts and can be selectively invalidated
 (:class:`InvalidationPredicate`) when a backend or cost model changes.
+
+Parametric queries are canonicalized **θ-free**: the cost-weight parameter
+θ never enters a fingerprint, so one cached *envelope* entry (the whole
+lower-envelope frontier plus its :class:`~repro.core.envelope.EnvelopeIndex`
+breakpoint index) answers every θ of a query shape by binary search instead
+of a DP run — through every front door above, local or networked.
 """
 
 from repro.service.aio import (
@@ -48,9 +54,17 @@ from repro.service.provenance import (
     Provenance,
     aggregate_worker_stats,
 )
+from repro.core.envelope import EnvelopeIndex, build_envelope_index
 from repro.service.remap import invert, remap_mask, remap_plan
 from repro.service.server import ShardServer, run_shard_server
-from repro.service.service import CacheEntry, OptimizerService, ServiceResult
+from repro.service.service import (
+    ENVELOPE_ENTRY,
+    SCALAR_ENTRY,
+    CacheEntry,
+    OptimizerService,
+    ServiceResult,
+    bind_result_theta,
+)
 from repro.service.tiers import (
     DiskTier,
     DiskTierLockedError,
@@ -96,4 +110,9 @@ __all__ = [
     "remap_plan",
     "OptimizerService",
     "ServiceResult",
+    "EnvelopeIndex",
+    "build_envelope_index",
+    "ENVELOPE_ENTRY",
+    "SCALAR_ENTRY",
+    "bind_result_theta",
 ]

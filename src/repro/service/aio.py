@@ -71,7 +71,7 @@ from repro.service.fingerprint import (
     fingerprint_canonical,
 )
 from repro.service.gateway import GatewayStats, ShardedOptimizerGateway
-from repro.service.service import ServiceResult, serve_from_result
+from repro.service.service import ServiceResult, bind_result_theta, serve_from_result
 
 
 class GatewayOverloadedError(RuntimeError):
@@ -155,16 +155,26 @@ class _TenantState:
 
 
 class _Waiter:
-    """One admitted request: its future and its own canonical numbering."""
+    """One admitted request: its future, its own canonical numbering, its θ.
 
-    __slots__ = ("future", "canonical", "tenant")
+    ``theta`` rides on the waiter, not on the queued entry: requests for
+    different θs of one query shape coalesce onto a single dispatched
+    (θ-free) optimization, and each waiter binds its own θ at settlement.
+    """
+
+    __slots__ = ("future", "canonical", "tenant", "theta")
 
     def __init__(
-        self, future: "asyncio.Future[ServiceResult]", canonical: CanonicalForm, tenant: str
+        self,
+        future: "asyncio.Future[ServiceResult]",
+        canonical: CanonicalForm,
+        tenant: str,
+        theta: float | None = None,
     ) -> None:
         self.future = future
         self.canonical = canonical
         self.tenant = tenant
+        self.theta = theta
 
 
 class _PendingEntry:
@@ -273,11 +283,13 @@ class AsyncOptimizerGateway:
         #: Queued (not yet dispatched) entries by fingerprint, for coalescing.
         self._queued: dict[str, _PendingEntry] = {}
         self._dispatches: set[asyncio.Future] = set()
-        #: Fully-relabeled answers by fingerprint: value is (numbering the
-        #: plans are in, result to copy from).  Touched only on the loop.
-        self._served: OrderedDict[str, tuple[tuple[int, ...], ServiceResult]] = (
-            OrderedDict()
-        )
+        #: Fully-relabeled answers by (fingerprint, θ): value is (numbering
+        #: the plans are in, result to copy from).  θ is part of the memo key
+        #: because one θ-free fingerprint serves many bound answers; touched
+        #: only on the loop.
+        self._served: OrderedDict[
+            tuple[str, float | None], tuple[tuple[int, ...], ServiceResult]
+        ] = OrderedDict()
         self.result_memo_size = result_memo_size
         self._requests = 0
         self._fast_path_hits = 0
@@ -321,25 +333,26 @@ class AsyncOptimizerGateway:
         self._requests += 1
         state.requests += 1
 
+        theta = settings.theta
         canonical = canonicalize(query)
         key = fingerprint_canonical(canonical, settings, workers)
-        memo = self._served.get(key)
+        memo = self._served.get((key, theta))
         if memo is not None and memo[0] == canonical.numbering:
             # Edge-memo hit: the fully-relabeled answer for this exact
-            # numbering was already rendered — serve a fresh envelope over
-            # the shared frozen plans.
-            self._served.move_to_end(key)
+            # numbering (and θ binding) was already rendered — serve a fresh
+            # envelope over the shared frozen plans.
+            self._served.move_to_end((key, theta))
             self._fast_path_hits += 1
             self._result_memo_hits += 1
             state.completed += 1
             return dataclasses.replace(
                 memo[1], plans=list(memo[1].plans), cached=True
             )
-        served = self._gateway.serve_if_cached(canonical, key)
+        served = self._gateway.serve_if_cached(canonical, key, theta=theta)
         if served is not None:
             self._fast_path_hits += 1
             state.completed += 1
-            self._remember(key, canonical.numbering, served)
+            self._remember((key, theta), canonical.numbering, served)
             return served
 
         reason = self._admission_verdict(state)
@@ -352,7 +365,7 @@ class AsyncOptimizerGateway:
             raise GatewayOverloadedError(reason, self._retry_after_s(), tenant)
 
         assert self._loop is not None
-        waiter = _Waiter(self._loop.create_future(), canonical, tenant)
+        waiter = _Waiter(self._loop.create_future(), canonical, tenant, theta)
         self._admitted += 1
         self._outstanding += 1
         state.outstanding += 1
@@ -363,13 +376,18 @@ class AsyncOptimizerGateway:
         entry = self._queued.get(key)
         if entry is not None:
             # Same fingerprint already queued: ride along, one batch slot.
+            # θ is not part of the fingerprint, so requests for *different*
+            # θs of one shape coalesce here too — one DP run materializes
+            # the envelope, and each waiter binds its own θ at settlement.
             self._coalesced += 1
             entry.waiters.append(waiter)
         else:
             entry = _PendingEntry(key, query, canonical)
             entry.waiters.append(waiter)
             self._queued[key] = entry
-            self._enqueue(entry, settings, workers)
+            # Dispatch θ-free: the batch must produce the unbound frontier
+            # (and a single envelope entry), whatever θ this waiter asked.
+            self._enqueue(entry, settings.without_theta(), workers)
         return await waiter.future
 
     # --------------------------------------------------------------- admission
@@ -497,8 +515,13 @@ class AsyncOptimizerGateway:
         for group in list(self._windows):
             self._flush(group)
 
-    def _remember(self, key: str, numbering: tuple[int, ...], result: ServiceResult) -> None:
-        """LRU-memoize a served answer for its (fingerprint, numbering).
+    def _remember(
+        self,
+        key: tuple[str, float | None],
+        numbering: tuple[int, ...],
+        result: ServiceResult,
+    ) -> None:
+        """LRU-memoize a served answer for its (fingerprint, θ, numbering).
 
         A defensive copy is stored, never the object handed to a caller:
         callers may legitimately mutate their result's ``plans`` list in
@@ -517,19 +540,32 @@ class AsyncOptimizerGateway:
             self._served.popitem(last=False)
 
     def _settle_entry(self, entry: _PendingEntry, result: ServiceResult) -> None:
-        """Deliver one entry's result to each waiter in its own numbering."""
-        self._remember(entry.key, entry.canonical.numbering, result)
+        """Deliver one entry's result to each waiter in its own numbering.
+
+        ``result`` is the *unbound* outcome of a θ-free dispatch; each
+        waiter binds its own θ here.  The memo stores the unbound form
+        under ``(key, None)`` — θ-specific repeats are served from the
+        shard's envelope entry on the fast path instead.
+        """
+        self._remember((entry.key, None), entry.canonical.numbering, result)
         first = True
         for waiter in entry.waiters:
             if waiter.future.done():
                 continue
             if first and waiter.canonical.numbering == entry.canonical.numbering:
                 # The representative: the batch ran (or cache-served) its
-                # exact numbering, so the result passes through untouched.
-                waiter.future.set_result(result)
+                # exact numbering, so apart from the θ bind — which keeps
+                # the ``cached`` flag truthful — the result passes through.
+                waiter.future.set_result(bind_result_theta(result, waiter.theta))
             else:
                 waiter.future.set_result(
-                    serve_from_result(result, entry.canonical, waiter.canonical, entry.key)
+                    serve_from_result(
+                        result,
+                        entry.canonical,
+                        waiter.canonical,
+                        entry.key,
+                        theta=waiter.theta,
+                    )
                 )
             first = False
 

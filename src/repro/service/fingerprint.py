@@ -62,9 +62,17 @@ def _settings_signature(settings: OptimizerSettings) -> tuple:
     # settings values.  The registry generation is part of the memo key so
     # registering/replacing a backend (which can change what AUTO resolves
     # to) invalidates cached signatures instead of serving stale ones.
+    #
+    # A θ binding is stripped *before* the memo probe: θ parameterizes the
+    # lookup into a cached envelope, never the optimization problem, so
+    # every θ of one settings value must share one signature (hence one
+    # fingerprint and one cache entry) — and must not churn the memo with
+    # per-θ variants.
     from repro.core.worker import registry_generation
 
-    return _settings_signature_cached(settings, registry_generation())
+    return _settings_signature_cached(
+        settings.without_theta(), registry_generation()
+    )
 
 
 @lru_cache(maxsize=128)  # bounded: stale-generation entries must age out

@@ -56,6 +56,7 @@ from repro.service.service import (
     CacheEntry,
     OptimizerService,
     ServiceResult,
+    bind_result_theta,
     serve_from_result,
 )
 
@@ -79,6 +80,8 @@ class ShardStats:
     shard: int
     cache: CacheStats
     entries: int
+    #: θ-bindings served from a cached envelope (no DP run) on this shard.
+    envelope_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -102,6 +105,9 @@ class GatewayStats:
     coalesced: int
     in_flight: int
     peak_in_flight: int
+    #: θ-specific answers bound from cached envelopes, summed over shards.
+    #: Every one is a parametric request answered without enumerating.
+    envelope_hits: int = 0
 
     @property
     def hits(self) -> int:
@@ -262,17 +268,22 @@ class ShardedOptimizerGateway:
         try:
             role, payload = self._lookup_or_lead(shard, key)
             if role == "hit":
-                return shard.serve_entry(payload, canonical, key)
+                return shard.serve_entry(payload, canonical, key, theta=settings.theta)
             if role == "follow":
                 return self._await_flight(
-                    shard, payload, canonical, key, timeout_s=timeout_s
+                    shard,
+                    payload,
+                    canonical,
+                    key,
+                    timeout_s=timeout_s,
+                    theta=settings.theta,
                 )
             return self._lead(shard, payload, query, canonical, key, settings, workers)
         finally:
             self._exit_requests(1)
 
     def serve_if_cached(
-        self, canonical: CanonicalForm, key: str
+        self, canonical: CanonicalForm, key: str, theta: float | None = None
     ) -> ServiceResult | None:
         """Serve ``key`` from its shard's cache if resident; else ``None``.
 
@@ -295,7 +306,7 @@ class ShardedOptimizerGateway:
             return None
         with self._lock:
             self._requests += 1
-        return shard.serve_entry(entry, canonical, key)
+        return shard.serve_entry(entry, canonical, key, theta=theta)
 
     # ------------------------------------------------------------------- batch
 
@@ -333,7 +344,7 @@ class ShardedOptimizerGateway:
                     role, payload = self._lookup_or_lead(self.shards[shard_index], key)
                     if role == "hit":
                         results[index] = self.shards[shard_index].serve_entry(
-                            payload, canonicals[index], key
+                            payload, canonicals[index], key, theta=settings.theta
                         )
                     elif role == "follow":
                         followers.append((index, payload))
@@ -378,7 +389,7 @@ class ShardedOptimizerGateway:
             for index, flight in followers:
                 shard = self.shards[self.shard_for(flight.key)]
                 results[index] = self._await_flight(
-                    shard, flight, canonicals[index], keys[index]
+                    shard, flight, canonicals[index], keys[index], theta=settings.theta
                 )
             if errors:
                 raise errors[0]
@@ -435,15 +446,22 @@ class ShardedOptimizerGateway:
         settings: OptimizerSettings,
         workers: int,
     ) -> ServiceResult:
-        """Run the optimization this request leads; publish it to followers."""
+        """Run the optimization this request leads; publish it to followers.
+
+        The flight carries the *unbound* entry and result: followers may ask
+        for different θs than the leader, and each binds its own against the
+        shared envelope.  Only the leader's own return value is θ-bound.
+        """
         try:
-            result = shard.run_misses([(query, canonical, key)], settings, workers)[0]
-            flight.entry = shard.cache.peek(key)
+            result, entry = shard.run_misses_with_entries(
+                [(query, canonical, key)], settings, workers
+            )[0]
+            flight.entry = entry
             flight.result = result
             flight.canonical = canonical
             with self._lock:
                 self._optimizations += 1
-            return result
+            return bind_result_theta(result, settings.theta, envelope=entry.envelope)
         except BaseException as error:  # noqa: BLE001 - published, then re-raised
             flight.error = error
             raise
@@ -468,16 +486,18 @@ class ShardedOptimizerGateway:
         """Run one shard's led misses as a single interleaved sub-batch."""
         shard = self.shards[shard_index]
         try:
-            shard_results = shard.run_misses(
+            shard_results = shard.run_misses_with_entries(
                 [(requests[index], canonicals[index], keys[index]) for index, __ in group],
                 settings,
                 workers,
             )
-            for (index, flight), result in zip(group, shard_results):
-                flight.entry = shard.cache.peek(keys[index])
+            for (index, flight), (result, entry) in zip(group, shard_results):
+                flight.entry = entry
                 flight.result = result
                 flight.canonical = canonicals[index]
-                results[index] = result
+                results[index] = bind_result_theta(
+                    result, settings.theta, envelope=entry.envelope
+                )
             with self._lock:
                 self._optimizations += len(group)
         except BaseException as error:  # noqa: BLE001 - published, then re-raised
@@ -498,6 +518,7 @@ class ShardedOptimizerGateway:
         canonical: CanonicalForm,
         key: str,
         timeout_s: float | None = None,
+        theta: float | None = None,
     ) -> ServiceResult:
         """Wait for the in-flight leader, then serve from its published entry.
 
@@ -524,14 +545,16 @@ class ShardedOptimizerGateway:
             assert flight.result is not None and flight.canonical is not None
             with self._lock:
                 shard.cache.reclassify_miss_as_hit()
-            return serve_from_result(flight.result, flight.canonical, canonical, key)
+            return serve_from_result(
+                flight.result, flight.canonical, canonical, key, theta=theta
+            )
         # The follower's probe counted a miss, but no optimization ran for
         # it — recount so hit rate means "answered without enumerating".
         # Under the gateway lock so ``stats()`` snapshots never observe the
         # counters mid-reclassification.
         with self._lock:
             shard.cache.reclassify_miss_as_hit()
-        return shard.serve_entry(entry, canonical, key)
+        return shard.serve_entry(entry, canonical, key, theta=theta)
 
     # ------------------------------------------------------------------- stats
 
@@ -567,7 +590,12 @@ class ShardedOptimizerGateway:
             for index, shard in enumerate(self.shards):
                 cache_stats, entries = shard.cache.snapshot_with_size()
                 shard_stats.append(
-                    ShardStats(shard=index, cache=cache_stats, entries=entries)
+                    ShardStats(
+                        shard=index,
+                        cache=cache_stats,
+                        entries=entries,
+                        envelope_hits=shard.envelope_hits,
+                    )
                 )
             return GatewayStats(
                 shards=tuple(shard_stats),
@@ -576,6 +604,7 @@ class ShardedOptimizerGateway:
                 coalesced=self._coalesced,
                 in_flight=self._in_flight,
                 peak_in_flight=self._peak_in_flight,
+                envelope_hits=sum(stat.envelope_hits for stat in shard_stats),
             )
 
     # --------------------------------------------------------------- lifecycle

@@ -130,6 +130,9 @@ def result_to_wire(result: ServiceResult) -> dict[str, Any]:
         "simulated_time_ms": float_to_wire(result.simulated_time_ms),
         "network_bytes": result.network_bytes,
         "backend_used": result.backend_used,
+        # The θ this answer was bound at (omitted when unbound) — clients
+        # can audit that a routed parametric request came back bound.
+        **({"theta": result.theta} if result.theta is not None else {}),
     }
 
 
@@ -144,6 +147,9 @@ def result_from_wire(data: dict[str, Any]) -> ServiceResult:
             simulated_time_ms=float_from_wire(data["simulated_time_ms"]),
             network_bytes=int(data["network_bytes"]),
             backend_used=str(data.get("backend_used", "")),
+            theta=(
+                float(data["theta"]) if data.get("theta") is not None else None
+            ),
         )
     except (KeyError, TypeError) as error:
         raise ValueError(f"malformed result record: {error!r}") from error

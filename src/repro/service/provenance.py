@@ -47,10 +47,15 @@ class Provenance:
     n_partitions: int
     #: Aggregated creation WorkerStats counters.
     worker_stats: Mapping[str, float] = field(default_factory=dict)
+    #: For an envelope entry: the θ interval the cached frontier covers
+    #: (today always the full ``(0.0, 1.0)``; a drift-aware policy can
+    #: narrow it).  ``None`` for scalar entries — and omitted on the wire,
+    #: so pre-envelope logs and snapshots decode unchanged.
+    theta_domain: tuple[float, float] | None = None
 
     def to_wire(self) -> dict[str, Any]:
         """JSON-compatible encoding (inverse: :meth:`from_wire`)."""
-        return {
+        wire = {
             "backend_used": self.backend_used,
             "settings_signature": self.settings_signature,
             "registry_generation": self.registry_generation,
@@ -58,10 +63,14 @@ class Provenance:
             "n_partitions": self.n_partitions,
             "worker_stats": dict(self.worker_stats),
         }
+        if self.theta_domain is not None:
+            wire["theta_domain"] = list(self.theta_domain)
+        return wire
 
     @classmethod
     def from_wire(cls, data: Mapping[str, Any]) -> "Provenance":
         """Rebuild a record from :meth:`to_wire` output."""
+        domain = data.get("theta_domain")
         return cls(
             backend_used=str(data["backend_used"]),
             settings_signature=str(data["settings_signature"]),
@@ -69,6 +78,9 @@ class Provenance:
             created_at_s=float(data["created_at_s"]),
             n_partitions=int(data["n_partitions"]),
             worker_stats=dict(data.get("worker_stats", {})),
+            theta_domain=(
+                (float(domain[0]), float(domain[1])) if domain is not None else None
+            ),
         )
 
 

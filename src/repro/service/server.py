@@ -384,6 +384,7 @@ class ShardServer:
             "coalesced": gateway.coalesced,
             "cache_hits": gateway.hits,
             "cache_misses": gateway.misses,
+            "envelope_hits": gateway.envelope_hits,
         }
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 # any process pool existed.
 from concurrent.futures.process import BrokenProcessPool
 import dataclasses
+import threading
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -42,6 +43,12 @@ from repro.cluster.simulator import (
 )
 from repro.config import DEFAULT_SETTINGS, OptimizerSettings
 from repro.core.constraints import usable_partitions
+from repro.core.envelope import (
+    FULL_THETA_DOMAIN,
+    EnvelopeIndex,
+    best_index_at,
+    build_envelope_index,
+)
 from repro.core.master import MasterResult, PartitionExecutor
 from repro.core.worker import PartitionResult, registry_generation
 from repro.cluster.executors import SerialPartitionExecutor
@@ -59,6 +66,14 @@ from repro.service.provenance import Provenance, aggregate_worker_stats
 from repro.service.remap import invert, remap_plan
 
 
+#: ``CacheEntry.kind`` values: a scalar entry caches one optimization's
+#: plan frontier; an envelope entry caches a parametric run's whole
+#: lower-envelope frontier plus its breakpoint index, so every θ of the
+#: query shape is answered from the one entry.
+SCALAR_ENTRY = "scalar"
+ENVELOPE_ENTRY = "envelope"
+
+
 @dataclass
 class CacheEntry:
     """What the cache retains per fingerprint: plans in canonical numbering.
@@ -69,6 +84,12 @@ class CacheEntry:
     an identical request would have measured.  Public because the sharded
     gateway (:mod:`repro.service.gateway`) hands entries from a completed
     in-flight run directly to coalesced waiters.
+
+    An entry is the cache's unit of *derived artifact*, not necessarily a
+    single answer: an :data:`ENVELOPE_ENTRY` stores a parametric run's full
+    lower-envelope frontier plus its breakpoint index, from which a
+    θ-specific request is answered by O(log n) lookup
+    (:meth:`select_index`) instead of a DP run.
     """
 
     canonical_plans: list[Plan]
@@ -82,6 +103,22 @@ class CacheEntry:
     #: persistent tier persists alongside the plans, and what invalidation
     #: predicates evaluate against.  ``None`` only for hand-built entries.
     provenance: Provenance | None = None
+    #: :data:`SCALAR_ENTRY` or :data:`ENVELOPE_ENTRY`.
+    kind: str = SCALAR_ENTRY
+    #: Breakpoint index over ``canonical_plans`` for envelope entries.
+    envelope: EnvelopeIndex | None = None
+
+    def select_index(self, theta: float) -> int:
+        """Position of the θ-optimal plan in ``canonical_plans``.
+
+        Envelope entries bisect their breakpoint index; an entry without
+        one (a scalar-kind parametric entry from a pre-envelope log) falls
+        back to the linear reference rule — same selection, just O(n).
+        """
+        costs = [plan.cost for plan in self.canonical_plans]
+        if self.envelope is not None:
+            return self.envelope.select(costs, theta)
+        return best_index_at(costs, theta)
 
 
 @dataclass
@@ -99,6 +136,10 @@ class ServiceResult:
     #: Enumeration backend that produced the plans (for a cache hit: the
     #: backend of the original run).  Empty only for hand-built results.
     backend_used: str = ""
+    #: The θ this result was bound to: ``plans`` holds exactly the one plan
+    #: optimal at this parameter value.  ``None`` for unbound results (the
+    #: whole frontier, parametric or not).
+    theta: float | None = None
 
     @property
     def best(self) -> Plan:
@@ -118,6 +159,7 @@ def serve_from_result(
     source: CanonicalForm,
     target: CanonicalForm,
     key: str,
+    theta: float | None = None,
 ) -> ServiceResult:
     """Serve an isomorphic duplicate directly from another request's result.
 
@@ -127,25 +169,61 @@ def serve_from_result(
     the cache — the serving path when no cache entry exists (``capacity=0``,
     or an entry evicted between the run and the duplicate being served) and
     for async waiters coalesced onto a batched flight.
+
+    With ``theta``, the unbound frontier is narrowed to its θ-optimal plan
+    *before* relabeling (one remap instead of a frontier's worth).  The
+    selection key never reads table numbers, so binding on the source
+    plans picks the same plan every consumer of this frontier picks.
     """
     inverse = invert(target.numbering)
     mapping = tuple(
         inverse[source.numbering[original]]
         for original in range(len(source.numbering))
     )
+    if theta is not None:
+        source_plans = [
+            result.plans[best_index_at([plan.cost for plan in result.plans], theta)]
+        ]
+    else:
+        source_plans = result.plans
     if mapping == tuple(range(len(mapping))):
         # Identical numbering (the common case when one hot query object is
         # coalesced many times): plans are frozen, so they can be shared
         # as-is — only the list and the flags are fresh.
-        plans = list(result.plans)
+        plans = list(source_plans)
     else:
-        plans = [remap_plan(plan, mapping) for plan in result.plans]
+        plans = [remap_plan(plan, mapping) for plan in source_plans]
     return dataclasses.replace(
         result,
         plans=plans,
         fingerprint=key,
         cached=True,
+        theta=theta if theta is not None else result.theta,
     )
+
+
+def bind_result_theta(
+    result: ServiceResult,
+    theta: float | None,
+    envelope: EnvelopeIndex | None = None,
+) -> ServiceResult:
+    """Narrow a fresh (unbound) envelope result to its θ-optimal plan.
+
+    Used by the miss path: the DP always runs θ-free and produces the full
+    frontier; the request that led it may still have asked for a concrete
+    θ.  ``envelope`` (positionally aligned with ``result.plans`` — costs
+    are numbering-invariant, so the entry's canonical index applies to the
+    requester-numbered plans directly) makes the bind O(log n); without it
+    the linear reference rule selects identically.
+    """
+    if theta is None:
+        return result
+    costs = [plan.cost for plan in result.plans]
+    if envelope is not None:
+        index = envelope.select(costs, theta)
+    else:
+        index = best_index_at(costs, theta)
+    return dataclasses.replace(result, plans=[result.plans[index]], theta=theta)
 
 
 class OptimizerService:
@@ -185,6 +263,14 @@ class OptimizerService:
         self.cache: CacheTier[CacheEntry] = (
             cache if cache is not None else PlanCache(capacity=cache_capacity)
         )
+        self._counter_lock = threading.Lock()
+        self._envelope_hits = 0
+
+    @property
+    def envelope_hits(self) -> int:
+        """θ-specific answers served from a materialized envelope (no DP)."""
+        with self._counter_lock:
+            return self._envelope_hits
 
     # ------------------------------------------------------------------ single
 
@@ -194,15 +280,23 @@ class OptimizerService:
         settings: OptimizerSettings | None = None,
         n_workers: int | None = None,
     ) -> ServiceResult:
-        """Optimize one query, serving repeated/isomorphic requests from cache."""
+        """Optimize one query, serving repeated/isomorphic requests from cache.
+
+        The fingerprint is θ-free, so a θ-bound parametric request hits the
+        same entry as every other θ of its shape; the hit is answered by
+        envelope lookup, and only the first request per shape runs a DP.
+        """
         settings = settings if settings is not None else self.settings
         workers = n_workers if n_workers is not None else self.n_workers
         canonical = canonicalize(query)
         key = fingerprint_canonical(canonical, settings, workers)
         entry = self.cache.get(key)
         if entry is not None:
-            return self.serve_entry(entry, canonical, key)
-        return self.run_misses([(query, canonical, key)], settings, workers)[0]
+            return self.serve_entry(entry, canonical, key, theta=settings.theta)
+        result, entry = self.run_misses_with_entries(
+            [(query, canonical, key)], settings, workers
+        )[0]
+        return bind_result_theta(result, settings.theta, envelope=entry.envelope)
 
     # ------------------------------------------------------------------- batch
 
@@ -235,13 +329,15 @@ class OptimizerService:
         for index, key in enumerate(keys):
             entry = self.cache.get(key)
             if entry is not None:
-                results[index] = self.serve_entry(entry, canonicals[index], key)
+                results[index] = self.serve_entry(
+                    entry, canonicals[index], key, theta=settings.theta
+                )
             else:
                 misses.setdefault(key, []).append(index)
 
         # One representative query per missing fingerprint actually runs.
         unique = [(key, indices[0]) for key, indices in misses.items()]
-        miss_results = self.run_misses(
+        miss_outcomes = self.run_misses_with_entries(
             [
                 (requests[index], canonicals[index], key)
                 for key, index in unique
@@ -249,24 +345,22 @@ class OptimizerService:
             settings,
             workers,
         )
-        for (key, representative), entry_result in zip(unique, miss_results):
-            results[representative] = entry_result
-            entry = self.cache.peek(key)
+        for (key, representative), (entry_result, entry) in zip(unique, miss_outcomes):
+            results[representative] = bind_result_theta(
+                entry_result, settings.theta, envelope=entry.envelope
+            )
             for index in misses[key][1:]:
                 # Isomorphic duplicate within the batch: computed once above
-                # and served from the cache.  Its initial lookup counted a
-                # miss (the entry did not exist yet); reclassify it as the
-                # hit it ultimately was, so the operator-facing hit rate
-                # agrees with the ``cached`` flags on the results.
+                # and served from the run's own entry — present even when
+                # the cache retains nothing (capacity=0) or already evicted
+                # it.  The duplicate's initial lookup counted a miss (the
+                # entry did not exist yet); reclassify it as the hit it
+                # ultimately was, so the operator-facing hit rate agrees
+                # with the ``cached`` flags on the results.
                 self.cache.reclassify_miss_as_hit()
-                if entry is not None:
-                    results[index] = self.serve_entry(entry, canonicals[index], key)
-                else:
-                    # capacity=0 (or the entry was already evicted): relabel
-                    # the representative's fresh result directly.
-                    results[index] = serve_from_result(
-                        entry_result, canonicals[representative], canonicals[index], key
-                    )
+                results[index] = self.serve_entry(
+                    entry, canonicals[index], key, theta=settings.theta
+                )
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
@@ -286,8 +380,30 @@ class OptimizerService:
         executor when it supports batching; every completed run is cached
         under its fingerprint before its result is returned.
         """
+        return [
+            result
+            for result, __ in self.run_misses_with_entries(items, settings, n_workers)
+        ]
+
+    def run_misses_with_entries(
+        self,
+        items: Sequence[tuple[Query, CanonicalForm, str]],
+        settings: OptimizerSettings | None = None,
+        n_workers: int | None = None,
+    ) -> list[tuple[ServiceResult, CacheEntry]]:
+        """:meth:`run_misses`, returning each run's cache entry alongside.
+
+        The DP always runs θ-free — a θ binding on ``settings`` is stripped
+        here, so the run materializes the full envelope and *one* run
+        answers every θ of the shape.  Results are correspondingly unbound;
+        callers bind per requester (:func:`bind_result_theta`).  Handing
+        the entry back (rather than making callers re-peek the cache) is
+        what lets the gateway serve coalesced followers their own θ even
+        when the cache retains nothing.
+        """
         settings = settings if settings is not None else self.settings
         workers = n_workers if n_workers is not None else self.n_workers
+        settings = settings.without_theta()
         gathered = self._run_many(
             [(query, workers, settings) for query, __, __ in items]
         )
@@ -339,8 +455,15 @@ class OptimizerService:
         settings: OptimizerSettings,
         workers: int,
         partition_results: list[PartitionResult],
-    ) -> ServiceResult:
-        """Final-prune a miss's partition results, cache them, build the answer."""
+    ) -> tuple[ServiceResult, CacheEntry]:
+        """Final-prune a miss's partition results, cache them, build the answer.
+
+        A parametric run's frontier is cached as an :data:`ENVELOPE_ENTRY`:
+        the breakpoint index is extracted once here (and serialized with the
+        entry, never recomputed downstream), and the provenance records the
+        θ-domain the envelope covers.  ``settings`` is already θ-free (see
+        :meth:`run_misses_with_entries`); the returned result is unbound.
+        """
         pruning = make_pruning(settings, n_tables=query.n_tables)
         plans = final_prune(pruning, (result.plans for result in partition_results))
         master = MasterResult(
@@ -350,6 +473,15 @@ class OptimizerService:
             partition_results=partition_results,
         )
         simulated = simulate_mpq_run(self.cluster, query, master)
+        canonical_plans = [remap_plan(plan, canonical.numbering) for plan in plans]
+        if settings.parametric and plans:
+            kind = ENVELOPE_ENTRY
+            envelope = build_envelope_index(canonical_plans)
+            theta_domain = FULL_THETA_DOMAIN
+        else:
+            kind = SCALAR_ENTRY
+            envelope = None
+            theta_domain = None
         provenance = Provenance(
             backend_used=master.backend_used,
             settings_signature=settings_signature(settings),
@@ -359,20 +491,19 @@ class OptimizerService:
             worker_stats=aggregate_worker_stats(
                 [result.stats for result in partition_results]
             ),
+            theta_domain=theta_domain,
         )
-        self.cache.put(
-            key,
-            CacheEntry(
-                canonical_plans=[
-                    remap_plan(plan, canonical.numbering) for plan in plans
-                ],
-                n_partitions=master.n_partitions,
-                simulated=simulated,
-                backend_used=master.backend_used,
-                provenance=provenance,
-            ),
+        entry = CacheEntry(
+            canonical_plans=canonical_plans,
+            n_partitions=master.n_partitions,
+            simulated=simulated,
+            backend_used=master.backend_used,
+            provenance=provenance,
+            kind=kind,
+            envelope=envelope,
         )
-        return ServiceResult(
+        self.cache.put(key, entry)
+        result = ServiceResult(
             plans=plans,
             n_partitions=master.n_partitions,
             fingerprint=key,
@@ -381,20 +512,39 @@ class OptimizerService:
             network_bytes=simulated.network_bytes,
             backend_used=master.backend_used,
         )
+        return result, entry
 
     def serve_entry(
-        self, entry: CacheEntry, canonical: CanonicalForm, key: str
+        self,
+        entry: CacheEntry,
+        canonical: CanonicalForm,
+        key: str,
+        theta: float | None = None,
     ) -> ServiceResult:
-        """Remap a cached entry's canonical plans into the requester's numbering."""
+        """Remap a cached entry's canonical plans into the requester's numbering.
+
+        With ``theta``, the entry's breakpoint index binds the request to
+        its θ-optimal plan first, so only that one plan is remapped — the
+        envelope fast path every front-end's hit serving funnels through;
+        each such bind counts one ``envelope_hits``.
+        """
         mapping = invert(canonical.numbering)
+        if theta is not None:
+            index = entry.select_index(theta)
+            plans = [remap_plan(entry.canonical_plans[index], mapping)]
+            with self._counter_lock:
+                self._envelope_hits += 1
+        else:
+            plans = [remap_plan(plan, mapping) for plan in entry.canonical_plans]
         return ServiceResult(
-            plans=[remap_plan(plan, mapping) for plan in entry.canonical_plans],
+            plans=plans,
             n_partitions=entry.n_partitions,
             fingerprint=key,
             cached=True,
             simulated_time_ms=entry.simulated.total_ms,
             network_bytes=entry.simulated.network_bytes,
             backend_used=entry.backend_used,
+            theta=theta,
         )
 
     # --------------------------------------------------------------- lifecycle

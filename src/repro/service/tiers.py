@@ -50,9 +50,10 @@ from repro.cluster.serialization import (
     timing_from_wire,
     timing_to_wire,
 )
+from repro.core.envelope import EnvelopeIndex
 from repro.service.cache import CacheStats, MemoryTier
 from repro.service.provenance import InvalidationPredicate, Provenance
-from repro.service.service import CacheEntry
+from repro.service.service import SCALAR_ENTRY, CacheEntry
 
 #: First line of every log and snapshot file; readers reject other formats.
 LOG_MAGIC = {"t": "header", "format": "repro-plan-cache", "version": 1}
@@ -73,25 +74,40 @@ class DiskTierLockedError(RuntimeError):
 
 
 def entry_to_wire(entry: CacheEntry) -> dict[str, Any]:
-    """JSON-compatible encoding of a cache entry (plans, timing, provenance)."""
-    return {
+    """JSON-compatible encoding of a cache entry (plans, timing, provenance).
+
+    Envelope entries additionally carry their ``kind`` and the breakpoint
+    index (:meth:`~repro.core.envelope.EnvelopeIndex.to_wire`) — the
+    breakpoints are *shipped*, not recomputed on decode, so both sides of a
+    disk or network round trip bind every θ to the same segment.  Scalar
+    entries omit both fields, keeping pre-envelope logs byte-compatible.
+    """
+    wire = {
         "plans": plans_to_wire(entry.canonical_plans),
         "n_partitions": entry.n_partitions,
         "simulated": timing_to_wire(entry.simulated),
         "backend_used": entry.backend_used,
         "provenance": entry.provenance.to_wire() if entry.provenance else None,
     }
+    if entry.kind != SCALAR_ENTRY:
+        wire["kind"] = entry.kind
+    if entry.envelope is not None:
+        wire["envelope"] = entry.envelope.to_wire()
+    return wire
 
 
 def entry_from_wire(data: dict[str, Any]) -> CacheEntry:
     """Rebuild a cache entry from :func:`entry_to_wire` output."""
     provenance = data.get("provenance")
+    envelope = data.get("envelope")
     return CacheEntry(
         canonical_plans=plans_from_wire(data["plans"]),
         n_partitions=int(data["n_partitions"]),
         simulated=timing_from_wire(data["simulated"]),
         backend_used=str(data.get("backend_used", "")),
         provenance=Provenance.from_wire(provenance) if provenance else None,
+        kind=str(data.get("kind", SCALAR_ENTRY)),
+        envelope=EnvelopeIndex.from_wire(envelope) if envelope else None,
     )
 
 
@@ -113,19 +129,42 @@ class DiskTier:
     slow); the default flushes to the OS only, which survives process
     crashes — the failure mode restarts actually come from.
 
+    ``compact_ratio`` enables automatic compaction: whenever the fraction
+    of live records among all log records drops below the ratio, the log is
+    rewritten at the next open (right after recovery) or close.  Those two
+    points are deliberately the only triggers — compaction holds the tier
+    lock for a full log rewrite, which is acceptable at lifecycle edges but
+    not mid-serving.  ``0.0`` (default) never auto-compacts; explicit
+    :meth:`compact` always works regardless.
+
     Standalone, the tier satisfies :class:`~repro.service.cache.CacheTier`
     with one documented deviation: :meth:`peek` performs a (stat-free)
     disk read, so compose it under :class:`TieredPlanCache` — whose peek is
     memory-only — before handing it to lock-holding callers.
     """
 
-    def __init__(self, path: str | os.PathLike, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        sync: bool = False,
+        compact_ratio: float = 0.0,
+    ) -> None:
+        if not 0.0 <= compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in [0, 1], got {compact_ratio}"
+            )
         self.path = Path(path)
         self.sync = sync
+        self.compact_ratio = compact_ratio
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._offsets: dict[str, int] = {}
         self._provenance: dict[str, Provenance | None] = {}
+        self._kinds: dict[str, str] = {}
+        #: Total records appended to the log (puts + tombstones, not the
+        #: header); ``len(_offsets) / _total_records`` is the live ratio the
+        #: auto-compaction policy watches.
+        self._total_records = 0
         self._lockfile: io.BufferedRandom | None = None
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._acquire_writer_lock()
@@ -144,6 +183,11 @@ class DiskTier:
         except BaseException:
             self._release_writer_lock()
             raise
+        # Open-time auto-compaction: recovery just counted the dead weight a
+        # previous process left behind; shedding it now is the one moment a
+        # rewrite delays nothing but startup.
+        if self._needs_compaction():
+            self.compact()
 
     # ----------------------------------------------------------- writer lock
 
@@ -219,17 +263,21 @@ class DiskTier:
                 if not line.endswith(b"\n"):
                     break  # complete JSON but unterminated: also torn
                 good_end = log.tell()
-                kind = record.get("t")
-                if kind == "put":
+                record_type = record.get("t")
+                if record_type == "put":
                     key = record["k"]
                     self._offsets[key] = offset
                     provenance = record["entry"].get("provenance")
                     self._provenance[key] = (
                         Provenance.from_wire(provenance) if provenance else None
                     )
-                elif kind == "del":
+                    self._kinds[key] = record["entry"].get("kind", SCALAR_ENTRY)
+                    self._total_records += 1
+                elif record_type == "del":
                     self._offsets.pop(record["k"], None)
                     self._provenance.pop(record["k"], None)
+                    self._kinds.pop(record["k"], None)
+                    self._total_records += 1
         if good_end < self.path.stat().st_size:
             with open(self.path, "r+b") as log:
                 log.truncate(good_end)
@@ -244,6 +292,7 @@ class DiskTier:
         self._appender.flush()
         if self.sync:
             os.fsync(self._appender.fileno())
+        self._total_records += 1
         return offset
 
     def _read_entry(self, offset: int) -> CacheEntry:
@@ -287,6 +336,7 @@ class DiskTier:
         with self._lock:
             self._offsets[key] = self._append(record)
             self._provenance[key] = entry.provenance
+            self._kinds[key] = entry.kind
 
     def evict(self, key: str) -> bool:
         """Tombstone ``key`` if present (counted as an eviction)."""
@@ -296,6 +346,7 @@ class DiskTier:
             self._append({"t": "del", "k": key})
             del self._offsets[key]
             self._provenance.pop(key, None)
+            self._kinds.pop(key, None)
             self.stats.evictions += 1
             return True
 
@@ -330,6 +381,7 @@ class DiskTier:
                 self._append({"t": "del", "k": key})
                 del self._offsets[key]
                 del self._provenance[key]
+                self._kinds.pop(key, None)
                 self.stats.evictions += 1
             return doomed
 
@@ -340,11 +392,30 @@ class DiskTier:
         with self._lock:
             return list(self._offsets)
 
-    def entries(self) -> Iterator[tuple[str, Provenance | None]]:
-        """Iterate ``(key, provenance)`` over live entries, index order."""
+    def entries(self) -> Iterator[tuple[str, Provenance | None, str]]:
+        """Iterate ``(key, provenance, kind)`` over live entries, index order."""
         with self._lock:
-            items = list(self._provenance.items())
+            items = [
+                (key, provenance, self._kinds.get(key, SCALAR_ENTRY))
+                for key, provenance in self._provenance.items()
+            ]
         yield from items
+
+    def live_ratio(self) -> float:
+        """Fraction of log records still live (1.0 on an empty log)."""
+        with self._lock:
+            if self._total_records == 0:
+                return 1.0
+            return len(self._offsets) / self._total_records
+
+    def _needs_compaction(self) -> bool:
+        """Whether the auto-compaction policy says the log is worth rewriting."""
+        if self.compact_ratio <= 0.0:
+            return False
+        with self._lock:
+            if self._total_records == 0:
+                return False
+            return len(self._offsets) / self._total_records < self.compact_ratio
 
     def log_bytes(self) -> int:
         """Current size of the log file (includes dead records)."""
@@ -403,6 +474,7 @@ class DiskTier:
                     self._provenance[key] = (
                         Provenance.from_wire(provenance) if provenance else None
                     )
+                    self._kinds[key] = record["entry"].get("kind", SCALAR_ENTRY)
                     imported += 1
         return imported
 
@@ -434,6 +506,8 @@ class DiskTier:
                 try:
                     self._offsets.clear()
                     self._provenance.clear()
+                    self._kinds.clear()
+                    self._total_records = 0
                     self._recover()
                 finally:
                     # Whatever happened above — swap refused, recovery
@@ -465,13 +539,22 @@ class DiskTier:
             self._appender.flush()
             self._offsets.clear()
             self._provenance.clear()
+            self._kinds.clear()
+            self._total_records = 0
             self.stats = CacheStats()
 
     # --------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Flush and release the file handles and writer lock.  Idempotent."""
+        """Flush and release the file handles and writer lock.  Idempotent.
+
+        With ``compact_ratio`` set, a log that accumulated too much dead
+        weight is compacted on the way out, so the next opener recovers a
+        minimal log instead of replaying superseded records.
+        """
         with self._lock:
+            if not self._appender.closed and self._needs_compaction():
+                self.compact()
             for handle in (self._appender, self._reader):
                 try:
                     handle.close()

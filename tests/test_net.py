@@ -840,3 +840,129 @@ class TestWarmRestartOverTheWire:
             if proc.poll() is None:
                 proc.kill()
             proc.stdout.close()
+
+
+# --------------------------------------------------- seeded rebalance sweeps
+
+
+class TestRingRebalanceProperties:
+    """Seeded property sweeps over random membership churn.
+
+    The fixed-scenario tests above pin the invariants on one topology; these
+    drive random add/remove sequences and assert the same two rebalance
+    invariants hold after *every* step: a removal remaps only the removed
+    shard's keys, and an addition moves keys only onto the new shard.
+    """
+
+    def keys(self, n=300):
+        import hashlib
+
+        return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+    @pytest.mark.parametrize("seed", [3, 17, 92])
+    def test_churn_preserves_rebalance_invariants(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        keys = self.keys()
+        ring = ConsistentHashRing(replicas=32)
+        members: list[str] = []
+        for index in range(3):  # never let the ring go empty
+            name = f"seed-{index}"
+            ring.add(name)
+            members.append(name)
+        fresh = iter(f"shard-{i}" for i in range(1000))
+        for __ in range(40):
+            before = {key: ring.route(key) for key in keys}
+            if len(members) > 3 and rng.random() < 0.5:
+                victim = rng.choice(members)
+                members.remove(victim)
+                ring.remove(victim)
+                for key, owner in before.items():
+                    if owner == victim:
+                        assert ring.route(key) != victim
+                    else:  # every other key stays put
+                        assert ring.route(key) == owner
+            else:
+                joiner = next(fresh)
+                members.append(joiner)
+                ring.add(joiner)
+                for key, owner in before.items():
+                    after = ring.route(key)
+                    # A key either stays put or lands on the joiner.
+                    assert after == owner or after == joiner
+            assert sorted(members) == ring.shards()
+
+    @pytest.mark.parametrize("seed", [5, 41])
+    def test_remove_then_re_add_restores_routing_exactly(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        keys = self.keys()
+        ring = ConsistentHashRing(replicas=32)
+        for index in range(6):
+            ring.add(f"shard-{index}")
+        baseline = {key: ring.route(key) for key in keys}
+        for __ in range(10):
+            shard = f"shard-{rng.randrange(6)}"
+            ring.remove(shard)
+            ring.add(shard)
+            # Virtual-node positions depend only on the shard name, so a
+            # bounce must restore the exact pre-departure routing table.
+            assert {key: ring.route(key) for key in keys} == baseline
+
+
+class TestCircuitBreakerHalfOpenRace:
+    def test_exactly_one_probe_wins_the_race(self):
+        # Many client threads consult an open breaker the instant its reset
+        # timeout elapses: exactly one must be admitted as the half-open
+        # probe, all others refused, on every seeded rerun.
+        for round_index in range(20):
+            clock = FakeClock()
+            breaker = CircuitBreaker(1, 1.0, clock=clock)
+            breaker.record_failure()
+            assert breaker.state == "open"
+            clock.now += 1.0 + round_index * 0.1
+            n_threads = 8
+            barrier = threading.Barrier(n_threads)
+            admitted = []
+            lock = threading.Lock()
+
+            def probe():
+                barrier.wait()
+                allowed = breaker.allow()
+                with lock:
+                    admitted.append(allowed)
+
+            threads = [threading.Thread(target=probe) for __ in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert admitted.count(True) == 1
+            assert breaker.state == "half-open"
+
+    def test_probe_outcome_race_settles_deterministically(self):
+        # While the probe is in flight, concurrent allow() calls keep
+        # refusing; the probe's failure reopens and restarts the timeout.
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 1.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.allow()
+        stop = threading.Event()
+        refused = []
+
+        def hammer():
+            while not stop.is_set():
+                refused.append(breaker.allow())
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        time.sleep(0.02)
+        breaker.record_failure()  # probe fails → reopen
+        stop.set()
+        thread.join()
+        assert not any(refused)
+        assert breaker.state == "open"
+        assert breaker.retry_after_s() == pytest.approx(1.0)

@@ -224,7 +224,7 @@ class TestDiskTier:
         with DiskTier(tmp_path / "cache.log") as tier:
             tier.put("a", make_entry(signature="s1"))
             assert tier.provenance_of("a").settings_signature == "s1"
-            assert dict(tier.entries())["a"].settings_signature == "s1"
+            assert {k: prov for k, prov, __ in tier.entries()}["a"].settings_signature == "s1"
             assert tier.provenance_of("nope") is None
 
     def test_clear_resets_everything(self, tmp_path):
@@ -428,7 +428,7 @@ class TestSelectiveInvalidationAcceptance:
             # Provenance was stamped with the concrete backend per entry.
             backends = sorted(
                 provenance.backend_used
-                for __, provenance in cache.disk.entries()
+                for __, provenance, __kind in cache.disk.entries()
             )
             assert backends == ["fastdp", "legacy"]
 
@@ -458,7 +458,7 @@ class TestSelectiveInvalidationAcceptance:
             # And the re-created entry carries the new generation.
             refreshed = [
                 provenance
-                for __, provenance in cache.disk.entries()
+                for __, provenance, __kind in cache.disk.entries()
                 if provenance.backend_used == "fastdp"
             ]
             assert [p.registry_generation for p in refreshed] == [
@@ -547,7 +547,7 @@ class TestMidProcessRegistrationStability:
                 assert result_b.backend_used == "vecdp"
                 refreshed = [
                     provenance
-                    for __, provenance in cache.disk.entries()
+                    for __, provenance, __kind in cache.disk.entries()
                     if provenance.settings_signature == auto_signature_new
                 ]
                 assert len(refreshed) == 1
@@ -560,7 +560,7 @@ class TestMidProcessRegistrationStability:
                 # The pinned entry's provenance never moved.
                 stale_free = [
                     provenance
-                    for __, provenance in cache.disk.entries()
+                    for __, provenance, __kind in cache.disk.entries()
                     if provenance.settings_signature == pinned_signature
                 ]
                 assert [p.backend_used for p in stale_free] == ["fastdp"]

@@ -8,10 +8,17 @@ output files) so the committed reports never drift from the workflow:
     python tools/regen_benches.py             # all five, in order
     python tools/regen_benches.py --only persist,async
     python tools/regen_benches.py --list
+    python tools/regen_benches.py --check     # dry run: nothing executes
 
 Each script still enforces its own gates (speedup floors, divergence
 checks, restart/latency gates); the runner stops at the first failure
 unless ``--keep-going`` is given, and exits non-zero if anything failed.
+
+``--check`` is the dry-run mode for CI and pre-commit hooks: without
+running a single benchmark it verifies that every configured script
+exists, that every committed report (``BENCH_persist.json`` included) is
+present and parses as JSON, and that no report predates its script — the
+drift that this runner exists to prevent.
 """
 
 from __future__ import annotations
@@ -87,6 +94,32 @@ def run_bench(name: str) -> int:
     return process.returncode
 
 
+def check_bench(name: str) -> list[str]:
+    """Dry-run validation of one benchmark; returns problem descriptions."""
+    import json
+
+    output, argv = BENCHES[name]
+    problems: list[str] = []
+    script = ROOT / argv[0]
+    if not script.is_file():
+        problems.append(f"{name}: script {argv[0]} is missing")
+    report = ROOT / output
+    if not report.is_file():
+        problems.append(f"{name}: committed report {output} is missing")
+        return problems
+    try:
+        parsed = json.loads(report.read_text())
+    except (OSError, ValueError) as error:
+        problems.append(f"{name}: {output} is not valid JSON ({error})")
+        return problems
+    # Schemas differ per script (bench_fastdp keys by feature, the rest
+    # carry a 'config' block), so the shared contract is just "a non-empty
+    # JSON object" — anything tighter belongs to the script's own gates.
+    if not isinstance(parsed, dict) or not parsed:
+        problems.append(f"{name}: {output} is not a non-empty JSON object")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -102,6 +135,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run every benchmark even after a failure",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="dry run: verify scripts and committed reports without "
+        "executing any benchmark",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name, (output, bench_argv) in BENCHES.items():
@@ -115,6 +154,17 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 f"unknown benchmark(s) {unknown}; choose from {list(BENCHES)}"
             )
+    if args.check:
+        problems = [issue for name in names for issue in check_bench(name)]
+        for issue in problems:
+            print(f"CHECK FAIL: {issue}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"check ok: {len(names)} benchmark(s), scripts present, "
+            "reports parse"
+        )
+        return 0
     failures: list[str] = []
     for name in names:
         code = run_bench(name)
