@@ -1,0 +1,344 @@
+"""Fleet operations under load: live rebalancing and request hedging.
+
+Two operational claims of the shard-fleet supervisor, measured against a
+real fleet of ``python -m repro shard-server`` processes:
+
+* **rebalancing is free for moved keys** — a warm 3-shard fleet serving a
+  client herd gains a 4th shard mid-replay.  Because :class:`ShardFleet`
+  ships the moved keys' cache entries (``snapshot`` export → import) to
+  the new owner *before* republishing the ring to the router, the total
+  DP-run count across all four servers stays exactly one per unique
+  fingerprint and the new shard performs **zero** enumerations of its own
+  — every answer it serves was shipped to it.  Plans are bit-identical
+  across the flip.
+* **hedging caps the tail** — one shard of two is slowed by an injected
+  per-request latency (``--inject-latency-ms``, a real ``time.sleep`` in
+  the server's handler pool).  The same warm herd is replayed through an
+  unhedged router and through a hedging router
+  (``hedge_multiplier=2``): the hedged p99 must not exceed the unhedged
+  p99 — slow primaries are duplicated to the next ring owner, whose
+  shipped-nothing-but-cached-everything copy answers in microseconds.
+
+Both phases surface the new counters (``snapshot_shipped``, ``restarts``,
+``hedged``, ``hedged_wins``) in the report, and the fleet's supervisor
+logs land in ``--log-dir`` so CI can upload them when a gate fails.
+
+Dual-use module:
+
+* **pytest**::
+
+      PYTHONPATH=src python -m pytest -q benchmarks/bench_fleet.py
+
+* **script** (the CI benchmark-regression job)::
+
+      PYTHONPATH=src python benchmarks/bench_fleet.py \
+          --json BENCH_fleet.json --log-dir fleet-logs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # script mode: bootstrap the src layout without installation
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the CI script job
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.traffic import (
+    TrafficProfile,
+    generate_traffic,
+    replay_threaded,
+    unique_fingerprints,
+)
+from repro.service import NetworkOptimizerGateway, ShardFleet
+from repro.service.net import result_to_wire
+
+ROOT = Path(__file__).resolve().parents[1]
+
+N_CLIENTS = 32
+N_SHARDS = 3
+N_WORKERS = 4
+#: The whole herd fits every shard: the measurement never includes
+#: overload retry sleeps.
+MAX_IN_FLIGHT = 64
+#: Hit-dominated profile: few cheap uniques, many repeats.  The rebalance
+#: claim is about *cache* movement and the hedging claim is about *tail*
+#: latency — both are served-from-cache phenomena, so DP weight would only
+#: blur them.
+PROFILE = TrafficProfile(n_requests=120, n_unique=12, tables=(4, 5), seed=83)
+#: Injected per-request latency of the deliberately slow shard (phase 2).
+INJECT_LATENCY_MS = 150.0
+HEDGE_MULTIPLIER = 2.0
+HEDGE_MIN_S = 0.02
+
+
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_rebalance(
+    schedule, run_dir: Path, log_dir: Path, n_clients: int = N_CLIENTS
+) -> dict:
+    """Warm a 3-shard fleet, expand to 4 mid-replay, count every DP run."""
+    n_unique = len(unique_fingerprints(schedule))
+    with ShardFleet(
+        N_SHARDS,
+        run_dir / "rebalance-socks",
+        cache_dir=run_dir / "rebalance-cache",
+        n_workers=N_WORKERS,
+        max_in_flight=MAX_IN_FLIGHT,
+        log_dir=log_dir / "rebalance",
+    ) as fleet:
+        with NetworkOptimizerGateway(
+            fleet.endpoints(), overload_retries=10_000, request_timeout_s=300.0
+        ) as gateway:
+            fleet.attach_router(gateway)
+            started = time.perf_counter()
+            warmup = replay_threaded(gateway, schedule, n_clients=n_clients)
+            warm_wall_s = time.perf_counter() - started
+            baseline = {
+                result.fingerprint: result_to_wire(result)["plans"]
+                for result in warmup.results
+            }
+
+            half = len(schedule) // 2
+            started = time.perf_counter()
+            first = replay_threaded(gateway, schedule[:half], n_clients=n_clients)
+            added = fleet.add_shard()
+            second = replay_threaded(gateway, schedule[half:], n_clients=n_clients)
+            replay_wall_s = time.perf_counter() - started
+
+            stats = gateway.stats()
+            fleet_stats = fleet.stats()
+    per_shard = {
+        name: shard["optimizations"] for name, shard in stats["shards"].items()
+    }
+    plans_identical = all(
+        result_to_wire(result)["plans"] == baseline[result.fingerprint]
+        for result in [*first.results, *second.results]
+    )
+    return {
+        "n_unique_fingerprints": n_unique,
+        "total_dp_runs": sum(per_shard.values()),
+        "new_shard": added,
+        "new_shard_dp_runs": per_shard.get(added, -1),
+        "per_shard_dp_runs": per_shard,
+        "snapshot_shipped": fleet_stats["snapshot_shipped"],
+        "rebalances": fleet_stats["rebalances"],
+        "restarts": fleet_stats["restarts"],
+        "plans_bit_identical": plans_identical,
+        "warm_wall_s": warm_wall_s,
+        "expanded_replay_wall_s": replay_wall_s,
+        "expanded_replay_latency_ms": second.latency_percentiles(),
+    }
+
+
+def measure_hedging(
+    schedule, run_dir: Path, log_dir: Path, n_clients: int = N_CLIENTS
+) -> dict:
+    """Replay a warm herd with and without hedging against a slow shard."""
+    with ShardFleet(
+        2,
+        run_dir / "hedge-socks",
+        n_workers=N_WORKERS,
+        max_in_flight=MAX_IN_FLIGHT,
+        log_dir=log_dir / "hedging",
+        inject_latency_ms={"shard-1": INJECT_LATENCY_MS},
+    ) as fleet:
+        # Warm every fingerprint on both shards' owners once, so the
+        # measured replays are pure serving (the injected sleep still
+        # applies to cache hits — it models a struggling process, not a
+        # slow enumeration).
+        with NetworkOptimizerGateway(
+            fleet.endpoints(), overload_retries=10_000, request_timeout_s=300.0
+        ) as warmer:
+            replay_threaded(warmer, schedule, n_clients=n_clients)
+
+        with NetworkOptimizerGateway(
+            fleet.endpoints(), overload_retries=10_000, request_timeout_s=300.0
+        ) as unhedged_gw:
+            unhedged = replay_threaded(unhedged_gw, schedule, n_clients=n_clients)
+            unhedged_stats = unhedged_gw.stats()
+
+        with NetworkOptimizerGateway(
+            fleet.endpoints(),
+            overload_retries=10_000,
+            request_timeout_s=300.0,
+            hedge_multiplier=HEDGE_MULTIPLIER,
+            hedge_min_s=HEDGE_MIN_S,
+        ) as hedged_gw:
+            hedged = replay_threaded(hedged_gw, schedule, n_clients=n_clients)
+            hedged_stats = hedged_gw.stats()
+    return {
+        "inject_latency_ms": INJECT_LATENCY_MS,
+        "hedge_multiplier": HEDGE_MULTIPLIER,
+        "hedge_min_s": HEDGE_MIN_S,
+        "unhedged": {
+            "wall_s": unhedged.wall_s,
+            "throughput_qps": unhedged.throughput_qps,
+            "latency_ms": unhedged.latency_percentiles(),
+            "hedged": unhedged_stats["hedged"],
+        },
+        "hedged": {
+            "wall_s": hedged.wall_s,
+            "throughput_qps": hedged.throughput_qps,
+            "latency_ms": hedged.latency_percentiles(),
+            "hedged": hedged_stats["hedged"],
+            "hedged_wins": hedged_stats["hedged_wins"],
+        },
+    }
+
+
+def run_benchmark(
+    profile: TrafficProfile = PROFILE,
+    n_clients: int = N_CLIENTS,
+    log_dir: Path | None = None,
+) -> dict:
+    schedule = generate_traffic(profile)
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as run_dir:
+        run_path = Path(run_dir)
+        logs = log_dir if log_dir is not None else run_path / "logs"
+        rebalance = measure_rebalance(schedule, run_path, logs, n_clients)
+        hedging = measure_hedging(schedule, run_path, logs, n_clients)
+    report = {
+        "config": {
+            "n_clients": n_clients,
+            "n_shards": N_SHARDS,
+            "n_workers": N_WORKERS,
+            "max_in_flight": MAX_IN_FLIGHT,
+            "n_requests": profile.n_requests,
+            "n_unique_queries": profile.n_unique,
+            "tables": list(profile.tables),
+            "seed": profile.seed,
+            "inject_latency_ms": INJECT_LATENCY_MS,
+            "available_cpus": available_cpus(),
+        },
+        "rebalance": rebalance,
+        "hedging": hedging,
+    }
+    report["gates"] = {
+        "zero_extra_dp_runs": (
+            rebalance["total_dp_runs"] == rebalance["n_unique_fingerprints"]
+            and rebalance["new_shard_dp_runs"] == 0
+            and rebalance["snapshot_shipped"] > 0
+            and rebalance["plans_bit_identical"]
+        ),
+        "hedged_p99_not_worse": (
+            hedging["hedged"]["latency_ms"]["p99"]
+            <= hedging["unhedged"]["latency_ms"]["p99"]
+        ),
+    }
+    report["gates"]["passed"] = all(
+        report["gates"][name] for name in ("zero_extra_dp_runs", "hedged_p99_not_worse")
+    )
+    return report
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_rebalanced_keys_pay_zero_extra_dp_runs():
+    """Acceptance: adding a 4th shard to a warm 3-shard fleet mid-replay
+    moves keys with zero additional DP runs (entries shipped before the
+    ring flip, plans bit-identical), and hedging caps the p99 under an
+    injected slow shard at or below the unhedged p99."""
+    report = run_benchmark()
+    assert report["gates"]["zero_extra_dp_runs"], report["rebalance"]
+    assert report["gates"]["hedged_p99_not_worse"], report["hedging"]
+
+
+# ------------------------------------------------------------------ script
+
+
+def _print_report(report: dict) -> None:
+    config = report["config"]
+    rebalance = report["rebalance"]
+    hedging = report["hedging"]
+    print(
+        f"fleet benchmark: {config['n_clients']} clients, "
+        f"{config['n_requests']} requests over "
+        f"{rebalance['n_unique_fingerprints']} unique fingerprints, "
+        f"{config['n_shards']}→{config['n_shards'] + 1} shards"
+    )
+    print(
+        f"  rebalance: {rebalance['total_dp_runs']} DP runs total "
+        f"({rebalance['new_shard_dp_runs']} on the new shard), "
+        f"{rebalance['snapshot_shipped']} entries shipped, "
+        f"plans identical: {rebalance['plans_bit_identical']}"
+    )
+    print(f"    per shard: {rebalance['per_shard_dp_runs']}")
+    for label in ("unhedged", "hedged"):
+        side = hedging[label]
+        latency = side["latency_ms"]
+        extra = (
+            f", {side['hedged']} hedged ({side.get('hedged_wins', 0)} wins)"
+            if label == "hedged"
+            else ""
+        )
+        print(
+            f"  {label:>9}: p50/p90/p99 = {latency['p50']:.2f}/"
+            f"{latency['p90']:.2f}/{latency['p99']:.2f} ms "
+            f"({side['throughput_qps']:.1f} req/s{extra})"
+        )
+    print(
+        f"  gates: zero_extra_dp_runs={report['gates']['zero_extra_dp_runs']} "
+        f"hedged_p99_not_worse={report['gates']['hedged_p99_not_worse']}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=N_CLIENTS)
+    parser.add_argument("--requests", type=int, default=PROFILE.n_requests)
+    parser.add_argument("--uniques", type=int, default=PROFILE.n_unique)
+    parser.add_argument("--seed", type=int, default=PROFILE.seed)
+    parser.add_argument(
+        "--json", default=None, help="write the full report to this file"
+    )
+    parser.add_argument(
+        "--log-dir",
+        default=None,
+        help="write the fleet's per-shard supervisor logs here "
+        "(CI uploads them when a gate fails)",
+    )
+    args = parser.parse_args(argv)
+    profile = TrafficProfile(
+        n_requests=args.requests,
+        n_unique=args.uniques,
+        tables=PROFILE.tables,
+        seed=args.seed,
+    )
+    log_dir = Path(args.log_dir) if args.log_dir else None
+    report = run_benchmark(profile=profile, n_clients=args.clients, log_dir=log_dir)
+    _print_report(report)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if not report["gates"]["zero_extra_dp_runs"]:
+        print(
+            "FAIL: the rebalance cost extra DP runs (or shipped nothing, "
+            "or changed a plan) — snapshot shipping is broken",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["gates"]["hedged_p99_not_worse"]:
+        print(
+            "FAIL: hedged p99 exceeded unhedged p99 under the injected "
+            "slow shard",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,14 @@ Commands:
   TCP port; N of these behind a ``--connect`` router are the
   out-of-process deployment shape (each owns its worker pool and, with
   ``--cache-dir``, its own single-writer disk cache log);
+* ``shard-fleet`` — run a supervised fleet of N shard servers behind one
+  command: the :class:`~repro.service.ShardFleet` supervisor spawns the
+  processes on unix sockets under ``--socket-dir``, restarts crashed ones
+  with exponential backoff, mirrors the live endpoint map to
+  ``--socket-dir/membership.json`` after every change, and (as a library,
+  via :meth:`~repro.service.ShardFleet.add_shard` /
+  :meth:`~repro.service.ShardFleet.remove_shard`) rebalances the ring live
+  by shipping moved keys' cache entries to their new owner first;
 * ``cache`` — inspect and manage those persistent plan-cache logs:
   ``inspect`` (entries and their provenance records), ``export`` (write a
   compacted snapshot shippable to another shard or machine), ``import``
@@ -53,7 +61,9 @@ Examples::
     python -m repro serve-batch q*.json --shards 4 --cache-dir /var/cache/mpq
     python -m repro shard-server --listen unix:/run/mpq/shard-0.sock --shard-id 0
     python -m repro shard-server --listen 127.0.0.1:7401 --cache-dir /var/cache/mpq
+    python -m repro shard-fleet --shards 3 --socket-dir /run/mpq --cache-dir /var/cache/mpq
     python -m repro serve-batch q*.json --connect unix:/run/mpq/shard-0.sock,unix:/run/mpq/shard-1.sock
+    python -m repro serve-batch q*.json --connect unix:/run/mpq/shard-0.sock --hedge-after-ms 50
     python -m repro cache inspect /var/cache/mpq/shard-*.log
     python -m repro cache export /var/cache/mpq/shard-0.log -o snapshot.log
     python -m repro cache import snapshot.log --into /var/cache/mpq/shard-0.log
@@ -264,6 +274,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "consistent-hash network gateway instead of optimizing in-process",
     )
     serve.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=0.0,
+        help="with --connect: fire a duplicate request at the next ring "
+        "owner when the primary shard has not answered within this floor "
+        "(scaled up by its latency EWMA); first usable response wins. "
+        "0 (default) disables hedging",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -327,6 +346,54 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="blocking-optimization thread pool size "
         "(default: --max-in-flight)",
+    )
+    shard_server.add_argument(
+        "--inject-latency-ms",
+        type=float,
+        default=0.0,
+        help="fault injection for tests/benchmarks: sleep this long before "
+        "every optimization, simulating a degraded shard (default 0: off)",
+    )
+
+    shard_fleet = commands.add_parser(
+        "shard-fleet",
+        help="run a supervised fleet of shard servers on unix sockets",
+    )
+    shard_fleet.add_argument(
+        "--shards", type=int, default=3, help="initial shard count"
+    )
+    shard_fleet.add_argument(
+        "--socket-dir",
+        required=True,
+        help="directory for the fleet's unix sockets and membership.json",
+    )
+    shard_fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for per-shard persistent cache logs (shard-<i>.log); "
+        "also what lets a restarted shard come back warm",
+    )
+    shard_fleet.add_argument("--workers", type=int, default=4)
+    shard_fleet.add_argument(
+        "--cache-size", type=int, default=256, help="plan-cache capacity per shard"
+    )
+    shard_fleet.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=16,
+        help="per-shard admission bound on concurrently running optimizations",
+    )
+    shard_fleet.add_argument(
+        "--health-interval-ms",
+        type=float,
+        default=200.0,
+        help="supervisor liveness-poll cadence",
+    )
+    shard_fleet.add_argument(
+        "--log-dir",
+        default=None,
+        help="append each shard's stdout/stderr to <log-dir>/<name>.log "
+        "(default: inherit the supervisor's stderr)",
     )
 
     cache = commands.add_parser(
@@ -844,6 +911,7 @@ def _run_serve_batch_remote(args: argparse.Namespace) -> int:
     if not specs:
         raise SystemExit("--connect needs at least one endpoint")
     rounds = []
+    hedge_after_ms = getattr(args, "hedge_after_ms", 0.0)
     with NetworkOptimizerGateway(
         specs,
         settings=settings,
@@ -851,6 +919,10 @@ def _run_serve_batch_remote(args: argparse.Namespace) -> int:
         # The CLI submits the whole batch at once; ride out the servers'
         # admission control instead of failing the batch on a burst.
         overload_retries=1000,
+        # Hedging: the flag sets the budget floor; the EWMA multiplier is
+        # fixed at 2x so a healthy shard's own tail does not trip hedges.
+        hedge_multiplier=2.0 if hedge_after_ms > 0 else 0.0,
+        hedge_min_s=max(hedge_after_ms / 1000.0, 1e-3),
     ) as gateway:
         for __ in range(max(1, args.repeat)):
             started = time.perf_counter()
@@ -895,15 +967,19 @@ def _run_serve_batch_remote(args: argparse.Namespace) -> int:
     print(
         f"network: {net_stats['requests']} requests over "
         f"{len(net_stats['shards'])} shards, "
-        f"{net_stats['breaker_rejections']} breaker rejections"
+        f"{net_stats['breaker_rejections']} breaker rejections, "
+        f"{net_stats['hedged']} hedged "
+        f"({net_stats['hedged_wins']} hedge wins)"
     )
     for name, shard in sorted(net_stats["shards"].items()):
         optimizations = shard.get("optimizations", "?")
         envelope_hits = shard.get("envelope_hits", 0)
+        shipped = shard.get("snapshot_imported", 0)
         print(
             f"  {name} ({shard['address']}): breaker {shard['breaker']}, "
             f"{optimizations} DP runs server-side, "
-            f"{envelope_hits} envelope hits"
+            f"{envelope_hits} envelope hits, "
+            f"{shipped} snapshot entries imported"
         )
     return 0
 
@@ -928,6 +1004,34 @@ def _run_shard_server(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         max_in_flight=args.max_in_flight,
         handler_threads=args.handler_threads,
+        inject_latency_s=args.inject_latency_ms / 1000.0,
+    )
+    return 0
+
+
+def _run_shard_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import run_shard_fleet
+
+    socket_dir = Path(args.socket_dir)
+    print(
+        f"shard-fleet: {args.shards} shards under {socket_dir} "
+        f"(workers={args.workers}, max in-flight={args.max_in_flight}"
+        + (f", cache logs in {args.cache_dir}" if args.cache_dir else "")
+        + ")",
+        flush=True,
+    )
+    run_shard_fleet(
+        n_shards=args.shards,
+        socket_dir=socket_dir,
+        cache_dir=args.cache_dir,
+        n_workers=args.workers,
+        max_in_flight=args.max_in_flight,
+        cache_capacity=args.cache_size,
+        health_interval_s=args.health_interval_ms / 1000.0,
+        log_dir=args.log_dir,
+        membership_path=socket_dir / "membership.json",
     )
     return 0
 
@@ -1109,6 +1213,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve_batch(args)
     if args.command == "shard-server":
         return _run_shard_server(args)
+    if args.command == "shard-fleet":
+        return _run_shard_fleet(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "backends":

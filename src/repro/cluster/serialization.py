@@ -330,3 +330,61 @@ def timing_from_wire(data: dict[str, Any]) -> Any:
         network_messages=int(data["network_messages"]),
         worker_compute_s=[float(value) for value in data["worker_compute_s"]],
     )
+
+
+# ------------------------------------------------------------ cache snapshots
+
+#: Identity of a shipped cache snapshot — deliberately the same format tag
+#: as the :class:`~repro.service.tiers.DiskTier` log header, because a
+#: snapshot frame carries exactly the log's ``put`` records: what lands on
+#: disk and what crosses the wire are one codec, so rebalancing ships warm
+#: state a restarted shard could equally have recovered from its own log.
+SNAPSHOT_FORMAT = "repro-plan-cache"
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_to_wire(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap cache ``put`` records as a self-identifying snapshot payload.
+
+    ``records`` are :class:`~repro.service.tiers.DiskTier` log records
+    (``{"t": "put", "k": <fingerprint>, "entry": <entry wire form>}``), the
+    exact lines :meth:`~repro.service.tiers.DiskTier.export_snapshot`
+    writes after its header.
+    """
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "records": records,
+    }
+
+
+def snapshot_from_wire(data: dict[str, Any]) -> list[dict[str, Any]]:
+    """Validate and unwrap :func:`snapshot_to_wire` output.
+
+    Raises ``ValueError`` on a foreign format, an unknown version, or a
+    malformed record — an importing shard must reject a bad shipment
+    whole rather than merge half of it into its cache.
+    """
+    if not isinstance(data, dict) or data.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a plan-cache snapshot (format {data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"not a plan-cache snapshot (payload {type(data).__name__})"
+        )
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {data.get('version')!r} "
+            f"(this peer speaks {SNAPSHOT_VERSION})"
+        )
+    records = data.get("records")
+    if not isinstance(records, list):
+        raise ValueError("snapshot payload has no record list")
+    for record in records:
+        if (
+            not isinstance(record, dict)
+            or record.get("t") != "put"
+            or not isinstance(record.get("k"), str)
+            or not isinstance(record.get("entry"), dict)
+        ):
+            raise ValueError(f"malformed snapshot record: {record!r}")
+    return records

@@ -8,9 +8,13 @@ requests.  See :class:`OptimizerService` for the single-service front door,
 over it, and :class:`AsyncOptimizerGateway` for the asyncio front-end that
 adds adaptive micro-batching and per-tenant backpressure on top.  The
 out-of-process layer crosses machine boundaries:
-:class:`ShardServer` serves one shard over a unix socket or TCP port, and
+:class:`ShardServer` serves one shard over a unix socket or TCP port,
 :class:`NetworkOptimizerGateway` routes fingerprints to shard servers on a
-consistent-hash ring with per-shard circuit breakers.
+consistent-hash ring with per-shard circuit breakers (and, opt-in, hedges
+slow primaries against the next ring owner), and :class:`ShardFleet`
+supervises a fleet of shard processes — restarting crashes with backoff and
+rebalancing the ring live by shipping moved keys' cache entries to their
+new owner before routers learn the new topology.
 
 Caching is tiered and pluggable (:class:`CacheTier`): the default
 :class:`MemoryTier` LRU (historical name :class:`PlanCache`) can be
@@ -39,6 +43,13 @@ from repro.service.fingerprint import (
     fingerprint,
     fingerprint_canonical,
     settings_signature,
+)
+from repro.service.fleet import (
+    FleetError,
+    FleetRebalanceError,
+    ShardFleet,
+    ShardHandle,
+    run_shard_fleet,
 )
 from repro.service.gateway import GatewayStats, ShardedOptimizerGateway, ShardStats
 from repro.service.net import (
@@ -94,6 +105,11 @@ __all__ = [
     "ShardUnavailableError",
     "ShardServer",
     "run_shard_server",
+    "FleetError",
+    "FleetRebalanceError",
+    "ShardFleet",
+    "ShardHandle",
+    "run_shard_fleet",
     "Provenance",
     "InvalidationPredicate",
     "aggregate_worker_stats",

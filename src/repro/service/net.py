@@ -32,6 +32,10 @@ is the front door:
   background prober) drive breaker recovery, and
   :meth:`~NetworkOptimizerGateway.drain` gracefully quiesces every shard
   (stop accepting, finish in-flight, flush cache logs) before shutdown.
+  With ``hedge_multiplier > 0`` the router also *hedges*: a primary that
+  blows its EWMA-derived latency budget gets a duplicate request fired at
+  the key's next ring owner, first usable response wins, and the loser
+  finishes its round trip in the background (never interrupted mid-frame).
 
 Plans come back in the *requester's* table numbering — the full query ships
 with the request, so the shard optimizes (or cache-remaps) directly into
@@ -71,6 +75,11 @@ from repro.service.service import ServiceResult
 #: Protocol identity exchanged in the hello frame; peers reject mismatches.
 PROTOCOL_FORMAT = "repro-net"
 PROTOCOL_VERSION = 1
+
+#: Floor on the overload-retry sleep.  A shard advertising
+#: ``retry_after_s=0`` (or a malformed field defaulting low) must not turn
+#: the retry loop into a busy-spin that hammers the shard it is waiting on.
+OVERLOAD_RETRY_FLOOR_S = 0.005
 
 
 # ------------------------------------------------------------------ addresses
@@ -249,6 +258,28 @@ class ConsistentHashRing:
             index = 0
         return self._owners[index]
 
+    def owners(self, key: str, count: int = 2) -> list[str]:
+        """Up to ``count`` *distinct* shards clockwise from ``key``.
+
+        ``owners(key, 1)[0] == route(key)``; the second element is the
+        shard that would own ``key`` if the primary left the ring — which
+        makes it both the hedging target (a duplicate request lands where
+        the key would migrate) and the natural receiver for shipped cache
+        state on removal.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty; no shards registered")
+        point = int(key[:8], 16)
+        start = bisect.bisect(self._points, point)
+        result: list[str] = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in result:
+                result.append(owner)
+                if len(result) >= count:
+                    break
+        return result
+
     def shards(self) -> list[str]:
         """Registered shard names, sorted."""
         return sorted(self._shards)
@@ -352,7 +383,11 @@ class _ShardLink:
         self.request_timeout_s = request_timeout_s
         self.max_frame_bytes = max_frame_bytes
         self.hello: dict[str, Any] = {}
+        #: EWMA of successful optimize round-trip latency, maintained by the
+        #: gateway; seeds the hedging budget for requests routed here.
+        self.latency_ewma_s = 0.0
         self._idle: list[socket.socket] = []
+        self._closed = False
         self._lock = threading.Lock()
 
     def _connect(self) -> socket.socket:
@@ -378,8 +413,20 @@ class _ShardLink:
         Transport failures close the connection and propagate (the caller
         records them against the breaker); a clean round trip returns the
         connection to the pool for the next caller.
+
+        Safe against concurrent :meth:`close` (a live shard removal): a
+        request that checked its socket out before the close finishes its
+        round trip undisturbed — close only sweeps *idle* sockets — and a
+        request arriving after the close fails typed
+        (:class:`ConnectionError`, which the gateway maps to
+        :class:`ShardUnavailableError`) instead of opening a fresh socket
+        into an orphaned pool.
         """
         with self._lock:
+            if self._closed:
+                raise ConnectionError(
+                    f"shard {self.name!r} was removed from the ring"
+                )
             sock = self._idle.pop() if self._idle else None
         if sock is None:
             sock = self._connect()
@@ -394,12 +441,28 @@ class _ShardLink:
             raise FrameError(
                 f"shard {self.name!r} closed the connection mid-request"
             )
+        # Mark-and-sweep return: a socket coming home to a closed link is
+        # retired on the spot (close() already swept the idle pool and will
+        # not run again), never leaked into a pool nobody drains.
         with self._lock:
-            self._idle.append(sock)
+            retire = self._closed
+            if not retire:
+                self._idle.append(sock)
+        if retire:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
         return response
 
     def close(self) -> None:
+        """Mark the link closed and sweep idle sockets.
+
+        In-flight round trips keep their checked-out sockets and complete
+        (or fail) on their own; each is retired when returned.  Idempotent.
+        """
         with self._lock:
+            self._closed = True
             idle, self._idle = self._idle, []
         for sock in idle:
             try:
@@ -430,12 +493,28 @@ class NetworkOptimizerGateway:
             :meth:`check_health` manually.
         overload_retries: how many times :meth:`optimize` resubmits after a
             shard's ``overloaded`` rejection, sleeping the advertised
-            ``retry_after_s`` between attempts.  The default 0 surfaces
-            every rejection as :class:`GatewayOverloadedError` so callers
-            apply their own policy; a thread-herd replayer sets this high
-            enough to ride out admission-control bursts.
+            ``retry_after_s`` between attempts (clamped to
+            [:data:`OVERLOAD_RETRY_FLOOR_S`, 1.0] — a shard advertising 0
+            must not busy-spin the client).  The default 0 surfaces every
+            rejection as :class:`GatewayOverloadedError` so callers apply
+            their own policy; a thread-herd replayer sets this high enough
+            to ride out admission-control bursts.
         ring_replicas: virtual nodes per shard on the consistent-hash ring.
         max_frame_bytes: frame-size bound in both directions.
+        hedge_multiplier: > 0 enables request hedging: when the primary
+            shard has not answered within
+            ``max(hedge_min_s, hedge_multiplier * primary's latency EWMA)``,
+            a duplicate request fires at the key's *next* distinct ring
+            owner and the first usable response wins.  The loser is never
+            interrupted mid-frame — its round trip completes on its own
+            socket and the connection returns to its pool — so a hedge can
+            never tear a frame.  0 (the default) disables hedging, keeping
+            the one-DP-run-per-fingerprint invariant strict; with hedging
+            on, a fired hedge may warm the same fingerprint on a second
+            shard (that is the deliberate trade: duplicate work for a
+            bounded tail).
+        hedge_min_s: floor on the hedging budget — also the budget for a
+            shard with no latency history yet.
     """
 
     def __init__(
@@ -451,6 +530,8 @@ class NetworkOptimizerGateway:
         overload_retries: int = 0,
         ring_replicas: int = 64,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        hedge_multiplier: float = 0.0,
+        hedge_min_s: float = 0.02,
     ) -> None:
         if not isinstance(shards, dict):
             shards = {
@@ -458,6 +539,10 @@ class NetworkOptimizerGateway:
             }
         if not shards:
             raise ValueError("at least one shard endpoint is required")
+        if hedge_multiplier < 0:
+            raise ValueError(f"hedge_multiplier must be >= 0, got {hedge_multiplier}")
+        if hedge_min_s <= 0:
+            raise ValueError(f"hedge_min_s must be > 0, got {hedge_min_s}")
         self.settings = settings
         self.n_workers = n_workers
         self._connect_timeout_s = connect_timeout_s
@@ -466,12 +551,16 @@ class NetworkOptimizerGateway:
         self._reset_timeout_s = reset_timeout_s
         self._overload_retries = overload_retries
         self._max_frame_bytes = max_frame_bytes
+        self._hedge_multiplier = hedge_multiplier
+        self._hedge_min_s = hedge_min_s
         self._ring = ConsistentHashRing(replicas=ring_replicas)
         self._links: dict[str, _ShardLink] = {}
         self._lock = threading.Lock()
         self._closed = False
         self._requests = 0
         self._breaker_rejections = 0
+        self._hedged = 0
+        self._hedged_wins = 0
         for name, spec in shards.items():
             self.add_shard(name, spec)
         self._health_stop = threading.Event()
@@ -560,16 +649,20 @@ class NetworkOptimizerGateway:
         for attempt in range(self._overload_retries + 1):
             # Re-route every attempt: the ring may have changed, and after a
             # removal the key's new owner is who should see the retry.
-            link = self._link_for(key)
-            response = self._call(link, payload)
+            shard_name, response = self._attempt(key, payload)
             if response.get("ok"):
                 return result_from_wire(response["result"])
-            error = self._typed_error(link.name, response)
+            error = self._typed_error(shard_name, response)
             if (
                 isinstance(error, GatewayOverloadedError)
                 and attempt < self._overload_retries
             ):
-                time.sleep(min(error.retry_after_s, 1.0))
+                # Clamp below as well as above: a shard advertising
+                # retry_after_s=0 would otherwise busy-spin this loop,
+                # hammering the exact shard that asked for breathing room.
+                time.sleep(
+                    min(max(error.retry_after_s, OVERLOAD_RETRY_FLOOR_S), 1.0)
+                )
                 continue
             raise error
         raise AssertionError("unreachable")  # pragma: no cover
@@ -608,6 +701,145 @@ class NetworkOptimizerGateway:
             self._requests += 1
             name = self._ring.route(key)
             return self._links[name]
+
+    def _route_pair(self, key: str) -> tuple[_ShardLink, _ShardLink | None]:
+        """The key's owner and (when the ring has one) its hedging target."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("network gateway is closed")
+            self._requests += 1
+            owners = self._ring.owners(key, 2)
+            primary = self._links[owners[0]]
+            secondary = self._links[owners[1]] if len(owners) > 1 else None
+        return primary, secondary
+
+    def _attempt(self, key: str, payload: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        """One routed request attempt, hedged when enabled; returns (shard, response)."""
+        primary, secondary = self._route_pair(key)
+        if self._hedge_multiplier <= 0 or secondary is None:
+            started = time.monotonic()
+            response = self._call(primary, payload)
+            self._record_latency(primary, time.monotonic() - started)
+            return primary.name, response
+        return self._hedged_call(primary, secondary, payload)
+
+    @staticmethod
+    def _record_latency(link: _ShardLink, elapsed_s: float) -> None:
+        previous = link.latency_ewma_s
+        link.latency_ewma_s = (
+            elapsed_s if previous == 0.0 else 0.8 * previous + 0.2 * elapsed_s
+        )
+
+    def _hedge_budget_s(self, primary: _ShardLink, secondary: _ShardLink) -> float:
+        """How long to wait on the primary before firing the hedge.
+
+        The budget is ``hedge_multiplier`` times the *faster* of the two
+        replicas' EWMAs (floored at ``hedge_min_s``), not the primary's
+        own: a chronically slow primary must keep being hedged — its own
+        EWMA would learn the slowness and push the trigger out of reach —
+        while a slow *secondary* never drags the budget down below what
+        the healthy primary needs.  Links with no samples yet don't vote.
+        """
+        samples = [
+            link.latency_ewma_s
+            for link in (primary, secondary)
+            if link.latency_ewma_s > 0
+        ]
+        reference = min(samples) if samples else 0.0
+        return max(self._hedge_min_s, self._hedge_multiplier * reference)
+
+    def _hedged_call(
+        self,
+        primary: _ShardLink,
+        secondary: _ShardLink,
+        payload: dict[str, Any],
+    ) -> tuple[str, dict[str, Any]]:
+        """First-response-wins duplicate dispatch past the latency budget.
+
+        The primary runs in a helper thread while this thread waits out the
+        EWMA-derived budget; on expiry the same request fires at the next
+        ring owner and the first *usable* (``ok``) response wins.  The loser
+        is cancelled safely by never being interrupted: its round trip
+        completes on its own pooled socket in the background and the result
+        is discarded, so no frame is ever torn mid-stream and the
+        connection returns to its pool for the next request.
+        """
+        import queue as queue_module
+
+        responses: "queue_module.Queue[tuple[_ShardLink, dict[str, Any] | None, Exception | None]]" = (
+            queue_module.Queue()
+        )
+
+        def run(link: _ShardLink) -> None:
+            started = time.monotonic()
+            try:
+                response = self._call(link, payload)
+            except Exception as error:  # noqa: BLE001 - re-raised by the picker
+                responses.put((link, None, error))
+                return
+            self._record_latency(link, time.monotonic() - started)
+            responses.put((link, response, None))
+
+        threading.Thread(
+            target=run, args=(primary,), name="net-hedge-primary", daemon=True
+        ).start()
+        try:
+            outcomes = [
+                responses.get(timeout=self._hedge_budget_s(primary, secondary))
+            ]
+        except queue_module.Empty:
+            with self._lock:
+                self._hedged += 1
+            threading.Thread(
+                target=run, args=(secondary,), name="net-hedge", daemon=True
+            ).start()
+            outcomes = [responses.get()]
+            if not self._usable(outcomes[0]):
+                # The faster responder was an error; the slower one may
+                # still carry the answer.  Bounded by the socket timeouts.
+                outcomes.append(responses.get())
+            winner = self._pick_outcome(primary, outcomes)
+            if winner[0] is secondary and self._usable(winner):
+                with self._lock:
+                    self._hedged_wins += 1
+            link, response, error = winner
+            if error is not None:
+                raise error
+            assert response is not None
+            return link.name, response
+        link, response, error = outcomes[0]
+        if error is not None:
+            raise error
+        assert response is not None
+        return link.name, response
+
+    @staticmethod
+    def _usable(
+        outcome: tuple[_ShardLink, dict[str, Any] | None, Exception | None],
+    ) -> bool:
+        __, response, ___ = outcome
+        return response is not None and bool(response.get("ok"))
+
+    @staticmethod
+    def _pick_outcome(
+        primary: _ShardLink,
+        outcomes: list[tuple[_ShardLink, dict[str, Any] | None, Exception | None]],
+    ) -> tuple[_ShardLink, dict[str, Any] | None, Exception | None]:
+        """Choose the winning outcome: any ``ok`` response first, then the
+        primary's error response/exception (stable retry semantics), then
+        whatever the hedge produced."""
+        for outcome in outcomes:
+            if NetworkOptimizerGateway._usable(outcome):
+                return outcome
+        for preference in (
+            lambda o: o[0] is primary and o[1] is not None,
+            lambda o: o[1] is not None,
+            lambda o: o[0] is primary,
+        ):
+            for outcome in outcomes:
+                if preference(outcome):
+                    return outcome
+        return outcomes[0]
 
     def _call(self, link: _ShardLink, payload: dict[str, Any]) -> dict[str, Any]:
         """One breaker-guarded request against a shard."""
@@ -695,6 +927,8 @@ class NetworkOptimizerGateway:
         with self._lock:
             requests = self._requests
             breaker_rejections = self._breaker_rejections
+            hedged = self._hedged
+            hedged_wins = self._hedged_wins
             links = list(self._links.values())
         shards: dict[str, Any] = {}
         for link in links:
@@ -718,6 +952,8 @@ class NetworkOptimizerGateway:
         return {
             "requests": requests,
             "breaker_rejections": breaker_rejections,
+            "hedged": hedged,
+            "hedged_wins": hedged_wins,
             "shards": shards,
         }
 

@@ -25,6 +25,16 @@ Protocol (all frames are strict-JSON objects):
   settings), ``optimization-failed`` (the DP itself raised);
 * **health** → ``{"ok": true, "status": "serving"|"draining",
   "in_flight": n, "shard_id": ...}``;
+* **snapshot** — cache-state shipping for live rebalancing, four modes:
+  ``{"op": "snapshot", "mode": "keys"}`` lists the shard's live cache
+  keys; ``mode="export"`` (optional ``"keys": [...]`` subset) returns the
+  entries as a self-identifying snapshot payload (the same ``put`` records
+  :meth:`~repro.service.tiers.DiskTier.export_snapshot` writes);
+  ``mode="import"`` merges a shipped payload through the cache's normal
+  write path (durable under write-through before the ack); ``mode="evict"``
+  drops a key list (the rebalancer's post-import sweep of the old owner).
+  Snapshot work runs on a dedicated control thread, so shipping proceeds
+  while every DP handler thread is busy;
 * **stats** → ``{"ok": true, "stats": {...}}`` including the internal
   gateway's ``optimizations`` counter — the number of DP runs this process
   actually paid, which the cross-process one-run-per-fingerprint tests sum
@@ -57,7 +67,11 @@ from repro.cluster.network import (
     encode_frame,
     read_frame,
 )
-from repro.cluster.serialization import settings_from_wire
+from repro.cluster.serialization import (
+    settings_from_wire,
+    snapshot_from_wire,
+    snapshot_to_wire,
+)
 from repro.config import DEFAULT_SETTINGS, OptimizerSettings
 from repro.query.io import query_from_dict
 from repro.service.gateway import ShardedOptimizerGateway
@@ -87,6 +101,10 @@ class ShardServer:
         handler_threads: blocking-DP thread pool size (defaults to
             ``max_in_flight``).
         max_frame_bytes: protocol frame-size bound.
+        inject_latency_s: fault injection for tests and benchmarks — every
+            optimize handler sleeps this long before running, simulating a
+            degraded shard (the hedging gate's "deliberately slow shard").
+            0 (default) injects nothing.
     """
 
     def __init__(
@@ -100,16 +118,27 @@ class ShardServer:
         max_in_flight: int = 8,
         handler_threads: int | None = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        inject_latency_s: float = 0.0,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if inject_latency_s < 0:
+            raise ValueError(f"inject_latency_s must be >= 0, got {inject_latency_s}")
         self.address = Address.parse(listen)
         self.shard_id = shard_id
         self.max_in_flight = max_in_flight
         self.max_frame_bytes = max_frame_bytes
+        self.inject_latency_s = inject_latency_s
         self._handler_pool = ThreadPoolExecutor(
             max_workers=handler_threads if handler_threads is not None else max_in_flight,
             thread_name_prefix=f"shard-{shard_id}",
+        )
+        # Snapshot shipping must not queue behind saturated DP handlers —
+        # a rebalance races live traffic by design — so control-plane work
+        # gets its own (single) thread.  Cache tiers are internally locked;
+        # concurrent access from both pools is safe.
+        self._control_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"shard-{shard_id}-ctl"
         )
         cache_factory = None
         if cache_dir is not None:
@@ -142,6 +171,8 @@ class ShardServer:
         self._rejected_overload = 0
         self._rejected_draining = 0
         self._protocol_errors = 0
+        self._snapshot_exported = 0
+        self._snapshot_imported = 0
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -206,6 +237,7 @@ class ShardServer:
             with contextlib.suppress(Exception):
                 writer.close()
         self._handler_pool.shutdown(wait=False)
+        self._control_pool.shutdown(wait=False)
         if self.address.kind == "unix":
             Path(self.address.path).unlink(missing_ok=True)
         self._stopped.set()
@@ -284,10 +316,112 @@ class ShardServer:
             }
         if op == "stats":
             return {"ok": True, "stats": self._stats()}
+        if op == "snapshot":
+            return await self._handle_snapshot(payload)
         if op == "drain":
             drained = await self._quiesce(float(payload.get("timeout_s", 30.0)))
             return {"ok": True, "drained": drained}
         return self._error("bad-request", f"unknown op {op!r}")
+
+    async def _handle_snapshot(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Serve one cache-shipping request on the control thread.
+
+        ``export``/``keys``/``evict`` stay available while draining (a
+        shard being decommissioned must still give its entries away);
+        ``import`` is refused — a draining shard's cache is on its way out,
+        and acking a shipment it will not serve would let the rebalancer
+        count entries as moved that are actually lost.
+        """
+        mode = payload.get("mode")
+        loop = asyncio.get_running_loop()
+        try:
+            if mode == "keys":
+                keys = await loop.run_in_executor(
+                    self._control_pool, self._snapshot_keys
+                )
+                return {"ok": True, "keys": keys, "shard_id": self.shard_id}
+            if mode == "export":
+                wanted = payload.get("keys")
+                if wanted is not None and not isinstance(wanted, list):
+                    return self._error("bad-request", "snapshot keys must be a list")
+                records = await loop.run_in_executor(
+                    self._control_pool, self._snapshot_export, wanted
+                )
+                self._snapshot_exported += len(records)
+                return {
+                    "ok": True,
+                    "snapshot": snapshot_to_wire(records),
+                    "shard_id": self.shard_id,
+                }
+            if mode == "import":
+                if self._draining:
+                    return self._error(
+                        "draining",
+                        "shard is draining; ship elsewhere",
+                        retry_after_s=1.0,
+                    )
+                records = snapshot_from_wire(payload.get("snapshot"))
+                imported = await loop.run_in_executor(
+                    self._control_pool, self._snapshot_import, records
+                )
+                self._snapshot_imported += imported
+                return {"ok": True, "imported": imported, "shard_id": self.shard_id}
+            if mode == "evict":
+                wanted = payload.get("keys")
+                if not isinstance(wanted, list):
+                    return self._error("bad-request", "snapshot keys must be a list")
+                evicted = await loop.run_in_executor(
+                    self._control_pool, self._snapshot_evict, wanted
+                )
+                return {"ok": True, "evicted": evicted, "shard_id": self.shard_id}
+        except ValueError as error:
+            return self._error("bad-request", f"malformed snapshot request: {error}")
+        except Exception as error:  # noqa: BLE001 - surfaced as a typed frame
+            return self._error(
+                "snapshot-failed", f"{type(error).__name__}: {error}"
+            )
+        return self._error("bad-request", f"unknown snapshot mode {mode!r}")
+
+    def _cache(self) -> Any:
+        """This shard's cache tier (the embedded gateway runs one shard)."""
+        return self.gateway.shards[0].cache
+
+    def _snapshot_keys(self) -> list[str]:
+        return sorted(self._cache().keys())
+
+    def _snapshot_export(self, keys: list[str] | None) -> list[dict[str, Any]]:
+        cache = self._cache()
+        if hasattr(cache, "export_records"):
+            return cache.export_records(keys)
+        # Memory-only tiers: encode resident entries on the fly with the
+        # same record schema the disk tier logs.
+        from repro.service.tiers import entry_to_wire
+
+        wanted = sorted(cache.keys()) if keys is None else list(keys)
+        records = []
+        for key in wanted:
+            entry = cache.peek(key)
+            if entry is not None:
+                records.append({"t": "put", "k": key, "entry": entry_to_wire(entry)})
+        return records
+
+    def _snapshot_import(self, records: list[dict[str, Any]]) -> int:
+        cache = self._cache()
+        if hasattr(cache, "import_records"):
+            return cache.import_records(records)
+        from repro.service.tiers import entry_from_wire
+
+        imported = 0
+        for record in records:
+            if record.get("t") != "put":
+                continue
+            cache.put(record["k"], entry_from_wire(record["entry"]))
+            imported += 1
+        return imported
+
+    def _snapshot_evict(self, keys: list[str]) -> int:
+        cache = self._cache()
+        return sum(1 for key in keys if cache.evict(str(key)))
 
     async def _handle_optimize(self, payload: dict[str, Any]) -> dict[str, Any] | bytes:
         if self._draining:
@@ -330,6 +464,9 @@ class ShardServer:
         read or write never waits behind another request's JSON encoding
         for the GIL while DP threads are busy.
         """
+        if self.inject_latency_s > 0:
+            # Fault injection: a degraded shard answers correctly, slowly.
+            time.sleep(self.inject_latency_s)
         try:
             query = query_from_dict(payload["query"])
             settings = (
@@ -378,6 +515,8 @@ class ShardServer:
             "rejected_overload": self._rejected_overload,
             "rejected_draining": self._rejected_draining,
             "protocol_errors": self._protocol_errors,
+            "snapshot_exported": self._snapshot_exported,
+            "snapshot_imported": self._snapshot_imported,
             "in_flight": self._in_flight,
             "requests": gateway.requests,
             "optimizations": gateway.optimizations,
@@ -410,6 +549,7 @@ def run_shard_server(
     cache_dir: str | Path | None = None,
     max_in_flight: int = 8,
     handler_threads: int | None = None,
+    inject_latency_s: float = 0.0,
 ) -> None:
     """Blocking entry point used by ``python -m repro shard-server``."""
     # A shard server mixes an IO loop with CPU-bound DP handler threads;
@@ -427,5 +567,6 @@ def run_shard_server(
         cache_dir=cache_dir,
         max_in_flight=max_in_flight,
         handler_threads=handler_threads,
+        inject_latency_s=inject_latency_s,
     )
     asyncio.run(_run_until_signalled(server))

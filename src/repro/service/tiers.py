@@ -37,7 +37,7 @@ import os
 import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 try:  # POSIX advisory locking; absent on some platforms
     import fcntl
@@ -424,6 +424,61 @@ class DiskTier:
 
     # ------------------------------------------------------- snapshots/compaction
 
+    def export_records(self, keys: Iterable[str] | None = None) -> list[dict[str, Any]]:
+        """Live ``put`` records (log-line form) for ``keys`` (default: all).
+
+        The records are exactly what :meth:`export_snapshot` writes after
+        its header — the disk format doubling as the wire format — so a
+        rebalancer can ship a subset of one shard's entries over a frame
+        without touching the filesystem.  Unknown keys are skipped (the
+        caller asked for a routing slice, not a guarantee).  Stat-free.
+        """
+        with self._lock:
+            if keys is None:
+                wanted = sorted(self._offsets.items(), key=lambda item: item[1])
+            else:
+                wanted = sorted(
+                    (
+                        (key, self._offsets[key])
+                        for key in set(keys)
+                        if key in self._offsets
+                    ),
+                    key=lambda item: item[1],
+                )
+            records = []
+            for __, offset in wanted:
+                self._reader.seek(offset)
+                records.append(json.loads(self._reader.readline()))
+            return records
+
+    def import_records(
+        self, records: Iterable[dict[str, Any]], overwrite: bool = True
+    ) -> int:
+        """Merge ``put`` records (log-line form) into this tier; returns count.
+
+        The append path is identical to :meth:`put` — each record lands in
+        the log and the offset/provenance indexes — so imported entries are
+        durable and survive this process exactly like locally computed
+        ones.  Non-``put`` records are ignored (a shipment carries entries,
+        not deletion history).
+        """
+        imported = 0
+        with self._lock:
+            for record in records:
+                if record.get("t") != "put":
+                    continue
+                key = record["k"]
+                if not overwrite and key in self._offsets:
+                    continue
+                self._offsets[key] = self._append(record)
+                provenance = record["entry"].get("provenance")
+                self._provenance[key] = (
+                    Provenance.from_wire(provenance) if provenance else None
+                )
+                self._kinds[key] = record["entry"].get("kind", SCALAR_ENTRY)
+                imported += 1
+        return imported
+
     def export_snapshot(self, path: str | os.PathLike) -> int:
         """Write a compacted copy of the live entries; returns entry count.
 
@@ -453,7 +508,6 @@ class DiskTier:
         snapshot ships *entries*, not deletion history.
         """
         source = Path(path)
-        imported = 0
         with self._lock:
             with open(source, "rb") as snapshot:
                 header = json.loads(snapshot.readline())
@@ -462,21 +516,8 @@ class DiskTier:
                         f"{source} is not a plan-cache snapshot "
                         f"(format {header.get('format')!r})"
                     )
-                for line in snapshot:
-                    record = json.loads(line)
-                    if record.get("t") != "put":
-                        continue
-                    key = record["k"]
-                    if not overwrite and key in self._offsets:
-                        continue
-                    self._offsets[key] = self._append(record)
-                    provenance = record["entry"].get("provenance")
-                    self._provenance[key] = (
-                        Provenance.from_wire(provenance) if provenance else None
-                    )
-                    self._kinds[key] = record["entry"].get("kind", SCALAR_ENTRY)
-                    imported += 1
-        return imported
+                records = [json.loads(line) for line in snapshot]
+            return self.import_records(records, overwrite=overwrite)
 
     def compact(self) -> int:
         """Rewrite the log with live records only; returns bytes reclaimed.
@@ -777,6 +818,58 @@ class TieredPlanCache:
                 self.stats.evictions += 1
             return True
         return False
+
+    # ------------------------------------------------------- snapshot shipping
+
+    def keys(self) -> list[str]:
+        """Distinct live keys across both tiers, sorted."""
+        resident = set(self.memory.keys())
+        if self.disk is not None:
+            resident.update(self.disk.keys())
+        return sorted(resident)
+
+    def export_records(self, keys: Iterable[str] | None = None) -> list[dict[str, Any]]:
+        """Stat-free wire records for live entries (disk first, then memory).
+
+        The disk tier serves what it holds verbatim (no decode/re-encode
+        round trip); entries resident only in memory — the write-back
+        policy's window, or a disk-less cache — are encoded on the fly.
+        The result is the same ``put``-record form as
+        :meth:`DiskTier.export_records`, sorted by key.
+        """
+        records: dict[str, dict[str, Any]] = {}
+        if self.disk is not None:
+            for record in self.disk.export_records(keys):
+                records[record["k"]] = record
+        wanted = list(self.memory.keys()) if keys is None else list(keys)
+        for key in wanted:
+            if key in records:
+                continue
+            entry = self.memory.peek(key)
+            if entry is not None:
+                records[key] = {"t": "put", "k": key, "entry": entry_to_wire(entry)}
+        return [records[key] for key in sorted(records)]
+
+    def import_records(
+        self, records: Iterable[dict[str, Any]], overwrite: bool = True
+    ) -> int:
+        """Merge shipped ``put`` records through the normal write path.
+
+        Each entry goes through :meth:`put`, so the write policy applies —
+        under the default write-through an imported entry is durable in the
+        disk log before this returns, which is what lets a rebalanced key's
+        new owner restart and still serve it from cache.
+        """
+        imported = 0
+        for record in records:
+            if record.get("t") != "put":
+                continue
+            key = record["k"]
+            if not overwrite and key in self:
+                continue
+            self.put(key, entry_from_wire(record["entry"]))
+            imported += 1
+        return imported
 
     # ------------------------------------------------------------- invalidation
 

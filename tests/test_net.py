@@ -628,6 +628,88 @@ class TestNetworkGateway:
             # Still serves after the topology change.
             assert gateway.optimize(SteinbrunnGenerator(6).query(4)).plans
 
+    def test_overload_retry_sleeps_at_least_the_floor(self, tmp_path, monkeypatch):
+        """Regression: a shard advertising ``retry_after_s=0`` must not
+        busy-spin the retry loop — every sleep is clamped to the positive
+        floor (and still capped at one second from above)."""
+        from repro.service.net import OVERLOAD_RETRY_FLOOR_S
+        import repro.service.net as net_module
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(net_module.time, "sleep", sleeps.append)
+        with NetworkOptimizerGateway(
+            {"s0": f"unix:{tmp_path / 'unused.sock'}"}, overload_retries=4
+        ) as gateway:
+            for retry_after_s, expected in [(0.0, OVERLOAD_RETRY_FLOOR_S), (999.0, 1.0)]:
+                sleeps.clear()
+                response = {
+                    "ok": False,
+                    "error": {"type": "overloaded", "retry_after_s": retry_after_s},
+                }
+                monkeypatch.setattr(
+                    gateway, "_attempt", lambda key, payload: ("s0", response)
+                )
+                with pytest.raises(GatewayOverloadedError):
+                    gateway.optimize(SteinbrunnGenerator(7).query(4))
+                assert sleeps == [expected] * 4
+
+    def test_remove_shard_races_in_flight_requests(self, tmp_path):
+        """Regression: ``remove_shard`` used to close pooled sockets under
+        requests that had already checked them out, tearing frames
+        mid-stream.  Now in-flight round trips complete undisturbed and a
+        request that grabs the link after close fails with a *typed* error
+        — clients see only success or ShardUnavailableError, never a raw
+        FrameError or a hang."""
+        with (
+            ServerThread(f"unix:{tmp_path / 'r0.sock'}", n_workers=2) as __,
+            ServerThread(f"unix:{tmp_path / 'r1.sock'}", n_workers=2) as ___,
+        ):
+            pool = SteinbrunnGenerator(14).queries(6, n_tables=4)
+            failures: list[Exception] = []
+            successes = [0]
+            lock = threading.Lock()
+
+            with NetworkOptimizerGateway(
+                {
+                    "r0": f"unix:{tmp_path / 'r0.sock'}",
+                    "r1": f"unix:{tmp_path / 'r1.sock'}",
+                },
+                n_workers=2,
+                overload_retries=50,
+            ) as gateway:
+                for query in pool:
+                    gateway.optimize(query)  # warm both shards
+                stop = threading.Event()
+
+                def client(seed: int) -> None:
+                    while not stop.is_set():
+                        try:
+                            gateway.optimize(pool[seed % len(pool)])
+                        except ShardUnavailableError:
+                            pass  # the removed shard's typed goodbye
+                        except Exception as error:  # noqa: BLE001
+                            with lock:
+                                failures.append(error)
+                        else:
+                            with lock:
+                                successes[0] += 1
+
+                threads = [
+                    threading.Thread(target=client, args=(i,), daemon=True)
+                    for i in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                time.sleep(0.2)  # requests in full flight
+                gateway.remove_shard("r0")
+                time.sleep(0.2)  # keep hammering the shrunken ring
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+                    assert not thread.is_alive(), "client hung after removal"
+            assert not failures, failures
+            assert successes[0] > 0
+
     def test_drain_flushes_and_stops_the_server(self, tmp_path):
         with ServerThread(f"unix:{tmp_path / 'd.sock'}", n_workers=2) as running:
             with NetworkOptimizerGateway(

@@ -1,11 +1,11 @@
 """Regenerate every committed BENCH_*.json with one command.
 
-The benchmark reports in the repository root are produced by five dual-use
+The benchmark reports in the repository root are produced by six dual-use
 scripts under ``benchmarks/``; each is a regression gate in CI with its own
 flags.  This runner invokes them exactly as CI does (same flags, same
 output files) so the committed reports never drift from the workflow:
 
-    python tools/regen_benches.py             # all five, in order
+    python tools/regen_benches.py             # all six, in order
     python tools/regen_benches.py --only persist,async
     python tools/regen_benches.py --list
     python tools/regen_benches.py --check     # dry run: nothing executes
@@ -78,6 +78,14 @@ BENCHES: dict[str, tuple[str, list[str]]] = {
             "--repeats", "2",
             "--json", "BENCH_net.json",
             "--min-speedup", "1.0",
+        ],
+    ),
+    "fleet": (
+        "BENCH_fleet.json",
+        [
+            "benchmarks/bench_fleet.py",
+            "--json", "BENCH_fleet.json",
+            "--log-dir", "fleet-logs",
         ],
     ),
 }
